@@ -1,0 +1,27 @@
+//! Criterion bench for paper Table 3: interpolation-point selection,
+//! QRCP vs K-Means, across N_μ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isdf::{kmeans_points, pair_weights, qrcp_points, KmeansOptions};
+use lrtddft::problem::silicon_like_problem;
+
+fn bench_point_selection(c: &mut Criterion) {
+    let problem = silicon_like_problem(1, 12, 8);
+    let coords: Vec<[f64; 3]> = (0..problem.n_r()).map(|i| problem.grid.coords(i)).collect();
+    let w = pair_weights(&problem.psi_v, &problem.psi_c);
+
+    let mut group = c.benchmark_group("table3_point_selection");
+    group.sample_size(10);
+    for n_mu in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("qrcp", n_mu), &n_mu, |b, &n_mu| {
+            b.iter(|| qrcp_points(&problem.psi_v, &problem.psi_c, n_mu));
+        });
+        group.bench_with_input(BenchmarkId::new("kmeans", n_mu), &n_mu, |b, &n_mu| {
+            b.iter(|| kmeans_points(&coords, &w, n_mu, KmeansOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_selection);
+criterion_main!(benches);

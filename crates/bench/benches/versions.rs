@@ -1,0 +1,22 @@
+//! Criterion bench for paper Tables 4/6: the five solver versions on a
+//! fixed silicon-like workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrtddft::{problem::silicon_like_problem, solve, SolverParams, Version};
+
+fn bench_versions(c: &mut Criterion) {
+    let problem = silicon_like_problem(1, 12, 4);
+    let params = SolverParams { n_states: 3, ..Default::default() };
+
+    let mut group = c.benchmark_group("table6_versions");
+    group.sample_size(10);
+    for v in Version::all() {
+        group.bench_function(v.label(), |b| {
+            b.iter(|| solve(&problem, v, params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_versions);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! # bench — harness regenerating every table and figure of the paper
+//!
+//! The `repro` binary (this crate's `main.rs`) has one subcommand per
+//! experiment; this library holds the shared machinery:
+//!
+//! * [`scaling`] — the calibrated strong/weak-scaling model: per-stage
+//!   compute work measured from real runs, collective communication charged
+//!   by the α–β model with the byte counts of the actual implementation.
+//!   This is how Cori-scale rank counts (the paper runs up to 12,288 cores;
+//!   this host has one) are extrapolated — see DESIGN.md §2.
+//! * [`report`] — fixed-width table printing and JSON result records.
+
+pub mod experiments;
+pub mod report;
+pub mod scaling;
+
+pub use report::{print_table, ExperimentRecord};
+pub use scaling::{CommPattern, ScalingStudy, Stage};

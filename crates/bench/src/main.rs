@@ -1,0 +1,73 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--quick|--full] [--out results/]
+//! experiments: table3 table4 table5 table6 fig2 fig5 fig7 fig8 weak fig9 all
+//! ```
+
+use bench::experiments::{self, Scale};
+use bench::report::ExperimentRecord;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut scale = Scale::Default;
+    let mut out = PathBuf::from("results");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--out" => out = PathBuf::from(it.next().expect("--out needs a path")),
+            name if experiment.is_none() => experiment = Some(name.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let experiment = experiment.unwrap_or_else(|| {
+        eprintln!(
+            "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|all> [--quick|--full] [--out DIR]"
+        );
+        std::process::exit(2);
+    });
+
+    let run = |name: &str, scale: Scale| -> ExperimentRecord {
+        match name {
+            "table3" => experiments::table3(scale),
+            "table4" => experiments::table4(scale),
+            "table5" => experiments::table5(scale),
+            "table6" => experiments::table6(scale),
+            "fig2" => experiments::fig2(scale),
+            "fig5" => experiments::fig5(scale),
+            "fig7" => experiments::fig7(scale),
+            "fig8" => experiments::fig8(scale),
+            "weak" => experiments::weak_scaling(scale),
+            "fig9" => experiments::fig9(scale),
+            "ablation" => experiments::ablation(scale),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    if experiment == "all" {
+        for name in
+            [
+                "table3", "table4", "table5", "table6", "fig2", "fig5", "fig7", "fig8", "weak",
+                "fig9", "ablation",
+            ]
+        {
+            let rec = run(name, scale);
+            rec.save(&out).expect("write record");
+        }
+        println!("\nAll experiment records written to {}", out.display());
+    } else {
+        let rec = run(&experiment, scale);
+        rec.save(&out).expect("write record");
+        println!("\nRecord written to {}", out.join(format!("{experiment}.json")).display());
+    }
+}

@@ -1,0 +1,105 @@
+//! Table printing and JSON experiment records.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Print a fixed-width table with a header row.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |sep: &str| {
+        let mut s = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            s.push_str(if i == 0 { "+" } else { sep });
+            s.push_str(&"-".repeat(w + 2));
+        }
+        s.push('+');
+        s
+    };
+    println!("{}", line("+"));
+    let mut h = String::new();
+    for (hd, w) in headers.iter().zip(&widths) {
+        h.push_str(&format!("| {hd:<w$} "));
+    }
+    println!("{h}|");
+    println!("{}", line("+"));
+    for row in rows {
+        let mut r = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            r.push_str(&format!("| {cell:>w$} "));
+        }
+        println!("{r}|");
+    }
+    println!("{}", line("+"));
+}
+
+/// A JSON-serializable record of one experiment run (appended to
+/// `results/<experiment>.json` by the harness).
+#[derive(Serialize)]
+pub struct ExperimentRecord {
+    pub experiment: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub notes: String,
+}
+
+impl ExperimentRecord {
+    pub fn new(experiment: &str, headers: &[&str], rows: &[Vec<String>], notes: &str) -> Self {
+        ExperimentRecord {
+            experiment: experiment.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: rows.to_vec(),
+            notes: notes.to_string(),
+        }
+    }
+
+    /// Write to `dir/<experiment>.json`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        let mut f = std::fs::File::create(path)?;
+        let json = serde_json::to_string_pretty(self).expect("serializable record");
+        f.write_all(json.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let r = ExperimentRecord::new(
+            "table3",
+            &["n_mu", "qrcp", "kmeans"],
+            &[vec!["512".into(), "10.12".into(), "1.61".into()]],
+            "scaled",
+        );
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("table3"));
+        assert!(s.contains("10.12"));
+    }
+
+    #[test]
+    fn record_saves_to_disk() {
+        let dir = std::env::temp_dir().join("lrtddft_report_test");
+        let r = ExperimentRecord::new("t", &["a"], &[vec!["1".into()]], "");
+        r.save(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert!(content.contains("\"experiment\": \"t\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

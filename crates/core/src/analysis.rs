@@ -1,0 +1,141 @@
+//! Post-processing of excitation vectors: dominant orbital-pair character,
+//! participation ratios, and compact state summaries — what a user reads
+//! after the solver finishes (QE/NWChem print exactly these tables).
+
+use crate::problem::CasidaProblem;
+use mathkit::Mat;
+
+/// One contribution to an excitation: pair `(i_v → i_c)` with weight `|x|²`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairContribution {
+    pub i_v: usize,
+    pub i_c: usize,
+    /// Squared amplitude (fraction of the normalized excitation vector).
+    pub weight: f64,
+}
+
+/// Summary of a single excited state.
+#[derive(Clone, Debug)]
+pub struct StateCharacter {
+    pub energy: f64,
+    /// Leading pair contributions, sorted by weight descending.
+    pub leading: Vec<PairContribution>,
+    /// Inverse participation ratio: 1 = single-pair transition,
+    /// `N_cv` = fully delocalized over pairs.
+    pub participation: f64,
+}
+
+/// Analyze the excitations in `(energies, coefficients)` (`N_cv × k`).
+/// `n_leading` caps how many pair contributions each state reports.
+pub fn analyze_states(
+    problem: &CasidaProblem,
+    energies: &[f64],
+    coefficients: &Mat,
+    n_leading: usize,
+) -> Vec<StateCharacter> {
+    assert_eq!(coefficients.ncols(), energies.len());
+    assert_eq!(coefficients.nrows(), problem.n_cv());
+    let n_c = problem.n_c();
+    energies
+        .iter()
+        .enumerate()
+        .map(|(n, &energy)| {
+            let x = coefficients.col(n);
+            let norm2: f64 = x.iter().map(|v| v * v).sum();
+            let mut weights: Vec<PairContribution> = x
+                .iter()
+                .enumerate()
+                .map(|(p, &v)| PairContribution {
+                    i_v: p / n_c,
+                    i_c: p % n_c,
+                    weight: v * v / norm2.max(1e-300),
+                })
+                .collect();
+            // IPR = 1 / Σ w_p² over the normalized weights.
+            let ipr = 1.0 / weights.iter().map(|c| c.weight * c.weight).sum::<f64>().max(1e-300);
+            weights.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+            weights.truncate(n_leading);
+            StateCharacter { energy, leading: weights, participation: ipr }
+        })
+        .collect()
+}
+
+/// Render a one-line description like `"0.0432 Ha: 3→0 (82%) + 2→1 (11%)"`.
+pub fn describe_state(state: &StateCharacter) -> String {
+    let parts: Vec<String> = state
+        .leading
+        .iter()
+        .filter(|c| c.weight > 0.01)
+        .map(|c| format!("{}→{} ({:.0}%)", c.i_v, c.i_c, 100.0 * c.weight))
+        .collect();
+    format!("{:.4} Ha: {}", state.energy, parts.join(" + "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::synthetic_problem;
+    use crate::{solve, SolverParams, Version};
+
+    #[test]
+    fn pure_single_pair_state() {
+        let p = synthetic_problem([4, 4, 4], 5.0, 2, 3);
+        let mut x = Mat::zeros(6, 1);
+        x[(p.pair_index(1, 2), 0)] = 1.0;
+        let states = analyze_states(&p, &[0.5], &x, 3);
+        assert_eq!(states.len(), 1);
+        let s = &states[0];
+        assert!((s.participation - 1.0).abs() < 1e-12);
+        assert_eq!(s.leading[0].i_v, 1);
+        assert_eq!(s.leading[0].i_c, 2);
+        assert!((s.leading[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_state_maximal_participation() {
+        let p = synthetic_problem([4, 4, 4], 5.0, 2, 2);
+        let x = Mat::from_fn(4, 1, |_, _| 0.5);
+        let states = analyze_states(&p, &[0.3], &x, 4);
+        assert!((states[0].participation - 4.0).abs() < 1e-10);
+        // all weights equal 0.25
+        for c in &states[0].leading {
+            assert!((c.weight - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_for_solver_output() {
+        let p = synthetic_problem([8, 8, 8], 6.0, 3, 2);
+        let sol = solve(&p, Version::Naive, SolverParams { n_states: 4, ..Default::default() });
+        let states = analyze_states(&p, &sol.energies, &sol.coefficients, p.n_cv());
+        for s in &states {
+            let total: f64 = s.leading.iter().map(|c| c.weight).sum();
+            assert!((total - 1.0).abs() < 1e-10, "weights sum to {total}");
+            assert!(s.participation >= 1.0 - 1e-12);
+            assert!(s.participation <= p.n_cv() as f64 + 1e-9);
+        }
+        // leading contributions sorted descending
+        for s in &states {
+            for w in s.leading.windows(2) {
+                assert!(w[0].weight >= w[1].weight - 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn describe_formats_sensibly() {
+        let s = StateCharacter {
+            energy: 0.0432,
+            leading: vec![
+                PairContribution { i_v: 3, i_c: 0, weight: 0.82 },
+                PairContribution { i_v: 2, i_c: 1, weight: 0.11 },
+                PairContribution { i_v: 0, i_c: 0, weight: 0.005 }, // filtered
+            ],
+            participation: 1.4,
+        };
+        let txt = describe_state(&s);
+        assert!(txt.contains("3→0 (82%)"));
+        assert!(txt.contains("2→1 (11%)"));
+        assert!(!txt.contains("0→0"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # lrtddft — linear-response TDDFT with K-Means ISDF low-rank compression
+//!
+//! Rust reproduction of *"Accelerating Parallel First-Principles
+//! Excited-State Calculation by Low-Rank Approximation with K-Means
+//! Clustering"* (ICPP '22). The crate solves the Casida equation in the
+//! Tamm–Dancoff approximation,
+//!
+//! ```text
+//! H = D + 2 V_Hxc,     H x_i = λ_i x_i              (paper Eq. 2)
+//! D(i_v i_c, j_v j_c) = (ε_{i_c} − ε_{i_v}) δ δ
+//! V_Hxc = P_vcᵀ f_Hxc P_vc                           (paper Eq. 3)
+//! ```
+//!
+//! in five versions of increasing sophistication (paper Table 4):
+//!
+//! 1. [`Version::Naive`] — explicit `P_vc`, dense `V_Hxc`, full `SYEV`;
+//! 2. [`Version::QrcpIsdf`] — ISDF with QRCP points, dense eigensolve;
+//! 3. [`Version::KmeansIsdf`] — ISDF with K-Means points, dense eigensolve;
+//! 4. [`Version::KmeansIsdfLobpcg`] — explicit low-rank `H`, iterative
+//!    LOBPCG for the lowest `k` excitations;
+//! 5. [`Version::ImplicitKmeansIsdfLobpcg`] — matrix-free
+//!    `H·X = D∘X + 2Cᵀ(Ṽ_Hxc(C·X))`, never forming the `N_cv × N_cv`
+//!    Hamiltonian.
+//!
+//! [`parallel`] reproduces the paper's MPI pipeline (Algorithm 1) on the
+//! simulated-MPI runtime: row/column-block redistributions via `Alltoallv`,
+//! distributed weighted K-Means, and the pipelined GEMM+`Reduce` overlap of
+//! paper Figs. 4–5.
+
+pub mod analysis;
+pub mod kernel;
+pub mod lobpcg_driver;
+pub mod metrics;
+pub mod naive;
+pub mod parallel;
+pub mod parallel_eig;
+pub mod pipeline;
+pub mod problem;
+pub mod rank;
+pub mod spectrum;
+pub mod timers;
+pub mod versions;
+
+pub use analysis::{analyze_states, describe_state, StateCharacter};
+pub use kernel::HxcKernel;
+pub use metrics::ComplexityEstimate;
+pub use naive::{build_dense_hamiltonian, solve_naive};
+pub use problem::{silicon_like_problem, synthetic_problem, CasidaProblem, KernelKind};
+pub use rank::IsdfRank;
+pub use spectrum::{absorption_spectrum, oscillator_strengths, transition_dipoles};
+pub use timers::StageTimings;
+pub use versions::{solve, PointSelector, Solution, SolverParams, Version};

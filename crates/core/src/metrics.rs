@@ -1,0 +1,145 @@
+//! Analytic complexity accounting — paper Table 4 evaluated at concrete
+//! dimensions, so the `repro table4` harness can print measured-vs-model.
+
+use crate::versions::Version;
+
+/// Floating-point-operation and memory estimates for one version at given
+/// problem dimensions (leading terms of the paper's Table 4 rows).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComplexityEstimate {
+    pub version_label: &'static str,
+    /// Construction flops (leading order).
+    pub construct_flops: f64,
+    /// Construction working-set memory in f64 words.
+    pub construct_words: f64,
+    /// Diagonalization flops.
+    pub diag_flops: f64,
+    /// Diagonalization memory in f64 words.
+    pub diag_words: f64,
+}
+
+impl ComplexityEstimate {
+    /// Evaluate the Table 4 row for `version` with `N_r`, `N_μ`, `N_v`,
+    /// `N_c`, `k`. `n_r_prime` (the post-pruning K-Means point count) is
+    /// conservatively taken as `N_r/10`, the regime the paper reports.
+    pub fn for_version(
+        version: Version,
+        n_r: usize,
+        n_mu: usize,
+        n_v: usize,
+        n_c: usize,
+        k: usize,
+    ) -> Self {
+        let (nr, nmu, nv, nc, k) = (n_r as f64, n_mu as f64, n_v as f64, n_c as f64, k as f64);
+        let ncv = nv * nc;
+        let nr_prime = nr / 10.0;
+        match version {
+            Version::Naive => ComplexityEstimate {
+                version_label: version.label(),
+                construct_flops: ncv * ncv * nr + ncv * nr,
+                construct_words: ncv * ncv + nr * ncv,
+                diag_flops: ncv * ncv * ncv,
+                diag_words: ncv * ncv,
+            },
+            Version::QrcpIsdf => ComplexityEstimate {
+                version_label: version.label(),
+                construct_flops: nr * nmu * nmu + nmu * ncv * ncv + nmu * nr * nr,
+                construct_words: ncv * ncv + nmu * ncv,
+                diag_flops: ncv * ncv * ncv,
+                diag_words: ncv * ncv,
+            },
+            Version::KmeansIsdf => ComplexityEstimate {
+                version_label: version.label(),
+                construct_flops: nr * nmu * nmu + nmu * ncv * ncv + nmu * nr_prime * nr_prime,
+                construct_words: ncv * ncv + nmu * ncv,
+                diag_flops: ncv * ncv * ncv,
+                diag_words: ncv * ncv,
+            },
+            Version::KmeansIsdfLobpcg => ComplexityEstimate {
+                version_label: version.label(),
+                construct_flops: nr * nmu * nmu + nmu * ncv * ncv + nmu * nr_prime * nr_prime,
+                construct_words: ncv * ncv + nmu * ncv,
+                diag_flops: k * ncv * ncv,
+                diag_words: ncv * ncv,
+            },
+            Version::ImplicitKmeansIsdfLobpcg => ComplexityEstimate {
+                version_label: version.label(),
+                construct_flops: nr * nmu * nmu + nmu * ncv + nmu * nr_prime * nr_prime,
+                construct_words: ncv + nmu * ncv,
+                diag_flops: k * nmu * ncv,
+                diag_words: nmu * nmu,
+            },
+        }
+    }
+
+    /// Total estimated flops.
+    pub fn total_flops(&self) -> f64 {
+        self.construct_flops + self.diag_flops
+    }
+
+    /// Total estimated memory in bytes (f64).
+    pub fn total_bytes(&self) -> f64 {
+        8.0 * (self.construct_words + self.diag_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper regime: N_r = 1000·N_e, N_μ = 10·N_e, N_v = N_c = N_e, k ≪ N_e.
+    fn paper_dims(ne: usize) -> (usize, usize, usize, usize, usize) {
+        (1000 * ne, 10 * ne, ne, ne, 8)
+    }
+
+    #[test]
+    fn implicit_version_is_cheapest_in_both_phases() {
+        let (nr, nmu, nv, nc, k) = paper_dims(64);
+        let naive = ComplexityEstimate::for_version(Version::Naive, nr, nmu, nv, nc, k);
+        let imp =
+            ComplexityEstimate::for_version(Version::ImplicitKmeansIsdfLobpcg, nr, nmu, nv, nc, k);
+        assert!(imp.construct_flops < naive.construct_flops);
+        assert!(imp.diag_flops < naive.diag_flops);
+        assert!(imp.total_bytes() < naive.total_bytes());
+    }
+
+    #[test]
+    fn paper_two_orders_of_magnitude_claim() {
+        // "reduce the cost of computation and memory by nearly 2 orders of
+        // magnitude" — check the model reproduces ≥ 50× at N_e = 128.
+        let (nr, nmu, nv, nc, k) = paper_dims(128);
+        let naive = ComplexityEstimate::for_version(Version::Naive, nr, nmu, nv, nc, k);
+        let imp =
+            ComplexityEstimate::for_version(Version::ImplicitKmeansIsdfLobpcg, nr, nmu, nv, nc, k);
+        let flop_ratio = naive.total_flops() / imp.total_flops();
+        assert!(flop_ratio > 50.0, "flop ratio {flop_ratio}");
+    }
+
+    #[test]
+    fn kmeans_cheaper_than_qrcp_selection() {
+        let (nr, nmu, nv, nc, k) = paper_dims(64);
+        let qr = ComplexityEstimate::for_version(Version::QrcpIsdf, nr, nmu, nv, nc, k);
+        let km = ComplexityEstimate::for_version(Version::KmeansIsdf, nr, nmu, nv, nc, k);
+        assert!(km.construct_flops < qr.construct_flops);
+    }
+
+    #[test]
+    fn lobpcg_reduces_diag_phase() {
+        let (nr, nmu, nv, nc, k) = paper_dims(32);
+        let dense = ComplexityEstimate::for_version(Version::KmeansIsdf, nr, nmu, nv, nc, k);
+        let iter = ComplexityEstimate::for_version(Version::KmeansIsdfLobpcg, nr, nmu, nv, nc, k);
+        assert!(iter.diag_flops < dense.diag_flops);
+        // but same construction cost
+        assert_eq!(iter.construct_flops, dense.construct_flops);
+    }
+
+    #[test]
+    fn memory_drop_is_ncv_squared_to_nmu_squared() {
+        let (nr, nmu, nv, nc, k) = paper_dims(64);
+        let dense = ComplexityEstimate::for_version(Version::KmeansIsdfLobpcg, nr, nmu, nv, nc, k);
+        let imp =
+            ComplexityEstimate::for_version(Version::ImplicitKmeansIsdfLobpcg, nr, nmu, nv, nc, k);
+        assert_eq!(dense.diag_words, (nv * nc * nv * nc) as f64);
+        assert_eq!(imp.diag_words, (nmu * nmu) as f64);
+    }
+}

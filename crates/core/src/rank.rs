@@ -1,0 +1,59 @@
+//! Choice of the ISDF rank `N_μ`.
+//!
+//! The paper operates at `N_μ ≈ 10 × N_e` (Table 4 caption). With
+//! `N_v ≈ N_c ≈ N_e`, we parameterize the rank either absolutely or as a
+//! multiple of the orbital count.
+
+/// How many interpolation points to use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IsdfRank {
+    /// Exactly this many points.
+    Fixed(usize),
+    /// `N_μ = ceil(factor · (N_v + N_c))` — the paper's `N_μ ≈ 10·N_e`
+    /// corresponds to `Factor(≈5.0)` when `N_v = N_c = N_e`.
+    Factor(f64),
+}
+
+impl IsdfRank {
+    /// Resolve to a concrete count, clamped to `[1, min(N_r, N_v·N_c)]`
+    /// (the mathematical rank bound of the pair matrix).
+    pub fn resolve(&self, n_r: usize, n_v: usize, n_c: usize) -> usize {
+        let raw = match self {
+            IsdfRank::Fixed(n) => *n,
+            IsdfRank::Factor(f) => ((n_v + n_c) as f64 * f).ceil() as usize,
+        };
+        raw.clamp(1, n_r.min(n_v * n_c))
+    }
+}
+
+impl Default for IsdfRank {
+    fn default() -> Self {
+        IsdfRank::Factor(5.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_clamped() {
+        assert_eq!(IsdfRank::Fixed(100).resolve(1000, 4, 4), 16); // N_cv bound
+        assert_eq!(IsdfRank::Fixed(100).resolve(10, 40, 40), 10); // N_r bound
+        assert_eq!(IsdfRank::Fixed(0).resolve(10, 4, 4), 1);
+        assert_eq!(IsdfRank::Fixed(7).resolve(1000, 10, 10), 7);
+    }
+
+    #[test]
+    fn factor_scales_with_orbitals() {
+        assert_eq!(IsdfRank::Factor(2.0).resolve(10_000, 8, 8), 32);
+        assert_eq!(IsdfRank::Factor(5.0).resolve(10_000, 16, 16), 160);
+    }
+
+    #[test]
+    fn default_matches_paper_regime() {
+        // N_v = N_c = N_e → N_μ = 5·2·N_e = 10·N_e.
+        let n_mu = IsdfRank::default().resolve(usize::MAX, 12, 12);
+        assert_eq!(n_mu, 120);
+    }
+}

@@ -1,0 +1,241 @@
+//! 1-D complex FFT.
+//!
+//! * Power-of-two lengths: iterative radix-2 Cooley–Tukey with precomputed
+//!   bit-reversal and twiddle tables (the workhorse — plane-wave grids are
+//!   chosen as powers of two, as on the Cori runs where `N_r = 104³` was the
+//!   FFT-friendly grid for Si₁₀₀₀; we snap to powers of two instead).
+//! * Arbitrary lengths: Bluestein's chirp-z algorithm, which reduces any `n`
+//!   to a power-of-two convolution. This keeps the library usable for the
+//!   odd grid dimensions produced by non-cubic cells.
+
+use crate::complex::Complex;
+
+/// Forward DFT: `X[k] = Σ_j x[j] e^{-2πi jk/n}` (no normalization).
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    fft_inplace(&mut buf);
+    buf
+}
+
+/// Inverse DFT: `x[j] = (1/n) Σ_k X[k] e^{+2πi jk/n}`.
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    ifft_inplace(&mut buf);
+    buf
+}
+
+/// In-place forward DFT.
+pub fn fft_inplace(x: &mut [Complex]) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2(x, false);
+    } else {
+        bluestein(x, false);
+    }
+}
+
+/// In-place inverse DFT (includes the `1/n` normalization).
+pub fn ifft_inplace(x: &mut [Complex]) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2(x, true);
+    } else {
+        bluestein(x, true);
+    }
+    let inv = 1.0 / n as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(inv);
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey (decimation in time).
+fn radix2(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = x[i + k];
+                let v = x[i + k + half] * w;
+                x[i + k] = u + v;
+                x[i + k + half] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein chirp-z: DFT of arbitrary length via a power-of-two convolution.
+fn bluestein(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w[j] = e^{sign * -πi j² / n}; use j² mod 2n to avoid overflow.
+    let mut chirp = Vec::with_capacity(n);
+    for j in 0..n {
+        let jj = (j * j) % (2 * n);
+        chirp.push(Complex::cis(sign * std::f64::consts::PI * jj as f64 / n as f64));
+    }
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    let mut b = vec![Complex::ZERO; m];
+    for j in 0..n {
+        a[j] = x[j] * chirp[j];
+        b[j] = chirp[j].conj();
+    }
+    for j in 1..n {
+        b[m - j] = chirp[j].conj();
+    }
+    radix2(&mut a, false);
+    radix2(&mut b, false);
+    for j in 0..m {
+        a[j] = a[j] * b[j];
+    }
+    radix2(&mut a, true);
+    let minv = 1.0 / m as f64;
+    for j in 0..n {
+        x[j] = a[j].scale(minv) * chirp[j];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex], inverse: bool) -> Vec<Complex> {
+        let n = x.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut out = vec![Complex::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            for (j, &xi) in x.iter().enumerate() {
+                let ang = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                *o += xi * Complex::cis(ang);
+            }
+        }
+        if inverse {
+            for o in &mut out {
+                *o = o.scale(1.0 / n as f64);
+            }
+        }
+        out
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex> {
+        // Simple xorshift so the test needs no RNG dependency wiring.
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.iter().zip(b.iter()).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let x = rand_signal(n, 42 + n as u64);
+            assert!(close(&fft(&x), &naive_dft(&x, false), 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_nonpow2() {
+        for &n in &[3usize, 5, 6, 7, 12, 15, 27, 100] {
+            let x = rand_signal(n, 7 + n as u64);
+            assert!(close(&fft(&x), &naive_dft(&x, false), 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for &n in &[8usize, 13, 32, 45, 128] {
+            let x = rand_signal(n, n as u64);
+            let y = ifft(&fft(&x));
+            assert!(close(&x, &y, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        let y = fft(&x);
+        for v in y {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        for &n in &[16usize, 21] {
+            let x = rand_signal(n, 99);
+            let y = fft(&x);
+            let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            assert!((ex - ey).abs() < 1e-9 * ex.max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn pure_tone_single_bin() {
+        let n = 32;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, v) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((v.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 24;
+        let x = rand_signal(n, 1);
+        let y = rand_signal(n, 2);
+        let sum: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + b.scale(2.5)).collect();
+        let fs = fft(&sum);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let expect: Vec<Complex> = fx.iter().zip(&fy).map(|(a, b)| *a + b.scale(2.5)).collect();
+        assert!(close(&fs, &expect, 1e-9));
+    }
+}

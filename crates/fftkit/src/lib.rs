@@ -1,0 +1,24 @@
+//! # fftkit — FFT substrate (replaces FFTW)
+//!
+//! The LR-TDDFT pipeline Fourier-transforms the orbital-pair products
+//! `P_vc(r)` to reciprocal space, applies the diagonal Hartree operator
+//! `4π/|G|²`, and transforms back (paper Algorithm 1, lines 4–5). The
+//! ground-state DFT substrate additionally needs forward/backward transforms
+//! of densities and wavefunctions.
+//!
+//! Provided here:
+//! * [`Complex`] — a minimal `f64` complex type (no external dependency),
+//! * [`fft`]/[`ifft`] — 1-D transforms: iterative radix-2 Cooley–Tukey for
+//!   power-of-two lengths, Bluestein's algorithm otherwise (any length),
+//! * [`Fft3`] — 3-D transform over a `n1 × n2 × n3` grid with plan reuse,
+//! * [`poisson`] — the periodic Poisson solver / Hartree kernel.
+
+pub mod complex;
+pub mod fft1d;
+pub mod fft3d;
+pub mod poisson;
+
+pub use complex::Complex;
+pub use fft1d::{fft, fft_inplace, ifft, ifft_inplace};
+pub use fft3d::Fft3;
+pub use poisson::{hartree_energy, solve_poisson, PoissonSolver};

@@ -1,0 +1,213 @@
+//! Periodic Poisson solver — the Hartree kernel `f_H(r,r') = 1/|r−r'|`.
+//!
+//! In reciprocal space the kernel is diagonal: `v_H(G) = 4π/|G|²` (Hartree
+//! atomic units). The `G = 0` component is dropped, which corresponds to the
+//! usual uniform compensating background for charged densities in periodic
+//! cells. This is exactly the operator applied in Algorithm 1 line 5 of the
+//! paper ("apply the Hartree potential operator in reciprocal space").
+
+use crate::complex::Complex;
+use crate::fft3d::Fft3;
+
+/// Precomputed `4π/|G|²` coefficients on a grid, plus the plan to get there.
+pub struct PoissonSolver {
+    plan: Fft3,
+    /// `4π/|G|²` per grid point, zero at `G = 0`.
+    coulomb_g: Vec<f64>,
+}
+
+impl PoissonSolver {
+    /// Build for an orthorhombic cell with side lengths `(l1, l2, l3)` (Bohr)
+    /// discretized on `(n1, n2, n3)` points.
+    pub fn new(plan: Fft3, lengths: [f64; 3]) -> Self {
+        let coulomb_g = coulomb_coefficients(&plan, lengths);
+        PoissonSolver { plan, coulomb_g }
+    }
+
+    #[inline]
+    pub fn plan(&self) -> &Fft3 {
+        &self.plan
+    }
+
+    /// The diagonal reciprocal-space Coulomb coefficients `4π/|G|²`.
+    #[inline]
+    pub fn coulomb_g(&self) -> &[f64] {
+        &self.coulomb_g
+    }
+
+    /// Solve `∇²V = −4πρ` for a real density: returns the Hartree potential.
+    pub fn hartree_potential(&self, density: &[f64]) -> Vec<f64> {
+        let mut spec = self.plan.forward_real(density);
+        for (z, &c) in spec.iter_mut().zip(self.coulomb_g.iter()) {
+            *z = z.scale(c);
+        }
+        self.plan.inverse_to_real(spec)
+    }
+
+    /// Apply the Hartree operator to an already-transformed spectrum in place.
+    pub fn apply_in_reciprocal(&self, spec: &mut [Complex]) {
+        assert_eq!(spec.len(), self.coulomb_g.len());
+        for (z, &c) in spec.iter_mut().zip(self.coulomb_g.iter()) {
+            *z = z.scale(c);
+        }
+    }
+}
+
+/// `4π/|G|²` for every grid point of `plan` in an orthorhombic box.
+fn coulomb_coefficients(plan: &Fft3, lengths: [f64; 3]) -> Vec<f64> {
+    let (n1, n2, n3) = (plan.n1, plan.n2, plan.n3);
+    let b = [
+        2.0 * std::f64::consts::PI / lengths[0],
+        2.0 * std::f64::consts::PI / lengths[1],
+        2.0 * std::f64::consts::PI / lengths[2],
+    ];
+    let mut out = vec![0.0; plan.len()];
+    for i3 in 0..n3 {
+        let m3 = signed_freq(i3, n3) as f64 * b[2];
+        for i2 in 0..n2 {
+            let m2 = signed_freq(i2, n2) as f64 * b[1];
+            for i1 in 0..n1 {
+                let m1 = signed_freq(i1, n1) as f64 * b[0];
+                let g2 = m1 * m1 + m2 * m2 + m3 * m3;
+                out[plan.idx(i1, i2, i3)] =
+                    if g2 > 0.0 { 4.0 * std::f64::consts::PI / g2 } else { 0.0 };
+            }
+        }
+    }
+    out
+}
+
+/// FFT bin → signed integer frequency (`0..n/2`, then negative).
+#[inline]
+pub fn signed_freq(i: usize, n: usize) -> i64 {
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+/// One-shot convenience: Hartree potential of `density`.
+pub fn solve_poisson(plan: &Fft3, lengths: [f64; 3], density: &[f64]) -> Vec<f64> {
+    PoissonSolver::new(plan.clone(), lengths).hartree_potential(density)
+}
+
+/// Hartree energy `E_H = ½ ∫ ρ V_H dr` on the grid (trapezoid = Riemann sum
+/// for periodic fields).
+pub fn hartree_energy(density: &[f64], v_h: &[f64], dv: f64) -> f64 {
+    0.5 * dv * density.iter().zip(v_h.iter()).map(|(a, b)| a * b).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_freq_layout() {
+        assert_eq!(signed_freq(0, 8), 0);
+        assert_eq!(signed_freq(4, 8), 4);
+        assert_eq!(signed_freq(5, 8), -3);
+        assert_eq!(signed_freq(7, 8), -1);
+        assert_eq!(signed_freq(2, 5), 2);
+        assert_eq!(signed_freq(3, 5), -2);
+    }
+
+    #[test]
+    fn plane_wave_density_analytic_potential() {
+        // ρ(r) = cos(G·r) with G the first reciprocal vector along x
+        // → V_H(r) = (4π/|G|²) cos(G·r).
+        let n = 16;
+        let l = 10.0;
+        let plan = Fft3::new(n, n, n);
+        let g = 2.0 * std::f64::consts::PI / l;
+        let mut rho = vec![0.0; plan.len()];
+        for i3 in 0..n {
+            for i2 in 0..n {
+                for i1 in 0..n {
+                    let x = i1 as f64 * l / n as f64;
+                    rho[plan.idx(i1, i2, i3)] = (g * x).cos();
+                }
+            }
+        }
+        let v = solve_poisson(&plan, [l, l, l], &rho);
+        let scale = 4.0 * std::f64::consts::PI / (g * g);
+        for i1 in 0..n {
+            let x = i1 as f64 * l / n as f64;
+            let expect = scale * (g * x).cos();
+            let got = v[plan.idx(i1, 3, 7)];
+            assert!((got - expect).abs() < 1e-9, "i1={i1}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn neutral_shift_invariance() {
+        // Adding a constant to the density must not change the potential
+        // (G=0 dropped).
+        let plan = Fft3::new(8, 8, 8);
+        let l = [6.0, 6.0, 6.0];
+        let rho: Vec<f64> = (0..plan.len()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let shifted: Vec<f64> = rho.iter().map(|r| r + 5.0).collect();
+        let v1 = solve_poisson(&plan, l, &rho);
+        let v2 = solve_poisson(&plan, l, &shifted);
+        for (a, b) in v1.iter().zip(&v2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn laplacian_consistency() {
+        // For a band-limited density, -∇²V/(4π) recovered spectrally = ρ−ρ̄.
+        let n = 12;
+        let l = 7.5;
+        let plan = Fft3::new(n, n, n);
+        let g1 = 2.0 * std::f64::consts::PI / l;
+        let mut rho = vec![0.0; plan.len()];
+        for i3 in 0..n {
+            for i2 in 0..n {
+                for i1 in 0..n {
+                    let (x, y) = (i1 as f64 * l / n as f64, i2 as f64 * l / n as f64);
+                    rho[plan.idx(i1, i2, i3)] = (g1 * x).cos() * (2.0 * g1 * y).sin() + 0.3;
+                }
+            }
+        }
+        let v = solve_poisson(&plan, [l, l, l], &rho);
+        // apply -∇²/(4π) in G space
+        let mut spec = plan.forward_real(&v);
+        for i3 in 0..n {
+            for i2 in 0..n {
+                for i1 in 0..n {
+                    let gg = [signed_freq(i1, n), signed_freq(i2, n), signed_freq(i3, n)];
+                    let g2 = gg.iter().map(|&m| (m as f64 * g1).powi(2)).sum::<f64>();
+                    let idx = plan.idx(i1, i2, i3);
+                    spec[idx] = spec[idx].scale(g2 / (4.0 * std::f64::consts::PI));
+                }
+            }
+        }
+        let back = plan.inverse_to_real(spec);
+        let mean = 0.3; // the G=0 part that was dropped
+        for (a, b) in rho.iter().zip(&back) {
+            assert!((a - mean - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn hartree_energy_positive_for_real_density() {
+        let plan = Fft3::new(8, 8, 8);
+        let l = [5.0, 5.0, 5.0];
+        // localized Gaussian blob (positive charge fluctuation)
+        let mut rho = vec![0.0; plan.len()];
+        for i3 in 0..8 {
+            for i2 in 0..8 {
+                for i1 in 0..8 {
+                    let dx = (i1 as f64 - 4.0) * l[0] / 8.0;
+                    let dy = (i2 as f64 - 4.0) * l[1] / 8.0;
+                    let dz = (i3 as f64 - 4.0) * l[2] / 8.0;
+                    rho[plan.idx(i1, i2, i3)] = (-(dx * dx + dy * dy + dz * dz)).exp();
+                }
+            }
+        }
+        let v = solve_poisson(&plan, l, &rho);
+        let dv = (l[0] / 8.0) * (l[1] / 8.0) * (l[2] / 8.0);
+        assert!(hartree_energy(&rho, &v, dv) > 0.0);
+    }
+}

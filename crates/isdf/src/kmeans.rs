@@ -1,0 +1,448 @@
+//! Weighted K-Means interpolation-point selection (paper §4.2).
+//!
+//! The algorithm, following the paper:
+//! 1. compute the weight `w(r)` of every grid point (Eq. 14),
+//! 2. **prune** points whose weight falls below `threshold · max(w)` — the
+//!    weight vector is low-rank/sparse for plane-wave orbital pairs, so the
+//!    effective point count `N_r'` is much smaller than `N_r`,
+//! 3. initialize `N_μ` centroids from the surviving points, guided by the
+//!    weights (the paper initializes at points "whose weight functions are
+//!    rather large"),
+//! 4. Lloyd iterations with *weighted* centroid updates (Eq. 13); the
+//!    classification step is embarrassingly parallel (Rayon here; MPI ranks
+//!    each classify their own grid slab in the paper),
+//! 5. return, per cluster, the member grid point closest to the centroid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Centroid initialization strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KmeansInit {
+    /// Greedy largest-weight points with a minimum mutual separation — the
+    /// paper's weight-guided initialization.
+    WeightGuided,
+    /// Weighted k-means++ (distance-proportional seeding).
+    PlusPlus,
+    /// Uniform random over surviving points (the baseline the paper warns
+    /// "may yield a terrible convergence problem").
+    Random,
+}
+
+/// How a converged cluster is snapped back to a concrete grid point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapRule {
+    /// Member grid point closest to the centroid (geometric choice).
+    #[default]
+    NearestCentroid,
+    /// Member grid point with the largest weight (density-peak choice —
+    /// tends to land on orbital maxima, often better conditioned for the
+    /// ISDF fit at small N_μ).
+    MaxWeight,
+}
+
+/// Options for [`kmeans_points`].
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansOptions {
+    /// Relative weight threshold for pruning (fraction of the max weight).
+    pub prune_rel: f64,
+    /// Max Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on total squared centroid movement.
+    pub tol: f64,
+    pub init: KmeansInit,
+    /// Cluster → grid-point snap rule.
+    pub snap: SnapRule,
+    pub seed: u64,
+}
+
+impl Default for KmeansOptions {
+    fn default() -> Self {
+        KmeansOptions {
+            prune_rel: 1e-6,
+            max_iter: 100,
+            tol: 1e-10,
+            init: KmeansInit::WeightGuided,
+            snap: SnapRule::NearestCentroid,
+            seed: 0x5ee_d00d,
+        }
+    }
+}
+
+/// Result of a K-Means run.
+#[derive(Clone, Debug)]
+pub struct KmeansOutcome {
+    /// Selected interpolation points (indices into the original grid),
+    /// sorted ascending, deduplicated.
+    pub points: Vec<usize>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Number of grid points that survived pruning (`N_r'` in the paper).
+    pub active_points: usize,
+    /// Final weighted within-cluster sum of squares (the Eq. 11 objective).
+    pub objective: f64,
+}
+
+/// Select `n_mu` interpolation points from grid `coords` (one `[x,y,z]` per
+/// point) with weights `w` (Eq. 14 values).
+pub fn kmeans_points(
+    coords: &[[f64; 3]],
+    w: &[f64],
+    n_mu: usize,
+    opts: KmeansOptions,
+) -> KmeansOutcome {
+    assert_eq!(coords.len(), w.len());
+    assert!(n_mu >= 1);
+    let wmax = w.iter().cloned().fold(0.0f64, f64::max);
+    assert!(wmax > 0.0, "all-zero weights");
+
+    // Step 2: prune.
+    let cutoff = opts.prune_rel * wmax;
+    let active: Vec<usize> = (0..coords.len()).filter(|&i| w[i] > cutoff).collect();
+    let n_active = active.len();
+    assert!(
+        n_active >= n_mu,
+        "pruning left {n_active} points, need at least {n_mu}"
+    );
+
+    // Step 3: initialize centroids.
+    let mut centroids = initialize(coords, w, &active, n_mu, opts);
+
+    // Step 4: Lloyd iterations.
+    let mut assign = vec![0usize; n_active];
+    let mut iterations = 0;
+    for it in 0..opts.max_iter {
+        iterations = it + 1;
+        // Classification (parallel over active points).
+        assign = active
+            .par_iter()
+            .map(|&gi| nearest(&centroids, coords[gi]).0)
+            .collect();
+
+        // Weighted centroid update (Eq. 13).
+        let mut sums = vec![[0.0f64; 3]; n_mu];
+        let mut wsum = vec![0.0f64; n_mu];
+        for (a, &gi) in assign.iter().zip(active.iter()) {
+            let wi = w[gi];
+            for c in 0..3 {
+                sums[*a][c] += coords[gi][c] * wi;
+            }
+            wsum[*a] += wi;
+        }
+        let mut movement = 0.0;
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ (it as u64 + 1));
+        for k in 0..n_mu {
+            let new = if wsum[k] > 0.0 {
+                [sums[k][0] / wsum[k], sums[k][1] / wsum[k], sums[k][2] / wsum[k]]
+            } else {
+                // Empty cluster: re-seed at a random heavy point.
+                coords[active[rng.gen_range(0..n_active)]]
+            };
+            movement += dist2(centroids[k], new);
+            centroids[k] = new;
+        }
+        if movement < opts.tol {
+            break;
+        }
+    }
+
+    // Step 5: snap centroids to actual grid points (per the snap rule;
+    // empty clusters fall back to the globally nearest active point).
+    let mut best: Vec<(f64, Option<usize>)> = vec![(f64::INFINITY, None); n_mu];
+    for (a, &gi) in assign.iter().zip(active.iter()) {
+        let score = match opts.snap {
+            SnapRule::NearestCentroid => dist2(centroids[*a], coords[gi]),
+            SnapRule::MaxWeight => -w[gi],
+        };
+        if score < best[*a].0 {
+            best[*a] = (score, Some(gi));
+        }
+    }
+    let mut points: Vec<usize> = Vec::with_capacity(n_mu);
+    for (k, (_, p)) in best.iter().enumerate() {
+        let idx = p.unwrap_or_else(|| {
+            // Global nearest active point to this centroid.
+            *active
+                .iter()
+                .min_by(|&&a, &&b| {
+                    dist2(centroids[k], coords[a])
+                        .partial_cmp(&dist2(centroids[k], coords[b]))
+                        .unwrap()
+                })
+                .unwrap()
+        });
+        points.push(idx);
+    }
+    points.sort_unstable();
+    points.dedup();
+
+    // Objective (Eq. 11) at the final assignment.
+    let objective: f64 = assign
+        .iter()
+        .zip(active.iter())
+        .map(|(a, &gi)| w[gi] * dist2(centroids[*a], coords[gi]))
+        .sum();
+
+    KmeansOutcome { points, iterations, active_points: n_active, objective }
+}
+
+fn initialize(
+    coords: &[[f64; 3]],
+    w: &[f64],
+    active: &[usize],
+    n_mu: usize,
+    opts: KmeansOptions,
+) -> Vec<[f64; 3]> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    match opts.init {
+        KmeansInit::Random => {
+            let mut cs = Vec::with_capacity(n_mu);
+            let mut used = std::collections::HashSet::new();
+            while cs.len() < n_mu {
+                let gi = active[rng.gen_range(0..active.len())];
+                if used.insert(gi) {
+                    cs.push(coords[gi]);
+                }
+            }
+            cs
+        }
+        KmeansInit::WeightGuided => {
+            // Sort by weight descending; greedily accept points at least
+            // `dmin` away from everything accepted so far, relaxing `dmin`
+            // until n_mu seeds exist.
+            let mut order: Vec<usize> = active.to_vec();
+            order.sort_by(|&a, &b| w[b].partial_cmp(&w[a]).unwrap());
+            // Estimate a separation scale from the bounding box.
+            let (mut lo, mut hi) = ([f64::INFINITY; 3], [f64::NEG_INFINITY; 3]);
+            for &gi in active {
+                for c in 0..3 {
+                    lo[c] = lo[c].min(coords[gi][c]);
+                    hi[c] = hi[c].max(coords[gi][c]);
+                }
+            }
+            let vol: f64 = (0..3).map(|c| (hi[c] - lo[c]).max(1e-6)).product();
+            let mut dmin = 0.5 * (vol / n_mu as f64).powf(1.0 / 3.0);
+            loop {
+                let mut cs: Vec<[f64; 3]> = Vec::with_capacity(n_mu);
+                for &gi in &order {
+                    if cs.iter().all(|&c| dist2(c, coords[gi]) >= dmin * dmin) {
+                        cs.push(coords[gi]);
+                        if cs.len() == n_mu {
+                            return cs;
+                        }
+                    }
+                }
+                dmin *= 0.5;
+                if dmin < 1e-12 {
+                    // Degenerate geometry: fill with top-weight points.
+                    let mut cs: Vec<[f64; 3]> =
+                        order.iter().take(n_mu).map(|&gi| coords[gi]).collect();
+                    while cs.len() < n_mu {
+                        cs.push(coords[active[rng.gen_range(0..active.len())]]);
+                    }
+                    return cs;
+                }
+            }
+        }
+        KmeansInit::PlusPlus => {
+            let mut cs: Vec<[f64; 3]> = Vec::with_capacity(n_mu);
+            // First seed: weight-proportional.
+            let total: f64 = active.iter().map(|&gi| w[gi]).sum();
+            let mut pick = rng.gen_range(0.0..total);
+            let mut first = active[0];
+            for &gi in active {
+                pick -= w[gi];
+                if pick <= 0.0 {
+                    first = gi;
+                    break;
+                }
+            }
+            cs.push(coords[first]);
+            while cs.len() < n_mu {
+                // D² weighting times point weight.
+                let d2: Vec<f64> = active
+                    .iter()
+                    .map(|&gi| {
+                        let (_, d) = nearest(&cs, coords[gi]);
+                        d * w[gi]
+                    })
+                    .collect();
+                let total: f64 = d2.iter().sum();
+                if total <= 0.0 {
+                    cs.push(coords[active[rng.gen_range(0..active.len())]]);
+                    continue;
+                }
+                let mut pick = rng.gen_range(0.0..total);
+                let mut chosen = active[0];
+                for (k, &gi) in active.iter().enumerate() {
+                    pick -= d2[k];
+                    if pick <= 0.0 {
+                        chosen = gi;
+                        break;
+                    }
+                }
+                cs.push(coords[chosen]);
+            }
+            cs
+        }
+    }
+}
+
+#[inline]
+fn dist2(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    dx * dx + dy * dy + dz * dz
+}
+
+#[inline]
+fn nearest(centroids: &[[f64; 3]], p: [f64; 3]) -> (usize, f64) {
+    let mut bi = 0;
+    let mut bd = f64::INFINITY;
+    for (k, &c) in centroids.iter().enumerate() {
+        let d = dist2(c, p);
+        if d < bd {
+            bd = d;
+            bi = k;
+        }
+    }
+    (bi, bd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blobs of heavy points + scattered near-zero noise.
+    fn two_blob_fixture() -> (Vec<[f64; 3]>, Vec<f64>) {
+        let mut coords = Vec::new();
+        let mut w = Vec::new();
+        for i in 0..10 {
+            let t = i as f64 * 0.01;
+            coords.push([1.0 + t, 1.0, 1.0]);
+            w.push(10.0);
+            coords.push([5.0 + t, 5.0, 5.0]);
+            w.push(12.0);
+        }
+        // background noise, prunable
+        for i in 0..50 {
+            coords.push([(i % 7) as f64, (i % 5) as f64, (i % 3) as f64]);
+            w.push(1e-9);
+        }
+        (coords, w)
+    }
+
+    #[test]
+    fn finds_the_two_blobs() {
+        let (coords, w) = two_blob_fixture();
+        let out = kmeans_points(&coords, &w, 2, KmeansOptions::default());
+        assert_eq!(out.points.len(), 2);
+        // One point from each blob.
+        let p0 = coords[out.points[0]];
+        let p1 = coords[out.points[1]];
+        let near = |p: [f64; 3], c: [f64; 3]| dist2(p, c) < 0.5;
+        assert!(
+            (near(p0, [1.05, 1.0, 1.0]) && near(p1, [5.05, 5.0, 5.0]))
+                || (near(p1, [1.05, 1.0, 1.0]) && near(p0, [5.05, 5.0, 5.0])),
+            "{p0:?} {p1:?}"
+        );
+    }
+
+    #[test]
+    fn pruning_removes_noise() {
+        let (coords, w) = two_blob_fixture();
+        let out = kmeans_points(&coords, &w, 2, KmeansOptions::default());
+        assert_eq!(out.active_points, 20, "only the blob points should survive");
+    }
+
+    #[test]
+    fn all_inits_converge_to_same_objective_on_easy_data() {
+        let (coords, w) = two_blob_fixture();
+        let mut objectives = Vec::new();
+        for init in [KmeansInit::WeightGuided, KmeansInit::PlusPlus, KmeansInit::Random] {
+            let out = kmeans_points(
+                &coords,
+                &w,
+                2,
+                KmeansOptions { init, ..KmeansOptions::default() },
+            );
+            objectives.push(out.objective);
+        }
+        for o in &objectives {
+            assert!((o - objectives[0]).abs() < 1e-6, "{objectives:?}");
+        }
+    }
+
+    #[test]
+    fn weight_guided_needs_fewer_iterations_than_random() {
+        // On the blob fixture, weight-guided should start essentially
+        // converged (paper's motivation for the initialization).
+        let (coords, w) = two_blob_fixture();
+        let wg = kmeans_points(
+            &coords,
+            &w,
+            2,
+            KmeansOptions { init: KmeansInit::WeightGuided, ..Default::default() },
+        );
+        assert!(wg.iterations <= 5, "took {} iterations", wg.iterations);
+    }
+
+    #[test]
+    fn points_are_sorted_unique_valid() {
+        let (coords, w) = two_blob_fixture();
+        let out = kmeans_points(&coords, &w, 5, KmeansOptions::default());
+        for win in out.points.windows(2) {
+            assert!(win[0] < win[1]);
+        }
+        assert!(out.points.iter().all(|&p| p < coords.len()));
+        // selected points must be heavy (survived pruning)
+        for &p in &out.points {
+            assert!(w[p] > 1.0);
+        }
+    }
+
+    #[test]
+    fn n_mu_equals_active_points() {
+        // Degenerate: ask for exactly as many clusters as active points.
+        let coords: Vec<[f64; 3]> = (0..4).map(|i| [i as f64, 0.0, 0.0]).collect();
+        let w = vec![1.0; 4];
+        let out = kmeans_points(&coords, &w, 4, KmeansOptions::default());
+        assert_eq!(out.points, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn max_weight_snap_picks_heaviest_member() {
+        // One obvious cluster with a single dominant-weight member.
+        let mut coords: Vec<[f64; 3]> = (0..8).map(|i| [i as f64 * 0.1, 0.0, 0.0]).collect();
+        let mut w = vec![1.0; 8];
+        w[5] = 50.0; // heavy member, off the centroid
+        coords.push([10.0, 0.0, 0.0]); // far lone point, second cluster
+        w.push(2.0);
+        let out = kmeans_points(
+            &coords,
+            &w,
+            2,
+            KmeansOptions { snap: SnapRule::MaxWeight, ..Default::default() },
+        );
+        assert!(out.points.contains(&5), "{:?}", out.points);
+        assert!(out.points.contains(&8));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (coords, w) = two_blob_fixture();
+        let a = kmeans_points(&coords, &w, 3, KmeansOptions::default());
+        let b = kmeans_points(&coords, &w, 3, KmeansOptions::default());
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn zero_weights_panic() {
+        let coords = vec![[0.0, 0.0, 0.0]; 3];
+        let w = vec![0.0; 3];
+        kmeans_points(&coords, &w, 1, KmeansOptions::default());
+    }
+}

@@ -1,0 +1,174 @@
+//! Cholesky factorization and triangular solves.
+//!
+//! Used by the ISDF Galerkin fit (`Θ = ZCᵀ(CCᵀ)⁻¹` solves an SPD system) and
+//! by the Cholesky-QR orthonormalization inside LOBPCG.
+
+use crate::mat::Mat;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// Returns `Err` with the failing pivot index if `a` is not (numerically)
+/// positive definite — LOBPCG uses this signal to trigger basis truncation.
+pub fn cholesky(a: &Mat) -> Result<Mat, usize> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols());
+    let mut l = Mat::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(j);
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / ljj;
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `L X = B` for lower-triangular `L`, overwriting nothing.
+pub fn solve_lower(l: &Mat, b: &Mat) -> Mat {
+    let n = l.nrows();
+    assert_eq!(b.nrows(), n);
+    let mut x = b.clone();
+    for j in 0..x.ncols() {
+        for i in 0..n {
+            let mut s = x[(i, j)];
+            for k in 0..i {
+                s -= l[(i, k)] * x[(k, j)];
+            }
+            x[(i, j)] = s / l[(i, i)];
+        }
+    }
+    x
+}
+
+/// Solve `Lᵀ X = B` for lower-triangular `L`.
+pub fn solve_lower_transpose(l: &Mat, b: &Mat) -> Mat {
+    let n = l.nrows();
+    assert_eq!(b.nrows(), n);
+    let mut x = b.clone();
+    for j in 0..x.ncols() {
+        for i in (0..n).rev() {
+            let mut s = x[(i, j)];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * x[(k, j)];
+            }
+            x[(i, j)] = s / l[(i, i)];
+        }
+    }
+    x
+}
+
+/// Solve the SPD system `A X = B` via Cholesky.
+pub fn solve_spd(a: &Mat, b: &Mat) -> Result<Mat, usize> {
+    let l = cholesky(a)?;
+    Ok(solve_lower_transpose(&l, &solve_lower(&l, b)))
+}
+
+/// Solve `X Lᵀ = B` (right solve), i.e. `X = B L⁻ᵀ`, for lower-triangular `L`.
+/// This is the shape LOBPCG's Cholesky-QR needs: `Q = S L⁻ᵀ`.
+pub fn solve_right_lower_transpose(b: &Mat, l: &Mat) -> Mat {
+    // X Lᵀ = B  ⇔  column j of X satisfies a forward recurrence over columns.
+    let n = l.nrows();
+    assert_eq!(b.ncols(), n);
+    let mut x = b.clone();
+    for j in 0..n {
+        let ljj = l[(j, j)];
+        // X[:,j] = (B[:,j] - sum_{k<j} X[:,k] L[j,k]) / L[j,j]
+        for k in 0..j {
+            let ljk = l[(j, k)];
+            if ljk == 0.0 {
+                continue;
+            }
+            let (xk_ptr, xj_ptr) = (k, j);
+            let nr = x.nrows();
+            for i in 0..nr {
+                let v = x[(i, xk_ptr)] * ljk;
+                x[(i, xj_ptr)] -= v;
+            }
+        }
+        for i in 0..x.nrows() {
+            x[(i, j)] /= ljj;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, matmul, syrk_tn, Transpose};
+
+    fn spd(n: usize, rng: &mut impl rand::Rng) -> Mat {
+        let b = Mat::random(n + 3, n, rng);
+        let mut g = syrk_tn(&b);
+        for i in 0..n {
+            g[(i, i)] += 0.5;
+        }
+        g
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let mut rng = rand::thread_rng();
+        let a = spd(8, &mut rng);
+        let l = cholesky(&a).unwrap();
+        let mut llt = Mat::zeros(8, 8);
+        gemm(1.0, &l, Transpose::No, &l, Transpose::Yes, 0.0, &mut llt);
+        assert!(llt.max_abs_diff(&a) < 1e-10);
+        // strict lower-triangular factor
+        for j in 0..8 {
+            for i in 0..j {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_is_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn spd_solve_roundtrip() {
+        let mut rng = rand::thread_rng();
+        let a = spd(10, &mut rng);
+        let x_true = Mat::random(10, 3, &mut rng);
+        let b = matmul(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn triangular_solves() {
+        let mut rng = rand::thread_rng();
+        let a = spd(6, &mut rng);
+        let l = cholesky(&a).unwrap();
+        let b = Mat::random(6, 2, &mut rng);
+        let y = solve_lower(&l, &b);
+        assert!(matmul(&l, &y).max_abs_diff(&b) < 1e-10);
+        let z = solve_lower_transpose(&l, &b);
+        assert!(matmul(&l.transpose(), &z).max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn right_solve() {
+        let mut rng = rand::thread_rng();
+        let a = spd(5, &mut rng);
+        let l = cholesky(&a).unwrap();
+        let b = Mat::random(7, 5, &mut rng);
+        let x = solve_right_lower_transpose(&b, &l);
+        // X Lᵀ should equal B
+        assert!(matmul(&x, &l.transpose()).max_abs_diff(&b) < 1e-9);
+    }
+}

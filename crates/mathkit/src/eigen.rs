@@ -1,0 +1,296 @@
+//! Dense symmetric eigensolver — our stand-in for `ScaLAPACK::SYEVD`.
+//!
+//! Two classical phases:
+//! 1. Householder reduction to symmetric tridiagonal form, accumulating the
+//!    orthogonal transformation (EISPACK `tred2`),
+//! 2. implicit-shift QL iteration on the tridiagonal matrix, rotating the
+//!    accumulated basis so its columns become eigenvectors (EISPACK `tql2`).
+//!
+//! Cost is the textbook `O(n³)` the paper quotes for dense diagonalization of
+//! the `N_cv × N_cv` Casida Hamiltonian — this is exactly the bottleneck the
+//! implicit LOBPCG path removes.
+
+use crate::mat::Mat;
+
+/// Eigendecomposition of a real symmetric matrix: `A = V diag(λ) Vᵀ`.
+///
+/// Eigenvalues are sorted ascending; `vectors.col(i)` belongs to `values[i]`.
+pub struct Eigen {
+    pub values: Vec<f64>,
+    pub vectors: Mat,
+}
+
+/// Full eigendecomposition of symmetric `a`. Symmetry is *assumed*; only the
+/// lower triangle feeds the reduction (mirroring LAPACK `dsyev('L')`).
+pub fn syev(a: &Mat) -> Eigen {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "syev needs a square matrix");
+    let mut z = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    tred2(&mut z, &mut d, &mut e);
+    tql2(&mut z, &mut d, &mut e);
+    sort_eigen(&mut d, &mut z);
+    Eigen { values: d, vectors: z }
+}
+
+/// Householder reduction of `z` (symmetric, order n) to tridiagonal form.
+/// On exit `d` holds the diagonal, `e` the subdiagonal (`e[0]` unused),
+/// and `z` the accumulated orthogonal transformation.
+fn tred2(z: &mut Mat, d: &mut [f64], e: &mut [f64]) {
+    let n = z.nrows();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let upd = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= upd;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    // Accumulate transformations.
+    for i in 0..n {
+        let l = i;
+        if d[i] != 0.0 {
+            for j in 0..l {
+                let mut g = 0.0;
+                for k in 0..l {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..l {
+                    let upd = g * z[(k, i)];
+                    z[(k, j)] -= upd;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..l {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on the tridiagonal (`d`, `e`) pair produced by
+/// [`tred2`], rotating the columns of `z` into eigenvectors.
+fn tql2(z: &mut Mat, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    if n == 0 {
+        return;
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find small subdiagonal element.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tql2 failed to converge after 50 iterations");
+            // Form shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0, 1.0);
+            let mut p = 0.0;
+            let mut broke_early = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    broke_early = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate eigenvector rotation.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if broke_early {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+}
+
+fn sort_eigen(d: &mut [f64], z: &mut Mat) {
+    let n = d.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+    let sorted_d: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let sorted_z = z.select_cols(&order);
+    d.copy_from_slice(&sorted_d);
+    *z = sorted_z;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm_tn, matmul};
+
+    fn residual(a: &Mat, eig: &Eigen) -> f64 {
+        // ||A V - V diag(λ)||_max
+        let av = matmul(a, &eig.vectors);
+        let mut vl = eig.vectors.clone();
+        for j in 0..vl.ncols() {
+            let lam = eig.values[j];
+            for v in vl.col_mut(j) {
+                *v *= lam;
+            }
+        }
+        av.max_abs_diff(&vl)
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Mat::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let e = syev(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+        assert!(residual(&a, &e) < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_analytic() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = syev(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_residual_and_orthonormality() {
+        let mut rng = rand::thread_rng();
+        for &n in &[1usize, 2, 3, 5, 16, 40] {
+            let mut a = Mat::random(n, n, &mut rng);
+            a.symmetrize();
+            let e = syev(&a);
+            assert!(residual(&a, &e) < 1e-9 * (n as f64), "n={n}");
+            let vtv = gemm_tn(&e.vectors, &e.vectors);
+            assert!(vtv.max_abs_diff(&Mat::eye(n)) < 1e-10, "n={n}");
+            // ascending
+            for w in e.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let mut rng = rand::thread_rng();
+        let n = 12;
+        let mut a = Mat::random(n, n, &mut rng);
+        a.symmetrize();
+        let e = syev(&a);
+        let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_eigenvalues() {
+        // A = I + rank-1; eigenvalues {1 (n-1 times), 1 + n}.
+        let n = 6;
+        let mut a = Mat::eye(n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] += 1.0;
+            }
+        }
+        let e = syev(&a);
+        for i in 0..n - 1 {
+            assert!((e.values[i] - 1.0).abs() < 1e-10);
+        }
+        assert!((e.values[n - 1] - (1.0 + n as f64)).abs() < 1e-10);
+        assert!(residual(&a, &e) < 1e-10);
+    }
+
+    #[test]
+    fn already_tridiagonal() {
+        // Known spectrum of the 1-D Laplacian: 2 - 2cos(kπ/(n+1)).
+        let n = 10;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let e = syev(&a);
+        for k in 0..n {
+            let exact = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n + 1) as f64).cos();
+            assert!((e.values[k] - exact).abs() < 1e-10);
+        }
+    }
+}

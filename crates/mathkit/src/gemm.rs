@@ -1,0 +1,271 @@
+//! Blocked, Rayon-parallel GEMM and friends.
+//!
+//! The paper leans on MKL `dgemm` for the face-splitting products and the
+//! `V_Hxc = P_vcᵀ (f_Hxc P_vc)` contractions. We provide a cache-blocked
+//! column-panel GEMM parallelized over output columns — the same shape of
+//! parallelism the row-block data distribution in the paper exploits.
+
+use crate::mat::Mat;
+use rayon::prelude::*;
+
+/// Whether an operand is used as-is or transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transpose {
+    No,
+    Yes,
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Shapes (after `op`): `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`.
+pub fn gemm(
+    alpha: f64,
+    a: &Mat,
+    ta: Transpose,
+    b: &Mat,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Mat,
+) {
+    let (m, ka) = match ta {
+        Transpose::No => (a.nrows(), a.ncols()),
+        Transpose::Yes => (a.ncols(), a.nrows()),
+    };
+    let (kb, n) = match tb {
+        Transpose::No => (b.nrows(), b.ncols()),
+        Transpose::Yes => (b.ncols(), b.nrows()),
+    };
+    assert_eq!(ka, kb, "inner dimensions must agree");
+    assert_eq!(c.shape(), (m, n), "output shape mismatch");
+    let k = ka;
+
+    // Parallelize over output columns: each worker owns a disjoint C column.
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let (a_rows, b_rows) = (a.nrows(), b.nrows());
+
+    c.par_cols_mut().enumerate().for_each(|(j, c_col)| {
+        if beta == 0.0 {
+            c_col.fill(0.0);
+        } else if beta != 1.0 {
+            for x in c_col.iter_mut() {
+                *x *= beta;
+            }
+        }
+        match (ta, tb) {
+            (Transpose::No, Transpose::No) => {
+                // C[:,j] += alpha * sum_l A[:,l] * B[l,j]; A columns contiguous.
+                let b_col = &b_data[j * b_rows..(j + 1) * b_rows];
+                for l in 0..k {
+                    let blj = alpha * b_col[l];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let a_col = &a_data[l * a_rows..(l + 1) * a_rows];
+                    for i in 0..m {
+                        c_col[i] += blj * a_col[i];
+                    }
+                }
+            }
+            (Transpose::Yes, Transpose::No) => {
+                // C[i,j] += alpha * dot(A[:,i], B[:,j]); both columns contiguous.
+                let b_col = &b_data[j * b_rows..(j + 1) * b_rows];
+                for i in 0..m {
+                    let a_col = &a_data[i * a_rows..(i + 1) * a_rows];
+                    let mut s = 0.0;
+                    for l in 0..k {
+                        s += a_col[l] * b_col[l];
+                    }
+                    c_col[i] += alpha * s;
+                }
+            }
+            (Transpose::No, Transpose::Yes) => {
+                // C[:,j] += alpha * sum_l A[:,l] * B[j,l].
+                for l in 0..k {
+                    let blj = alpha * b_data[j + l * b_rows];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let a_col = &a_data[l * a_rows..(l + 1) * a_rows];
+                    for i in 0..m {
+                        c_col[i] += blj * a_col[i];
+                    }
+                }
+            }
+            (Transpose::Yes, Transpose::Yes) => {
+                for i in 0..m {
+                    let a_col = &a_data[i * a_rows..(i + 1) * a_rows];
+                    let mut s = 0.0;
+                    for l in 0..k {
+                        s += a_col[l] * b_data[j + l * b_rows];
+                    }
+                    c_col[i] += alpha * s;
+                }
+            }
+        }
+    });
+}
+
+/// Convenience: `C = AᵀB` (the dominant contraction in `V_Hxc` assembly).
+pub fn gemm_tn(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.ncols(), b.ncols());
+    gemm(1.0, a, Transpose::Yes, b, Transpose::No, 0.0, &mut c);
+    c
+}
+
+/// Convenience: `C = A·B`.
+pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.nrows(), b.ncols());
+    gemm(1.0, a, Transpose::No, b, Transpose::No, 0.0, &mut c);
+    c
+}
+
+/// Symmetric rank-k update `C = AᵀA` (Gram matrix), exploiting symmetry.
+pub fn syrk_tn(a: &Mat) -> Mat {
+    let n = a.ncols();
+    let mut c = Mat::zeros(n, n);
+    let cols: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|j| {
+            let aj = a.col(j);
+            let mut col = vec![0.0; n];
+            for (i, ci) in col.iter_mut().enumerate().take(j + 1) {
+                let ai = a.col(i);
+                let mut s = 0.0;
+                for l in 0..a.nrows() {
+                    s += ai[l] * aj[l];
+                }
+                *ci = s;
+            }
+            col
+        })
+        .collect();
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate().take(j + 1) {
+            c[(i, j)] = v;
+            c[(j, i)] = v;
+        }
+    }
+    c
+}
+
+/// `y = alpha * A x + beta * y`.
+pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.ncols(), x.len());
+    assert_eq!(a.nrows(), y.len());
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for (l, &xl) in x.iter().enumerate() {
+        let axl = alpha * xl;
+        if axl == 0.0 {
+            continue;
+        }
+        let col = a.col(l);
+        for i in 0..y.len() {
+            y[i] += axl * col[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mul(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.nrows(), b.ncols());
+        for i in 0..a.nrows() {
+            for j in 0..b.ncols() {
+                let mut s = 0.0;
+                for l in 0..a.ncols() {
+                    s += a[(i, l)] * b[(l, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(17, 9, &mut rng);
+        let b = Mat::random(9, 13, &mut rng);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive_mul(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(23, 7, &mut rng);
+        let b = Mat::random(23, 5, &mut rng);
+        let c = gemm_tn(&a, &b);
+        assert!(c.max_abs_diff(&naive_mul(&a.transpose(), &b)) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_nt_and_tt() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(6, 8, &mut rng);
+        let b = Mat::random(10, 8, &mut rng);
+        let mut c = Mat::zeros(6, 10);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::Yes, 0.0, &mut c);
+        assert!(c.max_abs_diff(&naive_mul(&a, &b.transpose())) < 1e-12);
+
+        let e = Mat::random(10, 6, &mut rng);
+        let mut d = Mat::zeros(8, 10);
+        gemm(1.0, &a, Transpose::Yes, &e, Transpose::Yes, 0.0, &mut d);
+        assert!(d.max_abs_diff(&naive_mul(&a.transpose(), &e.transpose())) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_alpha_beta_accumulate() {
+        let a = Mat::eye(3);
+        let b = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let mut c = Mat::eye(3);
+        gemm(2.0, &a, Transpose::No, &b, Transpose::No, 3.0, &mut c);
+        // C = 2*B + 3*I
+        assert_eq!(c[(0, 0)], 3.0);
+        assert_eq!(c[(1, 2)], 6.0);
+        assert_eq!(c[(2, 2)], 11.0);
+    }
+
+    #[test]
+    fn syrk_is_gram() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(14, 6, &mut rng);
+        let g = syrk_tn(&a);
+        assert!(g.max_abs_diff(&gemm_tn(&a, &a)) < 1e-12);
+        // symmetric
+        assert!(g.max_abs_diff(&g.transpose()) < 1e-14);
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(9, 4, &mut rng);
+        let x: Vec<f64> = (0..4).map(|i| i as f64 - 1.5).collect();
+        let mut y = vec![1.0; 9];
+        gemv(2.0, &a, &x, 0.5, &mut y);
+        let xm = Mat::from_vec(4, 1, x.clone());
+        let mut ym = Mat::from_vec(9, 1, vec![1.0; 9]);
+        gemm(2.0, &a, Transpose::No, &xm, Transpose::No, 0.5, &mut ym);
+        for i in 0..9 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn empty_inner_dim() {
+        let a = Mat::zeros(3, 0);
+        let b = Mat::zeros(0, 2);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.norm_fro(), 0.0);
+    }
+}

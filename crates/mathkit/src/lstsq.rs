@@ -1,0 +1,89 @@
+//! Least-squares solvers.
+//!
+//! The ISDF interpolation vectors solve the overdetermined system `Z = Θ C`
+//! via the Galerkin condition `Θ = Z Cᵀ (C Cᵀ)⁻¹` (paper Eq. 10). That is a
+//! normal-equations solve; we also provide a QR-based path for the
+//! ill-conditioned cases exercised in tests.
+
+use crate::chol::solve_spd;
+use crate::gemm::{gemm, Transpose};
+use crate::mat::Mat;
+use crate::qr::qr_householder;
+
+/// Solve `min ‖A x - B‖_F` via normal equations `(AᵀA) X = AᵀB`.
+/// Fast and adequate when `A` is well-conditioned (the ISDF Gram matrices are
+/// regularized before reaching this point).
+pub fn lstsq_normal(a: &Mat, b: &Mat) -> Mat {
+    let mut ata = Mat::zeros(a.ncols(), a.ncols());
+    gemm(1.0, a, Transpose::Yes, a, Transpose::No, 0.0, &mut ata);
+    let mut atb = Mat::zeros(a.ncols(), b.ncols());
+    gemm(1.0, a, Transpose::Yes, b, Transpose::No, 0.0, &mut atb);
+    // Tikhonov floor keeps near-rank-deficient systems solvable.
+    let eps = 1e-12 * (0..ata.nrows()).map(|i| ata[(i, i)]).fold(0.0f64, f64::max).max(1e-300);
+    for i in 0..ata.nrows() {
+        ata[(i, i)] += eps;
+    }
+    solve_spd(&ata, &atb).expect("regularized normal equations must be SPD")
+}
+
+/// Solve `min ‖A x - B‖_F` via Householder QR (`R X = QᵀB`).
+pub fn lstsq_qr(a: &Mat, b: &Mat) -> Mat {
+    let (q, r) = qr_householder(a);
+    let mut qtb = Mat::zeros(q.ncols(), b.ncols());
+    gemm(1.0, &q, Transpose::Yes, b, Transpose::No, 0.0, &mut qtb);
+    // Back-substitute R X = QᵀB.
+    let n = r.ncols().min(r.nrows());
+    let mut x = Mat::zeros(a.ncols(), b.ncols());
+    for j in 0..b.ncols() {
+        for i in (0..n).rev() {
+            let mut s = qtb[(i, j)];
+            for k in (i + 1)..n {
+                s -= r[(i, k)] * x[(k, j)];
+            }
+            let rii = r[(i, i)];
+            x[(i, j)] = if rii.abs() > 1e-300 { s / rii } else { 0.0 };
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    #[test]
+    fn exact_system_recovered() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(15, 4, &mut rng);
+        let x_true = Mat::random(4, 2, &mut rng);
+        let b = matmul(&a, &x_true);
+        assert!(lstsq_normal(&a, &b).max_abs_diff(&x_true) < 1e-8);
+        assert!(lstsq_qr(&a, &b).max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn residual_orthogonal_to_range() {
+        // The LS residual must satisfy Aᵀ(Ax - b) = 0.
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(20, 5, &mut rng);
+        let b = Mat::random(20, 3, &mut rng);
+        for x in [lstsq_normal(&a, &b), lstsq_qr(&a, &b)] {
+            let mut res = matmul(&a, &x);
+            res.axpy(-1.0, &b);
+            let mut atr = Mat::zeros(5, 3);
+            gemm(1.0, &a, Transpose::Yes, &res, Transpose::No, 0.0, &mut atr);
+            assert!(atr.norm_max() < 1e-8, "normal equations violated: {}", atr.norm_max());
+        }
+    }
+
+    #[test]
+    fn qr_and_normal_agree() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(30, 6, &mut rng);
+        let b = Mat::random(30, 2, &mut rng);
+        let x1 = lstsq_normal(&a, &b);
+        let x2 = lstsq_qr(&a, &b);
+        assert!(x1.max_abs_diff(&x2) < 1e-7);
+    }
+}

@@ -1,0 +1,180 @@
+//! LU factorization with partial pivoting — the general linear solve used
+//! where Cholesky's SPD requirement doesn't hold (e.g. non-symmetric
+//! projected systems and the Galerkin fits of ill-conditioned ISDF bases).
+
+use crate::mat::Mat;
+
+/// Packed LU factors: `P·A = L·U` with unit-diagonal `L` stored below the
+/// diagonal of `lu`, `U` on and above it, and `perm` the row permutation.
+pub struct Lu {
+    lu: Mat,
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Factorize a square matrix. Returns `Err(col)` on exact singularity.
+pub fn lu_decompose(a: &Mat) -> Result<Lu, usize> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "LU needs a square matrix");
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Partial pivot: largest magnitude in column k at/below the diagonal.
+        let mut piv = k;
+        let mut pmax = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pmax {
+                pmax = v;
+                piv = i;
+            }
+        }
+        if pmax == 0.0 {
+            return Err(k);
+        }
+        if piv != k {
+            for j in 0..n {
+                let t = lu[(k, j)];
+                lu[(k, j)] = lu[(piv, j)];
+                lu[(piv, j)] = t;
+            }
+            perm.swap(k, piv);
+            sign = -sign;
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            for j in (k + 1)..n {
+                let upd = m * lu[(k, j)];
+                lu[(i, j)] -= upd;
+            }
+        }
+    }
+    Ok(Lu { lu, perm, sign })
+}
+
+impl Lu {
+    /// Solve `A X = B` for multiple right-hand sides.
+    pub fn solve(&self, b: &Mat) -> Mat {
+        let n = self.lu.nrows();
+        assert_eq!(b.nrows(), n);
+        let mut x = Mat::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            // Apply permutation.
+            for i in 0..n {
+                x[(i, j)] = b[(self.perm[i], j)];
+            }
+            // Forward substitution (unit lower).
+            for i in 1..n {
+                let mut s = x[(i, j)];
+                for k in 0..i {
+                    s -= self.lu[(i, k)] * x[(k, j)];
+                }
+                x[(i, j)] = s;
+            }
+            // Back substitution.
+            for i in (0..n).rev() {
+                let mut s = x[(i, j)];
+                for k in (i + 1)..n {
+                    s -= self.lu[(i, k)] * x[(k, j)];
+                }
+                x[(i, j)] = s / self.lu[(i, i)];
+            }
+        }
+        x
+    }
+
+    /// Determinant from the factorization.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.nrows() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Explicit inverse (test/diagnostic use; prefer [`Lu::solve`]).
+    pub fn inverse(&self) -> Mat {
+        self.solve(&Mat::eye(self.lu.nrows()))
+    }
+}
+
+/// One-shot general solve `A X = B`.
+pub fn solve_general(a: &Mat, b: &Mat) -> Result<Mat, usize> {
+    Ok(lu_decompose(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(9, 9, &mut rng);
+        let x_true = Mat::random(9, 3, &mut rng);
+        let b = matmul(&a, &x_true);
+        let x = solve_general(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn determinant_of_triangular() {
+        let a = Mat::from_rows(&[&[2.0, 5.0, 1.0], &[0.0, 3.0, 7.0], &[0.0, 0.0, -4.0]]);
+        let f = lu_decompose(&a).unwrap();
+        assert!((f.det() - (-24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_pivots() {
+        // A matrix that forces a row swap.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let f = lu_decompose(&a).unwrap();
+        assert!((f.det() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(7, 7, &mut rng);
+        let inv = lu_decompose(&a).unwrap().inverse();
+        assert!(matmul(&inv, &a).max_abs_diff(&Mat::eye(7)) < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(lu_decompose(&a).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]]);
+        let b = Mat::from_rows(&[&[4.0], &[5.0]]);
+        let x = solve_general(&a, &b).unwrap();
+        // 2y = 4 → y = 2; 3x + y = 5 → x = 1
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_cholesky_on_spd() {
+        let mut rng = rand::thread_rng();
+        let g = {
+            let b = Mat::random(12, 8, &mut rng);
+            let mut g = crate::gemm::syrk_tn(&b);
+            for i in 0..8 {
+                g[(i, i)] += 1.0;
+            }
+            g
+        };
+        let rhs = Mat::random(8, 2, &mut rng);
+        let x_lu = solve_general(&g, &rhs).unwrap();
+        let x_ch = crate::chol::solve_spd(&g, &rhs).unwrap();
+        assert!(x_lu.max_abs_diff(&x_ch) < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Orthonormalization kernels used by LOBPCG and the SCF band solver.
+//!
+//! Cholesky-QR is the communication-friendly choice in the distributed
+//! setting (one Gram-matrix Allreduce + one local triangular solve), which is
+//! why the paper's LOBPCG uses it; modified Gram-Schmidt is the robust
+//! fallback when the Gram matrix loses positive definiteness.
+
+use crate::chol::{cholesky, solve_right_lower_transpose};
+use crate::gemm::syrk_tn;
+use crate::mat::Mat;
+
+/// Orthonormalize the columns of `s` via Cholesky-QR: `G = SᵀS = LLᵀ`,
+/// `Q = S L⁻ᵀ`. Returns `Err(pivot)` if the Gram matrix is numerically
+/// rank-deficient (caller should drop directions or fall back to MGS).
+pub fn cholesky_qr(s: &Mat) -> Result<Mat, usize> {
+    let g = syrk_tn(s);
+    let l = cholesky(&g)?;
+    Ok(solve_right_lower_transpose(s, &l))
+}
+
+/// Modified Gram-Schmidt with re-orthogonalization pass; drops columns whose
+/// residual norm falls below `drop_tol` (returns only the surviving columns).
+pub fn modified_gram_schmidt(s: &Mat, drop_tol: f64) -> Mat {
+    let (m, n) = s.shape();
+    let mut kept: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut v = s.col(j).to_vec();
+        for _pass in 0..2 {
+            for q in &kept {
+                let dot: f64 = q.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+                for (vi, qi) in v.iter_mut().zip(q.iter()) {
+                    *vi -= dot * qi;
+                }
+            }
+        }
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > drop_tol {
+            for x in &mut v {
+                *x /= norm;
+            }
+            kept.push(v);
+        }
+    }
+    let mut out = Mat::zeros(m, kept.len());
+    for (j, v) in kept.iter().enumerate() {
+        out.col_mut(j).copy_from_slice(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_tn;
+
+    #[test]
+    fn cholesky_qr_orthonormal() {
+        let mut rng = rand::thread_rng();
+        let s = Mat::random(25, 6, &mut rng);
+        let q = cholesky_qr(&s).unwrap();
+        assert_eq!(q.shape(), (25, 6));
+        assert!(gemm_tn(&q, &q).max_abs_diff(&Mat::eye(6)) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_qr_preserves_span() {
+        // Q must reproduce S: S = Q (QᵀS).
+        let mut rng = rand::thread_rng();
+        let s = Mat::random(12, 4, &mut rng);
+        let q = cholesky_qr(&s).unwrap();
+        let proj = gemm_tn(&q, &s);
+        let recon = crate::gemm::matmul(&q, &proj);
+        assert!(recon.max_abs_diff(&s) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_qr_detects_rank_deficiency() {
+        let mut s = Mat::zeros(10, 3);
+        for i in 0..10 {
+            s[(i, 0)] = (i + 1) as f64;
+            s[(i, 1)] = 2.0 * (i + 1) as f64; // duplicate direction
+            s[(i, 2)] = (-(i as f64)).exp();
+        }
+        assert!(cholesky_qr(&s).is_err());
+    }
+
+    #[test]
+    fn mgs_orthonormal_and_drops_duplicates() {
+        let mut s = Mat::zeros(10, 3);
+        for i in 0..10 {
+            s[(i, 0)] = (i + 1) as f64;
+            s[(i, 1)] = 2.0 * (i + 1) as f64;
+            s[(i, 2)] = if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let q = modified_gram_schmidt(&s, 1e-10);
+        assert_eq!(q.ncols(), 2, "duplicate column must be dropped");
+        assert!(gemm_tn(&q, &q).max_abs_diff(&Mat::eye(2)) < 1e-10);
+    }
+
+    #[test]
+    fn mgs_handles_empty_and_zero() {
+        let s = Mat::zeros(5, 2);
+        let q = modified_gram_schmidt(&s, 1e-12);
+        assert_eq!(q.ncols(), 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Householder QR and QR with column pivoting (QRCP).
+//!
+//! QRCP is the *traditional* ISDF interpolation-point selector (paper §4.1.1):
+//! pivot columns of `Zᵀ` in decreasing residual-norm order; the first `N_μ`
+//! pivots are the interpolation points. The paper replaces it with K-Means
+//! because QRCP costs `O(N_e³)` and parallelizes poorly — we implement both so
+//! the Table 3 comparison can be regenerated.
+
+use crate::gemm::{gemm, Transpose};
+use crate::mat::Mat;
+use rand::Rng;
+
+/// Plain (unpivoted) Householder QR: returns `(Q, R)` with `A = Q R`,
+/// `Q` is `m × min(m,n)` with orthonormal columns, `R` is `min(m,n) × n`.
+pub fn qr_householder(a: &Mat) -> (Mat, Mat) {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut r = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for j in 0..k {
+        // Householder vector for column j below the diagonal.
+        let mut v = vec![0.0; m - j];
+        for i in j..m {
+            v[i - j] = r[(i, j)];
+        }
+        let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 > 0.0 {
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R[j.., j..].
+            for c in j..n {
+                let mut dot = 0.0;
+                for i in j..m {
+                    dot += v[i - j] * r[(i, c)];
+                }
+                let coef = 2.0 * dot / vnorm2;
+                for i in j..m {
+                    r[(i, c)] -= coef * v[i - j];
+                }
+            }
+        }
+        vs.push(v);
+    }
+    // Build Q by applying the Householder reflectors to I (in reverse).
+    let mut q = Mat::zeros(m, k);
+    for j in 0..k {
+        q[(j, j)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for c in 0..k {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += v[i - j] * q[(i, c)];
+            }
+            let coef = 2.0 * dot / vnorm2;
+            for i in j..m {
+                q[(i, c)] -= coef * v[i - j];
+            }
+        }
+    }
+    // Zero out strictly-lower part of R and truncate to k rows.
+    let mut r_out = Mat::zeros(k, n);
+    for j in 0..n {
+        for i in 0..k.min(j + 1) {
+            r_out[(i, j)] = r[(i, j)];
+        }
+    }
+    (q, r_out)
+}
+
+/// Result of QR with column pivoting.
+pub struct Qrcp {
+    /// Pivot order: `perm[k]` is the original column index chosen at step `k`.
+    pub perm: Vec<usize>,
+    /// Diagonal of `R` in pivot order (non-increasing in magnitude).
+    pub rdiag: Vec<f64>,
+    /// Number of factorization steps performed.
+    pub rank: usize,
+}
+
+/// Householder QRCP of `a` (LAPACK `dgeqp3`-style with classic column-norm
+/// downdates), stopping after `max_steps` pivots or when the next pivot's
+/// column norm drops below `tol * (first pivot norm)`.
+pub fn qrcp(a: &Mat, max_steps: usize, tol: f64) -> Qrcp {
+    let (m, n) = a.shape();
+    let kmax = max_steps.min(m).min(n);
+    let mut r = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut norms2: Vec<f64> = (0..n).map(|j| r.col(j).iter().map(|x| x * x).sum()).collect();
+    let mut rdiag = Vec::with_capacity(kmax);
+    let mut first_norm = 0.0f64;
+
+    for j in 0..kmax {
+        // Select the remaining column with the largest residual norm.
+        let (piv, &pnorm2) = norms2[j..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, v)| (i + j, v))
+            .unwrap();
+        let pnorm = pnorm2.max(0.0).sqrt();
+        if j == 0 {
+            first_norm = pnorm;
+        }
+        if pnorm <= tol * first_norm {
+            return Qrcp { perm, rdiag, rank: j };
+        }
+        if piv != j {
+            // Swap columns j and piv (and bookkeeping).
+            for i in 0..m {
+                let t = r[(i, j)];
+                r[(i, j)] = r[(i, piv)];
+                r[(i, piv)] = t;
+            }
+            perm.swap(j, piv);
+            norms2.swap(j, piv);
+        }
+        // Householder reflector on column j.
+        let mut v = vec![0.0; m - j];
+        for i in j..m {
+            v[i - j] = r[(i, j)];
+        }
+        let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 > 0.0 {
+            for c in j..n {
+                let mut dot = 0.0;
+                for i in j..m {
+                    dot += v[i - j] * r[(i, c)];
+                }
+                let coef = 2.0 * dot / vnorm2;
+                for i in j..m {
+                    r[(i, c)] -= coef * v[i - j];
+                }
+            }
+        }
+        rdiag.push(r[(j, j)].abs());
+        // Downdate column norms (with recompute guard against cancellation).
+        for c in (j + 1)..n {
+            let t = r[(j, c)];
+            norms2[c] -= t * t;
+            if norms2[c] < 1e-12 * first_norm * first_norm {
+                norms2[c] = r.col(c)[(j + 1)..m.max(j + 1)]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum::<f64>()
+                    .max(0.0);
+                // col(c) slice indexing above covers rows j+1..m
+            }
+        }
+    }
+    Qrcp { perm, rdiag, rank: kmax }
+}
+
+/// Select `n_mu` interpolation rows of the tall matrix `z` (`N_r × N_cv`)
+/// by running QRCP on `zᵀ` — the paper's traditional ISDF point selector.
+/// Returns sorted row indices.
+pub fn qrcp_select(z: &Mat, n_mu: usize) -> Vec<usize> {
+    let zt = z.transpose();
+    let fac = qrcp(&zt, n_mu, 0.0);
+    let mut pts: Vec<usize> = fac.perm[..fac.rank].to_vec();
+    pts.sort_unstable();
+    pts
+}
+
+/// Randomized QRCP point selection (paper §4.1.1 "randomized sampling QRCP"):
+/// sketch `zᵀ` with a Gaussian matrix `G` (`p × N_cv`, `p = n_mu +
+/// oversample`), then run QRCP on the small `p × N_r` product.
+pub fn randomized_qrcp_select(
+    z: &Mat,
+    n_mu: usize,
+    oversample: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let (nr, ncv) = z.shape();
+    let p = (n_mu + oversample).min(nr);
+    // Y = Gᵀ? We want sketch rows: Y (p × nr) = G (p × ncv) · zᵀ (ncv × nr).
+    let mut g = Mat::zeros(ncv, p);
+    for x in g.as_mut_slice() {
+        // Box-Muller-free normal via sum of uniforms is too crude; use rand's
+        // Gaussian through two uniforms (Box-Muller).
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        *x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+    // Y = (z · G)ᵀ  -> compute W = zᵀ·.. cheaper: Yᵀ = z·G is nr × p, then QRCP on Yᵀᵀ = Y.
+    let mut yt = Mat::zeros(nr, p);
+    gemm(1.0, z, Transpose::No, &g, Transpose::No, 0.0, &mut yt);
+    let y = yt.transpose(); // p × nr
+    let fac = qrcp(&y, n_mu, 0.0);
+    let mut pts: Vec<usize> = fac.perm[..fac.rank].to_vec();
+    pts.sort_unstable();
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm_tn, matmul};
+
+    #[test]
+    fn qr_reconstructs() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(12, 7, &mut rng);
+        let (q, r) = qr_householder(&a);
+        assert_eq!(q.shape(), (12, 7));
+        assert_eq!(r.shape(), (7, 7));
+        assert!(matmul(&q, &r).max_abs_diff(&a) < 1e-10);
+        assert!(gemm_tn(&q, &q).max_abs_diff(&Mat::eye(7)) < 1e-10);
+    }
+
+    #[test]
+    fn qr_wide_matrix() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(5, 9, &mut rng);
+        let (q, r) = qr_householder(&a);
+        assert_eq!(q.shape(), (5, 5));
+        assert_eq!(r.shape(), (5, 9));
+        assert!(matmul(&q, &r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(8, 8, &mut rng);
+        let (_q, r) = qr_householder(&a);
+        for j in 0..8 {
+            for i in (j + 1)..8 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qrcp_pivots_decreasing() {
+        let mut rng = rand::thread_rng();
+        let a = Mat::random(20, 15, &mut rng);
+        let fac = qrcp(&a, 15, 0.0);
+        for w in fac.rdiag.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10, "rdiag not non-increasing: {:?}", fac.rdiag);
+        }
+        assert_eq!(fac.rank, 15);
+    }
+
+    #[test]
+    fn qrcp_finds_dominant_columns() {
+        // Columns 3 and 7 are 100x larger: they must be the first two pivots.
+        let mut rng = rand::thread_rng();
+        let mut a = Mat::random(10, 9, &mut rng);
+        for i in 0..10 {
+            a[(i, 3)] *= 100.0;
+            a[(i, 7)] *= 100.0;
+        }
+        let fac = qrcp(&a, 2, 0.0);
+        let mut first_two = fac.perm[..2].to_vec();
+        first_two.sort_unstable();
+        assert_eq!(first_two, vec![3, 7]);
+    }
+
+    #[test]
+    fn qrcp_rank_truncation_on_low_rank_input() {
+        // Rank-2 matrix: QRCP with a tolerance must stop at 2 steps.
+        let u = Mat::from_fn(12, 2, |i, j| if j == 0 { (i + 1) as f64 / 10.0 } else { ((i * i) as f64).sin() });
+        let v = Mat::from_fn(2, 9, |i, j| ((i + 2) as f64).powi(j as i32 % 3 + 1) / 5.0);
+        let a = matmul(&u, &v);
+        let fac = qrcp(&a, 9, 1e-8);
+        assert!(fac.rank <= 3, "rank {} too high for rank-2 input", fac.rank);
+        assert!(fac.rank >= 2);
+    }
+
+    #[test]
+    fn qrcp_select_rows_of_low_rank_z() {
+        // z = outer product structure: N_r x N_cv with rank 3; any 3 selected
+        // rows must span the row space well.
+        let mut rng = rand::thread_rng();
+        let u = Mat::random(30, 3, &mut rng);
+        let v = Mat::random(3, 8, &mut rng);
+        let z = matmul(&u, &v);
+        let pts = qrcp_select(&z, 3);
+        assert_eq!(pts.len(), 3);
+        for w in pts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(pts.iter().all(|&p| p < 30));
+    }
+
+    #[test]
+    fn randomized_qrcp_matches_plain_on_spiky_input() {
+        // With hugely dominant rows, both selectors must find them.
+        let mut rng = rand::thread_rng();
+        let mut z = Mat::random(40, 6, &mut rng);
+        for j in 0..6 {
+            z[(5, j)] *= 500.0;
+            z[(17, j)] *= 300.0;
+        }
+        let plain = qrcp_select(&z, 2);
+        let randomized = randomized_qrcp_select(&z, 2, 4, &mut rng);
+        assert_eq!(plain, vec![5, 17]);
+        assert_eq!(randomized, vec![5, 17]);
+    }
+}

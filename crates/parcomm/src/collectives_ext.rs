@@ -1,0 +1,130 @@
+//! Extended point-to-point-flavoured collectives: `Gatherv`, `Scatterv`,
+//! `Sendrecv`-style ring exchange, and scalar sum helpers — the remaining
+//! MPI primitives a ScaLAPACK-style 2-D pipeline needs beyond the core set.
+
+use crate::comm::Comm;
+
+impl Comm {
+    /// Gather variable-length contributions at `root`. Non-root ranks get an
+    /// empty vector; `root` gets the concatenation in rank order.
+    pub fn gatherv(&self, mine: &[f64], root: usize) -> Vec<f64> {
+        let all = self.allgatherv(mine);
+        if self.rank() == root {
+            all
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Scatter per-rank chunks from `root`: `chunks` is only read on `root`
+    /// (other ranks pass anything, conventionally `&[]`). Returns my chunk.
+    pub fn scatterv(&self, chunks: &[Vec<f64>], root: usize) -> Vec<f64> {
+        let p = self.size();
+        // Route through alltoallv: root supplies the payload row, everyone
+        // else sends empties.
+        let send: Vec<Vec<f64>> = if self.rank() == root {
+            assert_eq!(chunks.len(), p, "scatterv needs one chunk per rank on root");
+            chunks.to_vec()
+        } else {
+            vec![Vec::new(); p]
+        };
+        let recv = self.alltoallv(send);
+        recv[root].clone()
+    }
+
+    /// Ring shift: send `mine` to `(rank+1) % size`, receive from the left
+    /// neighbour. The building block of systolic matrix algorithms.
+    pub fn ring_shift(&self, mine: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        let mut send: Vec<Vec<f64>> = vec![Vec::new(); p];
+        send[(self.rank() + 1) % p] = mine.to_vec();
+        let recv = self.alltoallv(send);
+        recv[(self.rank() + p - 1) % p].clone()
+    }
+
+    /// Sum a scalar across ranks.
+    pub fn allreduce_sum_scalar(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Exclusive prefix sum of a scalar (rank 0 gets 0.0) — used to compute
+    /// global offsets of variable-length local arrays.
+    pub fn exscan_sum(&self, v: f64) -> f64 {
+        let all = self.allgatherv(&[v]);
+        all[..self.rank()].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::spmd;
+
+    #[test]
+    fn gatherv_only_root_receives() {
+        let res = spmd(4, |c| {
+            let mine = vec![c.rank() as f64; c.rank() + 1];
+            c.gatherv(&mine, 2)
+        });
+        assert!(res[0].is_empty() && res[1].is_empty() && res[3].is_empty());
+        assert_eq!(res[2], vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn scatterv_routes_chunks_from_root() {
+        let res = spmd(3, |c| {
+            let chunks = if c.rank() == 1 {
+                vec![vec![10.0], vec![20.0, 21.0], vec![30.0, 31.0, 32.0]]
+            } else {
+                vec![Vec::new(); 3]
+            };
+            c.scatterv(&chunks, 1)
+        });
+        assert_eq!(res[0], vec![10.0]);
+        assert_eq!(res[1], vec![20.0, 21.0]);
+        assert_eq!(res[2], vec![30.0, 31.0, 32.0]);
+    }
+
+    #[test]
+    fn ring_shift_rotates() {
+        let res = spmd(5, |c| {
+            let mine = vec![c.rank() as f64];
+            c.ring_shift(&mine)
+        });
+        for (me, r) in res.iter().enumerate() {
+            let left = (me + 5 - 1) % 5;
+            assert_eq!(r, &vec![left as f64]);
+        }
+    }
+
+    #[test]
+    fn ring_shift_composes_to_identity() {
+        // P shifts bring the data home.
+        let p = 4;
+        let res = spmd(p, |c| {
+            let mut data = vec![c.rank() as f64 * 10.0, 1.0];
+            for _ in 0..p {
+                data = c.ring_shift(&data);
+            }
+            data
+        });
+        for (me, r) in res.iter().enumerate() {
+            assert_eq!(r, &vec![me as f64 * 10.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let res = spmd(4, |c| {
+            let sum = c.allreduce_sum_scalar(c.rank() as f64 + 1.0);
+            let offset = c.exscan_sum((c.rank() + 1) as f64);
+            (sum, offset)
+        });
+        for (me, (sum, offset)) in res.iter().enumerate() {
+            assert_eq!(*sum, 10.0);
+            let expect: f64 = (1..=me).map(|r| r as f64).sum();
+            assert_eq!(*offset, expect, "rank {me}");
+        }
+    }
+}

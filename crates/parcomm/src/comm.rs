@@ -1,0 +1,443 @@
+//! The SPMD engine: thread ranks + staging-buffer collectives.
+//!
+//! Every collective follows a deposit → barrier → read → barrier discipline:
+//! each rank publishes its contribution into its own slot, a barrier
+//! guarantees visibility, every rank reads what it needs, and a second
+//! barrier guarantees nobody's slot is reused before all readers are done.
+//! Slots are cleared by their owner right after the exit barrier, which is
+//! safe because only the owner writes its slot.
+
+use crate::cost::CostModel;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Per-rank communication statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Bytes this rank contributed to collectives.
+    pub bytes_sent: u64,
+    /// Number of collective calls.
+    pub collective_calls: u64,
+    /// Wall-clock seconds actually spent inside collectives (measured).
+    pub measured_seconds: f64,
+    /// Seconds the α–β model charges for the same collectives.
+    pub modeled_seconds: f64,
+}
+
+struct Shared {
+    size: usize,
+    barrier: Barrier,
+    /// Flat f64 staging, one slot per rank.
+    flat: Vec<Mutex<Vec<f64>>>,
+    /// Chunked staging for all-to-all style exchanges.
+    chunked: Vec<Mutex<Vec<Vec<f64>>>>,
+    model: CostModel,
+}
+
+/// Per-rank communicator handle (not shared across threads).
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    bytes_sent: Cell<u64>,
+    calls: Cell<u64>,
+    measured: Cell<f64>,
+    modeled: Cell<f64>,
+}
+
+impl Comm {
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Statistics accumulated by this rank so far.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent.get(),
+            collective_calls: self.calls.get(),
+            measured_seconds: self.measured.get(),
+            modeled_seconds: self.modeled.get(),
+        }
+    }
+
+    /// Reset the statistics counters (e.g. between timed phases).
+    pub fn reset_stats(&self) {
+        self.bytes_sent.set(0);
+        self.calls.set(0);
+        self.measured.set(0.0);
+        self.modeled.set(0.0);
+    }
+
+    fn account(&self, bytes: usize, t0: Instant, modeled: f64) {
+        self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
+        self.calls.set(self.calls.get() + 1);
+        self.measured.set(self.measured.get() + t0.elapsed().as_secs_f64());
+        self.modeled.set(self.modeled.get() + modeled);
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        let t0 = Instant::now();
+        self.shared.barrier.wait();
+        let m = self.shared.model.barrier(self.size());
+        self.account(0, t0, m);
+    }
+
+    /// In-place sum-allreduce of `buf` across all ranks.
+    pub fn allreduce_sum(&self, buf: &mut [f64]) {
+        let t0 = Instant::now();
+        let p = self.size();
+        if p == 1 {
+            self.account(0, t0, 0.0);
+            return;
+        }
+        *self.shared.flat[self.rank].lock() = buf.to_vec();
+        self.shared.barrier.wait();
+        buf.fill(0.0);
+        for r in 0..p {
+            let slot = self.shared.flat[r].lock();
+            assert_eq!(slot.len(), buf.len(), "allreduce length mismatch at rank {r}");
+            for (b, s) in buf.iter_mut().zip(slot.iter()) {
+                *b += *s;
+            }
+        }
+        self.shared.barrier.wait();
+        self.shared.flat[self.rank].lock().clear();
+        let bytes = buf.len() * 8;
+        let m = self.shared.model.allreduce(p, bytes);
+        self.account(bytes, t0, m);
+    }
+
+    /// Max-allreduce of a scalar.
+    pub fn allreduce_max(&self, v: f64) -> f64 {
+        let t0 = Instant::now();
+        let p = self.size();
+        if p == 1 {
+            self.account(0, t0, 0.0);
+            return v;
+        }
+        *self.shared.flat[self.rank].lock() = vec![v];
+        self.shared.barrier.wait();
+        let mut out = f64::NEG_INFINITY;
+        for r in 0..p {
+            out = out.max(self.shared.flat[r].lock()[0]);
+        }
+        self.shared.barrier.wait();
+        self.shared.flat[self.rank].lock().clear();
+        let m = self.shared.model.allreduce(p, 8);
+        self.account(8, t0, m);
+        out
+    }
+
+    /// Sum-reduce `buf` to `root`; non-root ranks' buffers are untouched.
+    pub fn reduce_sum(&self, buf: &mut [f64], root: usize) {
+        let t0 = Instant::now();
+        let p = self.size();
+        if p == 1 {
+            self.account(0, t0, 0.0);
+            return;
+        }
+        *self.shared.flat[self.rank].lock() = buf.to_vec();
+        self.shared.barrier.wait();
+        if self.rank == root {
+            buf.fill(0.0);
+            for r in 0..p {
+                let slot = self.shared.flat[r].lock();
+                for (b, s) in buf.iter_mut().zip(slot.iter()) {
+                    *b += *s;
+                }
+            }
+        }
+        self.shared.barrier.wait();
+        self.shared.flat[self.rank].lock().clear();
+        let bytes = buf.len() * 8;
+        let m = self.shared.model.reduce(p, bytes);
+        self.account(bytes, t0, m);
+    }
+
+    /// Broadcast `buf` from `root` to all ranks.
+    pub fn bcast(&self, buf: &mut [f64], root: usize) {
+        let t0 = Instant::now();
+        let p = self.size();
+        if p == 1 {
+            self.account(0, t0, 0.0);
+            return;
+        }
+        if self.rank == root {
+            *self.shared.flat[root].lock() = buf.to_vec();
+        }
+        self.shared.barrier.wait();
+        if self.rank != root {
+            let slot = self.shared.flat[root].lock();
+            assert_eq!(slot.len(), buf.len(), "bcast length mismatch");
+            buf.copy_from_slice(&slot);
+        }
+        self.shared.barrier.wait();
+        if self.rank == root {
+            self.shared.flat[root].lock().clear();
+        }
+        let bytes = buf.len() * 8;
+        let m = self.shared.model.bcast(p, bytes);
+        self.account(if self.rank == root { bytes } else { 0 }, t0, m);
+    }
+
+    /// Variable all-gather: every rank contributes `mine`, receives the
+    /// concatenation in rank order.
+    pub fn allgatherv(&self, mine: &[f64]) -> Vec<f64> {
+        let t0 = Instant::now();
+        let p = self.size();
+        if p == 1 {
+            self.account(0, t0, 0.0);
+            return mine.to_vec();
+        }
+        *self.shared.flat[self.rank].lock() = mine.to_vec();
+        self.shared.barrier.wait();
+        let mut out = Vec::new();
+        for r in 0..p {
+            out.extend_from_slice(&self.shared.flat[r].lock());
+        }
+        self.shared.barrier.wait();
+        self.shared.flat[self.rank].lock().clear();
+        let total = out.len() * 8;
+        let m = self.shared.model.allgatherv(p, total);
+        self.account(mine.len() * 8, t0, m);
+        out
+    }
+
+    /// Variable all-to-all: `send[q]` goes to rank `q`; returns what every
+    /// rank sent to *me*, indexed by source rank.
+    pub fn alltoallv(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let t0 = Instant::now();
+        let p = self.size();
+        assert_eq!(send.len(), p, "alltoallv needs one chunk per destination");
+        let sent_bytes: usize = send.iter().map(|c| c.len() * 8).sum();
+        if p == 1 {
+            self.account(0, t0, 0.0);
+            return send;
+        }
+        *self.shared.chunked[self.rank].lock() = send;
+        self.shared.barrier.wait();
+        let mut recv = Vec::with_capacity(p);
+        for r in 0..p {
+            let slot = self.shared.chunked[r].lock();
+            recv.push(slot[self.rank].clone());
+        }
+        self.shared.barrier.wait();
+        self.shared.chunked[self.rank].lock().clear();
+        let m = self.shared.model.alltoallv(p, sent_bytes);
+        self.account(sent_bytes, t0, m);
+        recv
+    }
+}
+
+/// Run `f` as an SPMD program on `size` thread-ranks with the default cost
+/// model; returns the per-rank results in rank order.
+pub fn spmd<T, F>(size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Comm) -> T + Sync,
+{
+    spmd_with_model(size, CostModel::default(), f)
+}
+
+/// [`spmd`] with an explicit communication cost model.
+pub fn spmd_with_model<T, F>(size: usize, model: CostModel, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Comm) -> T + Sync,
+{
+    assert!(size > 0, "need at least one rank");
+    let shared = Arc::new(Shared {
+        size,
+        barrier: Barrier::new(size),
+        flat: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+        chunked: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+        model,
+    });
+    let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for rank in 0..size {
+            let shared = Arc::clone(&shared);
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let comm = Comm {
+                    rank,
+                    shared,
+                    bytes_sent: Cell::new(0),
+                    calls: Cell::new(0),
+                    measured: Cell::new(0.0),
+                    modeled: Cell::new(0.0),
+                };
+                f(&comm)
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("rank panicked"));
+        }
+    })
+    .expect("SPMD scope failed");
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let p = 4;
+        let res = spmd(p, |c| {
+            let mut buf = vec![c.rank() as f64 + 1.0; 3];
+            c.allreduce_sum(&mut buf);
+            buf
+        });
+        for r in res {
+            assert_eq!(r, vec![10.0, 10.0, 10.0]); // 1+2+3+4
+        }
+    }
+
+    #[test]
+    fn allreduce_repeated_rounds() {
+        // Two back-to-back collectives must not corrupt each other.
+        let res = spmd(3, |c| {
+            let mut a = vec![1.0];
+            c.allreduce_sum(&mut a);
+            let mut b = vec![c.rank() as f64];
+            c.allreduce_sum(&mut b);
+            (a[0], b[0])
+        });
+        for (a, b) in res {
+            assert_eq!(a, 3.0);
+            assert_eq!(b, 3.0); // 0+1+2
+        }
+    }
+
+    #[test]
+    fn reduce_only_root_gets_sum() {
+        let res = spmd(4, |c| {
+            let mut buf = vec![2.0];
+            c.reduce_sum(&mut buf, 2);
+            buf[0]
+        });
+        assert_eq!(res[2], 8.0);
+        assert_eq!(res[0], 2.0);
+        assert_eq!(res[3], 2.0);
+    }
+
+    #[test]
+    fn bcast_distributes_roots_data() {
+        let res = spmd(5, |c| {
+            let mut buf = if c.rank() == 1 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
+            c.bcast(&mut buf, 1);
+            buf
+        });
+        for r in res {
+            assert_eq!(r, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let res = spmd(3, |c| {
+            let mine = vec![c.rank() as f64; c.rank() + 1];
+            c.allgatherv(&mine)
+        });
+        for r in res {
+            assert_eq!(r, vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_chunks() {
+        let p = 4;
+        let res = spmd(p, |c| {
+            // Send [my_rank, dest] to each destination.
+            let send: Vec<Vec<f64>> =
+                (0..p).map(|q| vec![c.rank() as f64, q as f64]).collect();
+            c.alltoallv(send)
+        });
+        for (me, recv) in res.iter().enumerate() {
+            for (src, chunk) in recv.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as f64, me as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_ragged_sizes() {
+        let p = 3;
+        let res = spmd(p, |c| {
+            let send: Vec<Vec<f64>> = (0..p).map(|q| vec![1.0; c.rank() * p + q]).collect();
+            c.alltoallv(send)
+        });
+        for (me, recv) in res.iter().enumerate() {
+            for (src, chunk) in recv.iter().enumerate() {
+                assert_eq!(chunk.len(), src * p + me);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_scalar() {
+        let res = spmd(6, |c| c.allreduce_max((c.rank() as f64 - 2.5).abs()));
+        for r in res {
+            assert_eq!(r, 2.5);
+        }
+    }
+
+    #[test]
+    fn stats_account_bytes_and_calls() {
+        let res = spmd(2, |c| {
+            let mut buf = vec![0.0; 100];
+            c.allreduce_sum(&mut buf);
+            c.barrier();
+            c.stats()
+        });
+        for s in res {
+            assert_eq!(s.collective_calls, 2);
+            assert_eq!(s.bytes_sent, 800);
+            assert!(s.modeled_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_everything_is_identity() {
+        let res = spmd(1, |c| {
+            let mut buf = vec![3.0];
+            c.allreduce_sum(&mut buf);
+            c.bcast(&mut buf, 0);
+            let g = c.allgatherv(&buf);
+            let a = c.alltoallv(vec![vec![1.0, 2.0]]);
+            (buf[0], g, a)
+        });
+        assert_eq!(res[0].0, 3.0);
+        assert_eq!(res[0].1, vec![3.0]);
+        assert_eq!(res[0].2, vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn many_ranks_stress() {
+        let p = 16;
+        let res = spmd(p, |c| {
+            let mut acc = 0.0;
+            for round in 0..5 {
+                let mut buf = vec![(c.rank() + round) as f64];
+                c.allreduce_sum(&mut buf);
+                acc += buf[0];
+            }
+            acc
+        });
+        let expect: f64 = (0..5).map(|r| (0..16).map(|k| (k + r) as f64).sum::<f64>()).sum();
+        for v in res {
+            assert_eq!(v, expect);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # parcomm — simulated-MPI SPMD runtime
+//!
+//! The paper's implementation is MPI+OpenMP on up to 12,288 Cori cores. This
+//! crate reproduces the *structure* of that parallelization in-process:
+//!
+//! * [`spmd`] launches `P` ranks as OS threads executing the same closure
+//!   (SPMD), each holding a [`Comm`] handle;
+//! * [`Comm`] provides the collectives Algorithm 1 uses — `Alltoallv`,
+//!   `Allreduce`, `Reduce`, `Bcast`, `Allgatherv`, `Barrier` — built on a
+//!   shared staging area and barriers;
+//! * every collective records **bytes moved and call counts** ([`CommStats`])
+//!   and accrues modeled wall-time from an **α–β (latency–bandwidth) cost
+//!   model** ([`CostModel`]), so rank counts far beyond the host's cores can
+//!   be extrapolated faithfully for the strong/weak-scaling reproductions;
+//! * [`layout`] implements the paper's three data distributions (Figure 3):
+//!   row-block, column-block, and 2-D block-cyclic, plus the
+//!   `MPI_Alltoall`-based row↔column redistribution of wavefunction matrices.
+
+pub mod collectives_ext;
+pub mod comm;
+pub mod cost;
+pub mod layout;
+pub mod redist;
+
+pub use comm::{spmd, spmd_with_model, Comm, CommStats};
+pub use cost::CostModel;
+pub use layout::{block_cyclic_owner, block_ranges, BlockCyclic2D, Layout};
+pub use redist::{col_to_row_blocks, row_to_col_blocks};

@@ -1,0 +1,66 @@
+//! Gaussian-broadened density of states (paper Fig. 9).
+
+/// Evaluate `DOS(E) = Σ_i w_i · g(E − ε_i)` with Gaussian broadening `sigma`
+/// on `npts` energies spanning `[emin, emax]`. Returns `(energy, dos)` pairs.
+pub fn gaussian_dos(
+    energies: &[f64],
+    weights: Option<&[f64]>,
+    sigma: f64,
+    emin: f64,
+    emax: f64,
+    npts: usize,
+) -> Vec<(f64, f64)> {
+    assert!(sigma > 0.0 && npts >= 2 && emax > emin);
+    if let Some(w) = weights {
+        assert_eq!(w.len(), energies.len());
+    }
+    let norm = 1.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+    (0..npts)
+        .map(|k| {
+            let e = emin + (emax - emin) * k as f64 / (npts - 1) as f64;
+            let mut d = 0.0;
+            for (i, &ei) in energies.iter().enumerate() {
+                let x = (e - ei) / sigma;
+                let w = weights.map_or(1.0, |w| w[i]);
+                d += w * norm * (-0.5 * x * x).exp();
+            }
+            (e, d)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_peak_at_energy() {
+        let dos = gaussian_dos(&[1.0], None, 0.1, 0.0, 2.0, 201);
+        let (epeak, dmax) = dos
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!((epeak - 1.0).abs() < 0.011);
+        // peak height of a unit Gaussian
+        assert!((dmax - 1.0 / (0.1 * (2.0 * std::f64::consts::PI).sqrt())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn integrates_to_state_count() {
+        let energies = [0.2, 0.5, 0.8];
+        let dos = gaussian_dos(&energies, None, 0.05, -1.0, 2.0, 3001);
+        let de = 3.0 / 3000.0;
+        let integral: f64 = dos.iter().map(|(_, d)| d * de).sum();
+        assert!((integral - 3.0).abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn weights_scale_contributions() {
+        let a = gaussian_dos(&[0.0], Some(&[2.0]), 0.1, -1.0, 1.0, 101);
+        let b = gaussian_dos(&[0.0], None, 0.1, -1.0, 1.0, 101);
+        for ((_, da), (_, db)) in a.iter().zip(b.iter()) {
+            assert!((da - 2.0 * db).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Ewald summation: ion–ion electrostatic energy of the periodic cell.
+//!
+//! Needed for total energies (any production plane-wave code reports them).
+//! Standard split into real-space, reciprocal-space, self, and
+//! charged-background terms with splitting parameter `η`:
+//!
+//! ```text
+//! E = ½ Σ'_{ijR} q_i q_j erfc(η r)/r
+//!   + (2π/Ω) Σ_{G≠0} e^{−G²/4η²}/G² |S(G)|²
+//!   − η/√π Σ q_i²  −  π (Σq_i)² / (2η²Ω)
+//! ```
+
+use crate::cell::Cell;
+use crate::structures::Structure;
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26 rational
+/// approximation, |ε| ≤ 1.5·10⁻⁷ — ample for meV-scale energy tests).
+pub fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let val = poly * (-x * x).exp();
+    if sign_negative {
+        2.0 - val
+    } else {
+        val
+    }
+}
+
+/// Error function via [`erfc`].
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Ewald energy of point charges `q` at positions `pos` in `cell`.
+/// `eta` is the splitting parameter; any value in ~[0.2, 1.5]·(π/V^{1/3})
+/// converges with the default cutoffs (the result is η-independent, which
+/// the tests verify).
+pub fn ewald_energy(cell: &Cell, pos: &[[f64; 3]], q: &[f64], eta: f64) -> f64 {
+    assert_eq!(pos.len(), q.len());
+    assert!(eta > 0.0);
+    let n = pos.len();
+    let omega = cell.volume();
+    let (lx, ly, lz) = (cell.lengths[0], cell.lengths[1], cell.lengths[2]);
+
+    // Real-space: include images until erfc cuts off (r_max ~ 5.6/η covers
+    // erfc(5.6) ≈ 2e-15).
+    let r_cut = 5.6 / eta;
+    let nx = (r_cut / lx).ceil() as i64;
+    let ny = (r_cut / ly).ceil() as i64;
+    let nz = (r_cut / lz).ceil() as i64;
+    let mut e_real = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            for cx in -nx..=nx {
+                for cy in -ny..=ny {
+                    for cz in -nz..=nz {
+                        if i == j && cx == 0 && cy == 0 && cz == 0 {
+                            continue;
+                        }
+                        let dx = pos[j][0] - pos[i][0] + cx as f64 * lx;
+                        let dy = pos[j][1] - pos[i][1] + cy as f64 * ly;
+                        let dz = pos[j][2] - pos[i][2] + cz as f64 * lz;
+                        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                        if r < r_cut {
+                            e_real += 0.5 * q[i] * q[j] * erfc(eta * r) / r;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Reciprocal-space: G-shells until the Gaussian cuts off
+    // (g_max ~ 2η·√(−ln ε)).
+    let g_max = 2.0 * eta * (34.5f64).sqrt(); // e^{-34.5} ≈ 1e-15
+    let b = cell.recip();
+    let mx = (g_max / b[0]).ceil() as i64;
+    let my = (g_max / b[1]).ceil() as i64;
+    let mz = (g_max / b[2]).ceil() as i64;
+    let mut e_recip = 0.0;
+    for gx in -mx..=mx {
+        for gy in -my..=my {
+            for gz in -mz..=mz {
+                if gx == 0 && gy == 0 && gz == 0 {
+                    continue;
+                }
+                let g = [gx as f64 * b[0], gy as f64 * b[1], gz as f64 * b[2]];
+                let g2 = g[0] * g[0] + g[1] * g[1] + g[2] * g[2];
+                if g2 > g_max * g_max {
+                    continue;
+                }
+                let (mut s_re, mut s_im) = (0.0, 0.0);
+                for (p, &qi) in pos.iter().zip(q.iter()) {
+                    let phase = g[0] * p[0] + g[1] * p[1] + g[2] * p[2];
+                    s_re += qi * phase.cos();
+                    s_im += qi * phase.sin();
+                }
+                e_recip += (2.0 * std::f64::consts::PI / omega)
+                    * (-g2 / (4.0 * eta * eta)).exp()
+                    / g2
+                    * (s_re * s_re + s_im * s_im);
+            }
+        }
+    }
+
+    // Self-interaction and neutralizing-background corrections.
+    let q2: f64 = q.iter().map(|x| x * x).sum();
+    let qt: f64 = q.iter().sum();
+    let e_self = -eta / std::f64::consts::PI.sqrt() * q2;
+    let e_bg = -std::f64::consts::PI * qt * qt / (2.0 * eta * eta * omega);
+
+    e_real + e_recip + e_self + e_bg
+}
+
+/// Ion–ion energy of a [`Structure`] using the pseudo-charges `Z_ion`.
+pub fn ion_ion_energy(structure: &Structure) -> f64 {
+    let pos: Vec<[f64; 3]> = structure.atoms.iter().map(|a| a.pos).collect();
+    let q: Vec<f64> = structure.atoms.iter().map(|a| a.species.z_ion()).collect();
+    // Heuristic η that balances both sums for typical cells.
+    let eta = 2.8 / structure.cell.volume().powf(1.0 / 3.0) * 1.2;
+    ewald_energy(&structure.cell, &pos, &q, eta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures::silicon_supercell;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erf(1.0) - 0.842_700_792_9).abs() < 2e-7);
+        assert!((erfc(2.0) - 0.004_677_734_98).abs() < 2e-7);
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6); // A&S 7.1.26 absolute error bound
+        assert!((erfc(-1.0) - (2.0 - erfc(1.0))).abs() < 1e-12);
+        assert!(erfc(6.0) < 1e-15);
+    }
+
+    #[test]
+    fn eta_independence() {
+        let cell = Cell::cubic(7.0);
+        let pos = [[0.0, 0.0, 0.0], [3.1, 2.2, 1.3]];
+        let q = [2.0, -1.0]; // deliberately non-neutral: background term matters
+        let e1 = ewald_energy(&cell, &pos, &q, 0.4);
+        let e2 = ewald_energy(&cell, &pos, &q, 0.7);
+        let e3 = ewald_energy(&cell, &pos, &q, 1.1);
+        assert!((e1 - e2).abs() < 1e-6, "{e1} vs {e2}");
+        assert!((e2 - e3).abs() < 1e-6, "{e2} vs {e3}");
+    }
+
+    #[test]
+    fn nacl_madelung_constant() {
+        // Rock salt: ±1 charges on a cubic lattice, nearest-neighbour
+        // distance d. E/ion = −M/d with Madelung constant M = 1.747565.
+        let d = 1.0;
+        let cell = Cell::cubic(2.0 * d);
+        let mut pos = Vec::new();
+        let mut q = Vec::new();
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    pos.push([i as f64 * d, j as f64 * d, k as f64 * d]);
+                    q.push(if (i + j + k) % 2 == 0 { 1.0 } else { -1.0 });
+                }
+            }
+        }
+        let e = ewald_energy(&cell, &pos, &q, 1.2);
+        // 8 ions = 4 ion pairs; the Madelung convention is energy per pair,
+        // E_pair = −M/d.
+        let per_pair = e / 4.0;
+        let madelung = -per_pair * d;
+        assert!(
+            (madelung - 1.747_565).abs() < 1e-4,
+            "Madelung constant {madelung}"
+        );
+    }
+
+    #[test]
+    fn wigner_limit_single_charge() {
+        // One +1 charge in a cube with neutralizing background: the Ewald
+        // energy is the Madelung energy of the Wigner crystal,
+        // E = −2.837297/(2L) · q².
+        let l = 3.0;
+        let cell = Cell::cubic(l);
+        let e = ewald_energy(&cell, &[[0.0, 0.0, 0.0]], &[1.0], 1.0);
+        let expect = -2.837_297 / (2.0 * l);
+        assert!((e - expect).abs() < 1e-4, "{e} vs {expect}");
+    }
+
+    #[test]
+    fn translation_invariance() {
+        let cell = Cell::new(6.0, 7.0, 8.0);
+        let pos1 = [[1.0, 1.5, 2.0], [4.0, 3.0, 6.0]];
+        let pos2 = [[2.3, 2.8, 3.1], [5.3, 4.3, 7.1]]; // same shift applied
+        let q = [1.0, -1.0];
+        let e1 = ewald_energy(&cell, &pos1, &q, 0.8);
+        let e2 = ewald_energy(&cell, &pos2, &q, 0.8);
+        assert!((e1 - e2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn silicon_ion_energy_negative_and_extensive() {
+        let e1 = ion_ion_energy(&silicon_supercell(1));
+        let e2 = ion_ion_energy(&silicon_supercell(2));
+        assert!(e1 < 0.0, "cohesive ionic lattice energy should be negative: {e1}");
+        // extensivity: 8× the atoms → ≈8× the energy
+        let ratio = e2 / e1;
+        assert!((ratio - 8.0).abs() < 0.05, "extensivity ratio {ratio}");
+    }
+}

@@ -1,0 +1,164 @@
+//! The Kohn–Sham Hamiltonian `H = −½∇² + V_eff(r)` applied via FFT.
+//!
+//! Kinetic energy is diagonal in reciprocal space (`½|G|²`), the effective
+//! potential diagonal in real space — the same dual-space structure the
+//! LR-TDDFT kernel application reuses (paper §5.2: "apply the Hartree
+//! operator, which is diagonal in reciprocal space, and then apply the
+//! exchange-correlation operator, which is diagonal in real space").
+
+use crate::cell::Grid;
+use fftkit::Complex;
+use mathkit::Mat;
+use rayon::prelude::*;
+
+/// Kohn–Sham operator bound to a grid and an effective potential.
+pub struct KsHamiltonian<'g> {
+    grid: &'g Grid,
+    /// Local effective potential `V_ion + V_H + V_xc` on the grid.
+    pub v_eff: Vec<f64>,
+}
+
+impl<'g> KsHamiltonian<'g> {
+    pub fn new(grid: &'g Grid, v_eff: Vec<f64>) -> Self {
+        assert_eq!(v_eff.len(), grid.len());
+        KsHamiltonian { grid, v_eff }
+    }
+
+    /// Apply `H` to a block of wavefunction columns (`N_r × N_b`).
+    pub fn apply(&self, psi: &Mat) -> Mat {
+        assert_eq!(psi.nrows(), self.grid.len());
+        let mut out = Mat::zeros(psi.nrows(), psi.ncols());
+        let plan = self.grid.plan();
+        let g2 = self.grid.g2();
+        let v = &self.v_eff;
+        let cols: Vec<Vec<f64>> = (0..psi.ncols())
+            .into_par_iter()
+            .map(|j| {
+                let col = psi.col(j);
+                // Kinetic: FFT → ½|G|² → inverse FFT.
+                let mut spec: Vec<Complex> =
+                    col.iter().map(|&x| Complex::from_re(x)).collect();
+                plan.forward(&mut spec);
+                for (z, &gg) in spec.iter_mut().zip(g2.iter()) {
+                    *z = z.scale(0.5 * gg);
+                }
+                plan.inverse(&mut spec);
+                // Plus local potential.
+                spec.iter()
+                    .zip(col.iter())
+                    .zip(v.iter())
+                    .map(|((t, &x), &vr)| t.re + vr * x)
+                    .collect()
+            })
+            .collect();
+        for (j, c) in cols.into_iter().enumerate() {
+            out.col_mut(j).copy_from_slice(&c);
+        }
+        out
+    }
+
+    /// Diagonal kinetic preconditioner in reciprocal space:
+    /// `w(G) = r(G) / (1 + |G|²)` — damps high-frequency error components.
+    pub fn precondition(&self, r: &Mat) -> Mat {
+        let plan = self.grid.plan();
+        let g2 = self.grid.g2();
+        let mut out = Mat::zeros(r.nrows(), r.ncols());
+        let cols: Vec<Vec<f64>> = (0..r.ncols())
+            .into_par_iter()
+            .map(|j| {
+                let mut spec: Vec<Complex> =
+                    r.col(j).iter().map(|&x| Complex::from_re(x)).collect();
+                plan.forward(&mut spec);
+                for (z, &gg) in spec.iter_mut().zip(g2.iter()) {
+                    *z = z.scale(1.0 / (1.0 + gg));
+                }
+                plan.inverse(&mut spec);
+                spec.into_iter().map(|z| z.re).collect()
+            })
+            .collect();
+        for (j, c) in cols.into_iter().enumerate() {
+            out.col_mut(j).copy_from_slice(&c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use mathkit::gemm_tn;
+
+    #[test]
+    fn free_particle_plane_wave_eigenstate() {
+        // With V = 0, ψ(r) = cos(G₁ x) is an eigenstate with ε = ½|G₁|².
+        let l = 8.0;
+        let grid = Grid::new(Cell::cubic(l), [8, 8, 8]);
+        let h = KsHamiltonian::new(&grid, vec![0.0; grid.len()]);
+        let g1 = 2.0 * std::f64::consts::PI / l;
+        let mut psi = Mat::zeros(grid.len(), 1);
+        for i in 0..grid.len() {
+            let r = grid.coords(i);
+            psi[(i, 0)] = (g1 * r[0]).cos();
+        }
+        let hpsi = h.apply(&psi);
+        let expect = 0.5 * g1 * g1;
+        for i in 0..grid.len() {
+            assert!(
+                (hpsi[(i, 0)] - expect * psi[(i, 0)]).abs() < 1e-10,
+                "not an eigenstate at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_potential_shifts_spectrum() {
+        let grid = Grid::new(Cell::cubic(6.0), [8, 8, 8]);
+        let h0 = KsHamiltonian::new(&grid, vec![0.0; grid.len()]);
+        let h1 = KsHamiltonian::new(&grid, vec![0.3; grid.len()]);
+        let mut psi = Mat::zeros(grid.len(), 1);
+        for i in 0..grid.len() {
+            psi[(i, 0)] = ((i % 7) as f64 - 3.0) * 0.1;
+        }
+        let a = h0.apply(&psi);
+        let b = h1.apply(&psi);
+        for i in 0..grid.len() {
+            assert!((b[(i, 0)] - a[(i, 0)] - 0.3 * psi[(i, 0)]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_is_symmetric() {
+        // ⟨φ|Hψ⟩ = ⟨Hφ|ψ⟩ for random fields and potential.
+        let grid = Grid::new(Cell::cubic(5.0), [4, 4, 4]);
+        let v: Vec<f64> = (0..grid.len()).map(|i| ((i * 13 % 7) as f64) * 0.1 - 0.3).collect();
+        let h = KsHamiltonian::new(&grid, v);
+        let mut rng = rand::thread_rng();
+        let block = Mat::random(grid.len(), 3, &mut rng);
+        let hb = h.apply(&block);
+        let m1 = gemm_tn(&block, &hb);
+        let m2 = m1.transpose();
+        assert!(m1.max_abs_diff(&m2) < 1e-9);
+    }
+
+    #[test]
+    fn preconditioner_damps_high_frequencies() {
+        let l = 2.0 * std::f64::consts::PI;
+        let grid = Grid::new(Cell::cubic(l), [16, 16, 16]);
+        let h = KsHamiltonian::new(&grid, vec![0.0; grid.len()]);
+        // low-frequency and high-frequency inputs
+        let mut low = Mat::zeros(grid.len(), 1);
+        let mut high = Mat::zeros(grid.len(), 1);
+        for i in 0..grid.len() {
+            let r = grid.coords(i);
+            low[(i, 0)] = (1.0 * r[0]).cos();
+            high[(i, 0)] = (7.0 * r[0]).cos();
+        }
+        let pl = h.precondition(&low);
+        let ph = h.precondition(&high);
+        let gain_low = pl.norm_fro() / low.norm_fro();
+        let gain_high = ph.norm_fro() / high.norm_fro();
+        assert!(gain_low > 0.4);
+        assert!(gain_high < 0.05, "high-G gain {gain_high}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # pwdft — plane-wave Kohn–Sham DFT ground-state substrate
+//!
+//! The LR-TDDFT calculation consumes ground-state orbitals `ψ_i(r)` and
+//! energies `ε_i` "typically obtained via ground-state Kohn–Sham DFT
+//! calculations" (paper §3). The original work obtains them from PWDFT; we
+//! build an equivalent Γ-point plane-wave DFT mini-app from scratch:
+//!
+//! * [`cell`] — orthorhombic simulation cells and real-space grids derived
+//!   from a kinetic-energy cutoff via the paper's `(N_r)_i = √(2E_cut)·L_i/π`,
+//! * [`structures`] — the paper's test systems: diamond-silicon supercells
+//!   (Si₈ … Si₄₀₉₆ scaled down), a water molecule in a box, and a bilayer
+//!   graphene Moiré cell standing in for MATBG,
+//! * [`pseudo`] — GTH/HGH-style *local* pseudopotentials evaluated
+//!   analytically in reciprocal space,
+//! * [`xc`] — LDA exchange-correlation (Slater + Perdew–Zunger) with the
+//!   analytic `f_xc = ∂V_xc/∂n` kernel LR-TDDFT needs,
+//! * [`hamiltonian`] — the Kohn–Sham operator `−½∇² + V_eff` applied via FFT,
+//! * [`scf`] — self-consistent field loop with LOBPCG band solver and
+//!   density mixing,
+//! * [`dos`] — Gaussian-broadened densities of states (paper Fig. 9).
+//!
+//! Everything is Hartree atomic units; lengths in Bohr.
+
+pub mod cell;
+pub mod dos;
+pub mod energy;
+pub mod ewald;
+pub mod hamiltonian;
+pub mod pseudo;
+pub mod scf;
+pub mod structures;
+pub mod xc;
+
+pub use cell::{Cell, Grid};
+pub use dos::gaussian_dos;
+pub use hamiltonian::KsHamiltonian;
+pub use pseudo::{local_potential, Species};
+pub use energy::{total_energy, EnergyBreakdown};
+pub use ewald::{erf, erfc, ewald_energy, ion_ion_energy};
+pub use scf::{scf, GroundState, MixingScheme, ScfOptions};
+pub use structures::{bilayer_graphene, silicon_supercell, water_in_box, Atom, Structure};
+pub use xc::{fxc_lda, vxc_lda, XcLda};
+
+/// 1 Å in Bohr.
+pub const ANGSTROM: f64 = 1.889_726_124_565_062;

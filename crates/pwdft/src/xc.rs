@@ -1,0 +1,217 @@
+//! LDA exchange-correlation: Slater exchange + Perdew–Zunger (1981)
+//! correlation, spin-unpolarized.
+//!
+//! Besides `ε_xc` and `V_xc` for the ground state, LR-TDDFT needs the kernel
+//! `f_xc(r) = ∂V_xc/∂n` evaluated at the ground-state density (paper Eq. 4).
+//! `V_xc` is analytic; `f_xc` is obtained by differentiating the analytic
+//! `V_xc` with a high-order central difference, verified in tests against
+//! second differences of the energy density.
+
+/// Floor density to keep `n^{-2/3}` finite on vacuum regions of the grid.
+pub const N_FLOOR: f64 = 1e-12;
+
+/// Per-particle exchange energy `ε_x(n)` (Hartree).
+#[inline]
+pub fn ex_lda(n: f64) -> f64 {
+    let n = n.max(N_FLOOR);
+    -0.75 * (3.0 / std::f64::consts::PI).powf(1.0 / 3.0) * n.powf(1.0 / 3.0)
+}
+
+/// Exchange potential `v_x = d(n ε_x)/dn`.
+#[inline]
+pub fn vx_lda(n: f64) -> f64 {
+    let n = n.max(N_FLOOR);
+    -(3.0 / std::f64::consts::PI).powf(1.0 / 3.0) * n.powf(1.0 / 3.0)
+}
+
+/// Wigner–Seitz radius from density.
+#[inline]
+fn rs_of(n: f64) -> f64 {
+    (3.0 / (4.0 * std::f64::consts::PI * n.max(N_FLOOR))).powf(1.0 / 3.0)
+}
+
+// Perdew–Zunger parameters (unpolarized).
+const PZ_GAMMA: f64 = -0.1423;
+const PZ_BETA1: f64 = 1.0529;
+const PZ_BETA2: f64 = 0.3334;
+const PZ_A: f64 = 0.0311;
+const PZ_B: f64 = -0.048;
+const PZ_C: f64 = 0.0020;
+const PZ_D: f64 = -0.0116;
+
+/// Per-particle correlation energy `ε_c(n)`.
+pub fn ec_lda(n: f64) -> f64 {
+    let rs = rs_of(n);
+    if rs >= 1.0 {
+        PZ_GAMMA / (1.0 + PZ_BETA1 * rs.sqrt() + PZ_BETA2 * rs)
+    } else {
+        PZ_A * rs.ln() + PZ_B + PZ_C * rs * rs.ln() + PZ_D * rs
+    }
+}
+
+/// Correlation potential `v_c = d(n ε_c)/dn`.
+pub fn vc_lda(n: f64) -> f64 {
+    let rs = rs_of(n);
+    if rs >= 1.0 {
+        let x = rs.sqrt();
+        let den = 1.0 + PZ_BETA1 * x + PZ_BETA2 * rs;
+        let ec = PZ_GAMMA / den;
+        ec * (1.0 + 7.0 / 6.0 * PZ_BETA1 * x + 4.0 / 3.0 * PZ_BETA2 * rs) / den
+    } else {
+        PZ_A * rs.ln() + (PZ_B - PZ_A / 3.0)
+            + 2.0 / 3.0 * PZ_C * rs * rs.ln()
+            + (2.0 * PZ_D - PZ_C) / 3.0 * rs
+    }
+}
+
+/// Total XC potential `V_xc(n)`.
+#[inline]
+pub fn vxc_lda(n: f64) -> f64 {
+    vx_lda(n) + vc_lda(n)
+}
+
+/// Per-particle XC energy `ε_xc(n)`.
+#[inline]
+pub fn exc_lda(n: f64) -> f64 {
+    ex_lda(n) + ec_lda(n)
+}
+
+/// XC kernel `f_xc(n) = ∂V_xc/∂n`, by 4th-order central difference of the
+/// analytic `V_xc` with a relative step (exact to ~1e-10 in practice).
+pub fn fxc_lda(n: f64) -> f64 {
+    let n = n.max(N_FLOOR);
+    let h = 1e-4 * n;
+    let f = |x: f64| vxc_lda(x);
+    (-f(n + 2.0 * h) + 8.0 * f(n + h) - 8.0 * f(n - h) + f(n - 2.0 * h)) / (12.0 * h)
+}
+
+/// Bundle of grid-evaluated XC quantities for a density.
+pub struct XcLda {
+    pub exc: Vec<f64>,
+    pub vxc: Vec<f64>,
+    pub fxc: Vec<f64>,
+}
+
+impl XcLda {
+    /// Evaluate on every grid point of `density`.
+    pub fn evaluate(density: &[f64]) -> Self {
+        let exc = density.iter().map(|&n| exc_lda(n)).collect();
+        let vxc = density.iter().map(|&n| vxc_lda(n)).collect();
+        let fxc = density.iter().map(|&n| fxc_lda(n)).collect();
+        XcLda { exc, vxc, fxc }
+    }
+
+    /// XC energy `∫ n ε_xc dr`.
+    pub fn energy(&self, density: &[f64], dv: f64) -> f64 {
+        dv * density.iter().zip(&self.exc).map(|(n, e)| n * e).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central difference of an analytic scalar function.
+    fn num_deriv(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6 * x;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn vx_is_derivative_of_nex() {
+        for &n in &[1e-3, 0.01, 0.1, 1.0, 10.0] {
+            let analytic = vx_lda(n);
+            let numeric = num_deriv(|x| x * ex_lda(x), n);
+            assert!((analytic - numeric).abs() < 1e-6 * analytic.abs().max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn vc_is_derivative_of_nec_both_branches() {
+        // rs < 1 corresponds to n > 3/(4π) ≈ 0.2387; rs > 1 below.
+        for &n in &[1e-3, 0.05, 0.2, 0.3, 1.0, 5.0] {
+            let analytic = vc_lda(n);
+            let numeric = num_deriv(|x| x * ec_lda(x), n);
+            assert!(
+                (analytic - numeric).abs() < 1e-5 * analytic.abs().max(1e-2),
+                "n={n}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn fxc_is_second_derivative_of_energy_density() {
+        for &n in &[0.01, 0.1, 0.5, 2.0] {
+            let analytic = fxc_lda(n);
+            // d²(n·εxc)/dn² by second difference
+            let h = 1e-4 * n;
+            let e = |x: f64| x * exc_lda(x);
+            let numeric = (e(n + h) - 2.0 * e(n) + e(n - h)) / (h * h);
+            assert!(
+                (analytic - numeric).abs() < 1e-4 * analytic.abs().max(1e-2),
+                "n={n}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_scaling_law() {
+        // ε_x ∝ n^{1/3}
+        let r = ex_lda(8.0) / ex_lda(1.0);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_reference_values() {
+        // rs = 1 uses the low-density branch: εc = γ/(1+β₁+β₂) ≈ -0.059632,
+        // and the high-density branch would give B + D = -0.0596 — the PZ
+        // parametrization is continuous at rs = 1 by construction.
+        let n_rs1 = 3.0 / (4.0 * std::f64::consts::PI);
+        let ec = ec_lda(n_rs1);
+        let low_branch = PZ_GAMMA / (1.0 + PZ_BETA1 + PZ_BETA2);
+        assert!((ec - low_branch).abs() < 1e-12);
+        assert!((ec - (PZ_B + PZ_D)).abs() < 2e-3, "branch mismatch at rs=1: {ec}");
+        // Slater exchange at n = 1: -0.75*(3/π)^{1/3} ≈ -0.738559
+        assert!((ex_lda(1.0) + 0.738_558_766).abs() < 1e-6);
+    }
+
+    #[test]
+    fn potentials_negative_and_monotone() {
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let n = i as f64 * 0.05;
+            let v = vxc_lda(n);
+            assert!(v < 0.0);
+            assert!(v < prev, "V_xc must decrease with density");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fxc_negative_at_physical_densities() {
+        for &n in &[0.001, 0.01, 0.1, 1.0] {
+            assert!(fxc_lda(n) < 0.0, "f_xc({n}) should be attractive");
+        }
+    }
+
+    #[test]
+    fn vacuum_floor_is_finite() {
+        assert!(vxc_lda(0.0).is_finite());
+        assert!(fxc_lda(0.0).is_finite());
+        assert!(exc_lda(-1.0).is_finite()); // negative density clamped
+    }
+
+    #[test]
+    fn bundle_consistency() {
+        let density = vec![0.01, 0.2, 1.5];
+        let xc = XcLda::evaluate(&density);
+        assert_eq!(xc.vxc.len(), 3);
+        for (i, &n) in density.iter().enumerate() {
+            assert_eq!(xc.vxc[i], vxc_lda(n));
+            assert_eq!(xc.fxc[i], fxc_lda(n));
+        }
+        let e = xc.energy(&density, 0.1);
+        let manual: f64 = density.iter().map(|&n| 0.1 * n * exc_lda(n)).sum();
+        assert!((e - manual).abs() < 1e-14);
+    }
+}

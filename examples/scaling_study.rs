@@ -1,0 +1,92 @@
+//! Parallel pipeline demo: run the distributed Algorithm-1 construction on
+//! real thread ranks, then extrapolate to Cori-scale core counts with the
+//! calibrated α–β model (paper Figs. 7–8 methodology, see DESIGN.md).
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use lrtddft::parallel::{distributed_dense_hamiltonian, distributed_isdf_hamiltonian};
+use lrtddft::problem::silicon_like_problem;
+use parcomm::spmd;
+
+fn main() {
+    let problem = silicon_like_problem(1, 12, 4);
+    let n_mu = 40.min(problem.n_cv());
+    println!(
+        "Workload: N_r = {}, N_cv = {}, N_mu = {n_mu}",
+        problem.n_r(),
+        problem.n_cv()
+    );
+
+    // Real thread-rank runs: verify the distributed pipeline and read the
+    // per-rank stage/communication breakdown.
+    println!("\n-- real SPMD runs (thread ranks, simulated MPI collectives) --");
+    println!("{:>5} | {:>10} | {:>10} | {:>10} | {:>12}", "ranks", "face+theta", "fft (s)", "gemm (s)", "comm calls");
+    for ranks in [1usize, 2, 4] {
+        let naive = spmd(ranks, |c| {
+            let (_, t) = distributed_dense_hamiltonian(c, &problem, true);
+            (t, c.stats())
+        });
+        let isdf = spmd(ranks, |c| {
+            let (_, t) = distributed_isdf_hamiltonian(c, &problem, n_mu);
+            (t, c.stats())
+        });
+        let (tn, sn) = &naive[0];
+        let (ti, si) = &isdf[0];
+        println!(
+            "{ranks:>5} | naive: {:.3}s fft {:.3}s gemm {:.3}s, {} collectives",
+            tn.face_split, tn.fft, tn.gemm, sn.collective_calls
+        );
+        println!(
+            "      | isdf : kmeans {:.3}s theta {:.3}s fft {:.3}s gemm {:.3}s, {} collectives ({:.1} MB sent)",
+            ti.kmeans,
+            ti.theta,
+            ti.fft,
+            ti.gemm,
+            si.collective_calls,
+            si.bytes_sent as f64 / 1e6
+        );
+    }
+
+    // Model-extrapolated strong scaling (the Fig. 7 reproduction lives in
+    // `cargo run --release -p bench --bin repro -- fig7`).
+    println!("\n-- alpha-beta extrapolation to Cori-scale ranks --");
+    let cal = bench_calibration(&problem, n_mu);
+    for p in [128usize, 512, 2048] {
+        let t = cal.time_at(p);
+        println!("   P = {p:>5}: modeled ISDF construction {:.4} s", t);
+    }
+    println!("\nFull tables: cargo run --release -p bench --bin repro -- fig7");
+}
+
+/// Minimal inline calibration (the bench crate has the full version).
+fn bench_calibration(
+    problem: &lrtddft::CasidaProblem,
+    n_mu: usize,
+) -> bench::scaling::ScalingStudy {
+    use bench::scaling::{CommPattern, ScalingStudy, Stage};
+    let t = spmd(1, |c| distributed_isdf_hamiltonian(c, problem, n_mu).1)
+        .pop()
+        .unwrap();
+    ScalingStudy::new(
+        vec![
+            Stage::new(
+                "kmeans",
+                t.kmeans,
+                vec![CommPattern::Allreduce { bytes: 4 * n_mu * 8, times: 30 }],
+            ),
+            Stage::new(
+                "fft",
+                t.fft,
+                vec![CommPattern::Alltoall { global_bytes: problem.n_r() * n_mu * 8, times: 2 }],
+            ),
+            Stage::new(
+                "gemm",
+                t.gemm,
+                vec![CommPattern::Allreduce { bytes: n_mu * n_mu * 8, times: 1 }],
+            ),
+        ],
+        parcomm::CostModel::default(),
+    )
+}

@@ -1,0 +1,22 @@
+//! # lrtddft-suite — workspace umbrella
+//!
+//! Re-exports the whole reproduction stack so examples and integration tests
+//! have one import surface:
+//!
+//! * [`lrtddft`] — the paper's contribution (five solver versions, the
+//!   distributed Algorithm-1 pipeline);
+//! * [`isdf`] — interpolative separable density fitting with QRCP and
+//!   K-Means point selection;
+//! * [`pwdft`] — the plane-wave Kohn–Sham DFT ground-state substrate;
+//! * [`mathkit`] — dense linear algebra (GEMM, SYEV, QRCP, LOBPCG);
+//! * [`fftkit`] — FFTs and the periodic Poisson solver;
+//! * [`parcomm`] — the simulated-MPI SPMD runtime.
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use fftkit;
+pub use isdf;
+pub use lrtddft;
+pub use mathkit;
+pub use parcomm;
+pub use pwdft;

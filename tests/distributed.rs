@@ -1,0 +1,104 @@
+//! Integration tests for the parallel pipeline: the simulated-MPI runs must
+//! reproduce the serial results across rank counts and both reduction
+//! strategies — the correctness contract behind the paper's Figs. 3–5.
+
+use lrtddft::naive::build_dense_hamiltonian;
+use lrtddft::parallel::{distributed_dense_hamiltonian, distributed_isdf_hamiltonian};
+use lrtddft::problem::silicon_like_problem;
+use lrtddft::versions::{build_isdf_hamiltonian, PointSelector};
+use lrtddft::StageTimings;
+use mathkit::syev;
+use parcomm::{spmd, spmd_with_model, CostModel};
+
+#[test]
+fn distributed_naive_invariant_across_rank_counts() {
+    let p = silicon_like_problem(1, 8, 2);
+    let mut t = StageTimings::default();
+    let serial = build_dense_hamiltonian(&p, &mut t);
+    for ranks in [1usize, 2, 3, 5, 8] {
+        let res = spmd(ranks, |c| distributed_dense_hamiltonian(c, &p, false).0);
+        for h in &res {
+            assert!(
+                h.max_abs_diff(&serial) < 1e-8,
+                "ranks={ranks}: max diff {}",
+                h.max_abs_diff(&serial)
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_and_monolithic_reductions_agree() {
+    let p = silicon_like_problem(1, 8, 2);
+    for ranks in [2usize, 4] {
+        let mono = spmd(ranks, |c| distributed_dense_hamiltonian(c, &p, false).0);
+        let pipe = spmd(ranks, |c| distributed_dense_hamiltonian(c, &p, true).0);
+        assert!(mono[0].max_abs_diff(&pipe[0]) < 1e-9);
+    }
+}
+
+#[test]
+fn distributed_isdf_spectrum_stable_across_ranks() {
+    let p = silicon_like_problem(1, 8, 2);
+    let n_mu = p.n_cv(); // full rank: spectrum pinned by the exact fit
+    let baseline = spmd(1, |c| distributed_isdf_hamiltonian(c, &p, n_mu).0.to_dense());
+    let base_eig = syev(&baseline[0]);
+    for ranks in [2usize, 4] {
+        let res = spmd(ranks, |c| distributed_isdf_hamiltonian(c, &p, n_mu).0.to_dense());
+        let eig = syev(&res[0]);
+        for i in 0..4 {
+            let rel =
+                (eig.values[i] - base_eig.values[i]).abs() / base_eig.values[i].abs().max(1e-12);
+            assert!(rel < 1e-5, "ranks={ranks}, state {i}: rel {rel}");
+        }
+    }
+}
+
+#[test]
+fn distributed_isdf_matches_serial_isdf_spectrum() {
+    // Distributed K-Means may pick a slightly different (equally valid)
+    // point set than the serial path, so compare *spectra* at full rank
+    // where both fits are exact.
+    let p = silicon_like_problem(1, 8, 2);
+    let n_mu = p.n_cv();
+    let mut t = StageTimings::default();
+    let serial = build_isdf_hamiltonian(&p, PointSelector::Qrcp, n_mu, &mut t).to_dense();
+    let serial_eig = syev(&serial);
+    let dist = spmd(3, |c| distributed_isdf_hamiltonian(c, &p, n_mu).0.to_dense());
+    let dist_eig = syev(&dist[0]);
+    for i in 0..4 {
+        let rel = (dist_eig.values[i] - serial_eig.values[i]).abs()
+            / serial_eig.values[i].abs().max(1e-12);
+        assert!(rel < 1e-4, "state {i}: {} vs {}", dist_eig.values[i], serial_eig.values[i]);
+    }
+}
+
+#[test]
+fn comm_cost_model_does_not_change_results() {
+    // The α-β model only affects *charged* time, never data.
+    let p = silicon_like_problem(1, 8, 2);
+    let free = spmd_with_model(2, CostModel::free(), |c| {
+        distributed_dense_hamiltonian(c, &p, false).0
+    });
+    let expensive = spmd_with_model(
+        2,
+        CostModel { alpha: 1.0, beta: 1e-3 },
+        |c| distributed_dense_hamiltonian(c, &p, false).0,
+    );
+    assert!(free[0].max_abs_diff(&expensive[0]) < 1e-14);
+}
+
+#[test]
+fn rank_timings_report_comm_share() {
+    let p = silicon_like_problem(1, 8, 2);
+    let res = spmd(4, |c| {
+        let (_, t) = distributed_dense_hamiltonian(c, &p, false);
+        (t, c.stats())
+    });
+    for (t, stats) in res {
+        assert!(t.mpi >= 0.0);
+        assert!(stats.collective_calls >= 3, "expected alltoall x2 + allreduce");
+        assert!(stats.bytes_sent > 0);
+        assert!(stats.modeled_seconds > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: SCF ground state → Casida problem → all five
+//! solver versions, on a real (small) first-principles system.
+
+use lrtddft::{solve, CasidaProblem, IsdfRank, SolverParams, Version};
+use pwdft::{scf, silicon_supercell, water_in_box, Grid, ScfOptions};
+
+fn si8_problem() -> CasidaProblem {
+    let s = silicon_supercell(1);
+    let grid = Grid::new(s.cell, [12, 12, 12]);
+    let gs = scf(
+        &grid,
+        &s,
+        ScfOptions {
+            n_conduction: 3,
+            max_iter: 12,
+            band_max_iter: 25,
+            density_tol: 1e-4,
+            ..Default::default()
+        },
+    );
+    CasidaProblem::from_ground_state(&grid, &gs)
+}
+
+#[test]
+fn si8_five_versions_agree_at_full_rank() {
+    let p = si8_problem();
+    let params = SolverParams {
+        n_states: 3,
+        rank: IsdfRank::Fixed(p.n_cv()),
+        ..Default::default()
+    };
+    let reference = solve(&p, Version::Naive, params);
+    assert!(reference.energies[0] > 0.0, "excitations must be positive for a gapped system");
+    for v in [
+        Version::QrcpIsdf,
+        Version::KmeansIsdf,
+        Version::KmeansIsdfLobpcg,
+        Version::ImplicitKmeansIsdfLobpcg,
+    ] {
+        let s = solve(&p, v, params);
+        for i in 0..3 {
+            let rel =
+                (s.energies[i] - reference.energies[i]).abs() / reference.energies[i].abs();
+            assert!(
+                rel < 1e-4,
+                "{} state {i}: {} vs {} (rel {rel})",
+                v.label(),
+                s.energies[i],
+                reference.energies[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn si8_reduced_rank_error_is_small_paper_table5_shape() {
+    let p = si8_problem();
+    let reference = solve(
+        &p,
+        Version::Naive,
+        SolverParams { n_states: 3, ..Default::default() },
+    );
+    let reduced = solve(
+        &p,
+        Version::ImplicitKmeansIsdfLobpcg,
+        SolverParams {
+            n_states: 3,
+            rank: IsdfRank::Fixed((p.n_cv() * 7 / 8).max(8)),
+            ..Default::default()
+        },
+    );
+    for i in 0..3 {
+        let rel = (reduced.energies[i] - reference.energies[i]).abs() / reference.energies[i];
+        // Paper Table 5 reports sub-percent errors; N_mu = 7/8 N_cv puts the
+        // scaled-down Si8 problem in the same regime (measured ~0.04-0.3%).
+        assert!(rel < 0.01, "state {i}: relative error {rel}");
+    }
+}
+
+#[test]
+fn water_end_to_end_runs() {
+    let s = water_in_box(12.0);
+    let grid = Grid::new(s.cell, [16, 16, 16]);
+    let gs = scf(
+        &grid,
+        &s,
+        ScfOptions {
+            n_conduction: 2,
+            max_iter: 10,
+            band_max_iter: 25,
+            ..Default::default()
+        },
+    );
+    let p = CasidaProblem::from_ground_state(&grid, &gs);
+    assert_eq!(p.n_v(), 4);
+    let sol = solve(
+        &p,
+        Version::ImplicitKmeansIsdfLobpcg,
+        SolverParams { n_states: 2, ..Default::default() },
+    );
+    assert_eq!(sol.energies.len(), 2);
+    assert!(sol.energies[0] > 0.0);
+    assert!(sol.energies[0] <= sol.energies[1]);
+    assert!(sol.lobpcg_iterations.is_some());
+}
+
+#[test]
+fn excitations_exceed_none_of_bare_gap_bounds() {
+    // TDA with our (attractive) f_xc + (repulsive) Hartree kernel keeps the
+    // lowest excitation within a physically sensible window around the bare
+    // Kohn-Sham gap.
+    let p = si8_problem();
+    let bare_min = p
+        .diag_d()
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    let sol = solve(
+        &p,
+        Version::Naive,
+        SolverParams { n_states: 1, ..Default::default() },
+    );
+    let e0 = sol.energies[0];
+    assert!(e0 > 0.2 * bare_min, "excitation collapsed: {e0} vs bare {bare_min}");
+    assert!(e0 < 5.0 * bare_min.max(1e-3), "excitation blew up: {e0} vs bare {bare_min}");
+}
