@@ -13,13 +13,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = None;
     let mut scale = Scale::Default;
-    let mut out = PathBuf::from("results");
+    let mut out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
-            "--out" => out = PathBuf::from(it.next().expect("--out needs a path")),
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
             name if experiment.is_none() => experiment = Some(name.to_string()),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -29,10 +35,19 @@ fn main() {
     }
     let experiment = experiment.unwrap_or_else(|| {
         eprintln!(
-            "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|all> [--quick|--full] [--out DIR]"
+            "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|gemm-report|all> [--quick|--full] [--out DIR]"
         );
         std::process::exit(2);
     });
+
+    if experiment == "gemm-report" {
+        // Default to the working directory so `BENCH_gemm.json` lands at the
+        // repo root when run as `cargo run -p bench -- gemm-report`.
+        let dir = out.unwrap_or_else(|| PathBuf::from("."));
+        bench::gemm_report::run(&dir, matches!(scale, Scale::Quick)).expect("write gemm report");
+        return;
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from("results"));
 
     let run = |name: &str, scale: Scale| -> ExperimentRecord {
         match name {

@@ -1,6 +1,9 @@
 //! Table printing and JSON experiment records.
+//!
+//! JSON is emitted by hand (see [`json`]) — the record shape is flat
+//! (strings, string arrays, and nested string arrays), so a serializer
+//! dependency buys nothing here.
 
-use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
 
@@ -40,9 +43,48 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("{}", line("+"));
 }
 
+/// Minimal JSON emission helpers for the flat shapes this crate writes.
+pub mod json {
+    /// Escape a string per RFC 8259 (quotes, backslash, control chars).
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// `"s"` with escaping.
+    pub fn string(s: &str) -> String {
+        format!("\"{}\"", escape(s))
+    }
+
+    /// `["a", "b", ...]` of strings.
+    pub fn string_array(items: &[String]) -> String {
+        let inner: Vec<String> = items.iter().map(|s| string(s)).collect();
+        format!("[{}]", inner.join(", "))
+    }
+
+    /// A finite f64 as a JSON number (nan/inf map to null).
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
 /// A JSON-serializable record of one experiment run (appended to
 /// `results/<experiment>.json` by the harness).
-#[derive(Serialize)]
 pub struct ExperimentRecord {
     pub experiment: String,
     pub headers: Vec<String>,
@@ -60,13 +102,25 @@ impl ExperimentRecord {
         }
     }
 
+    /// Pretty-printed JSON object for this record.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> =
+            self.rows.iter().map(|r| format!("    {}", json::string_array(r))).collect();
+        format!(
+            "{{\n  \"experiment\": {},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ],\n  \"notes\": {}\n}}",
+            json::string(&self.experiment),
+            json::string_array(&self.headers),
+            rows.join(",\n"),
+            json::string(&self.notes)
+        )
+    }
+
     /// Write to `dir/<experiment>.json`.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.experiment));
         let mut f = std::fs::File::create(path)?;
-        let json = serde_json::to_string_pretty(self).expect("serializable record");
-        f.write_all(json.as_bytes())
+        f.write_all(self.to_json().as_bytes())
     }
 }
 
@@ -82,7 +136,7 @@ mod tests {
             &[vec!["512".into(), "10.12".into(), "1.61".into()]],
             "scaled",
         );
-        let s = serde_json::to_string(&r).unwrap();
+        let s = r.to_json();
         assert!(s.contains("table3"));
         assert!(s.contains("10.12"));
     }
@@ -95,6 +149,13 @@ mod tests {
         let content = std::fs::read_to_string(dir.join("t.json")).unwrap();
         assert!(content.contains("\"experiment\": \"t\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json::string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json::number(f64::NAN), "null");
+        assert_eq!(json::number(1.5), "1.5");
     }
 
     #[test]

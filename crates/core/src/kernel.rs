@@ -6,7 +6,7 @@
 //! of Algorithm 1 lines 4–5.
 
 use fftkit::{Complex, PoissonSolver};
-use mathkit::Mat;
+use mathkit::{Mat, Transpose};
 use pwdft::Grid;
 use rayon::prelude::*;
 
@@ -36,33 +36,40 @@ impl HxcKernel {
     /// Apply `f_Hxc` to every column of `fields` (`N_r × k`):
     /// `out[:, j] = f_H * fields[:, j] + f_xc ∘ fields[:, j]`.
     pub fn apply(&self, fields: &Mat) -> Mat {
+        let mut out = Mat::zeros(fields.nrows(), fields.ncols());
+        self.apply_into(fields, &mut out);
+        out
+    }
+
+    /// [`HxcKernel::apply`] writing into a caller-owned `out` (`N_r × k`).
+    ///
+    /// Columns are processed through parallel column views of `out`, and the
+    /// Hartree FFT workspace is one complex scratch buffer per Rayon worker
+    /// (`for_each_init`) instead of a fresh allocation per column.
+    pub fn apply_into(&self, fields: &Mat, out: &mut Mat) {
         let nr = fields.nrows();
         assert_eq!(nr, self.fxc.len());
-        let mut out = Mat::zeros(nr, fields.ncols());
+        assert_eq!(out.shape(), fields.shape(), "apply_into shape mismatch");
         let plan = self.poisson.plan();
-        let cols: Vec<Vec<f64>> = (0..fields.ncols())
-            .into_par_iter()
-            .map(|j| {
+        out.par_cols_mut().enumerate().for_each_init(
+            || Vec::<Complex>::with_capacity(if self.with_hartree { nr } else { 0 }),
+            |spec, (j, out_col)| {
                 let col = fields.col(j);
-                let mut result: Vec<f64> =
-                    col.iter().zip(self.fxc.iter()).map(|(&f, &x)| f * x).collect();
+                for ((o, &f), &x) in out_col.iter_mut().zip(col.iter()).zip(self.fxc.iter()) {
+                    *o = f * x;
+                }
                 if self.with_hartree {
-                    let mut spec: Vec<Complex> =
-                        col.iter().map(|&x| Complex::from_re(x)).collect();
-                    plan.forward(&mut spec);
-                    self.poisson.apply_in_reciprocal(&mut spec);
-                    plan.inverse(&mut spec);
-                    for (r, z) in result.iter_mut().zip(spec.iter()) {
+                    spec.clear();
+                    spec.extend(col.iter().map(|&x| Complex::from_re(x)));
+                    plan.forward(spec);
+                    self.poisson.apply_in_reciprocal(spec);
+                    plan.inverse(spec);
+                    for (r, z) in out_col.iter_mut().zip(spec.iter()) {
                         *r += z.re;
                     }
                 }
-                result
-            })
-            .collect();
-        for (j, c) in cols.into_iter().enumerate() {
-            out.col_mut(j).copy_from_slice(&c);
-        }
-        out
+            },
+        );
     }
 
     /// Matrix elements `M = ΔV · Aᵀ (f_Hxc B)` for field batches `A`, `B` —
@@ -70,8 +77,9 @@ impl HxcKernel {
     /// (one `ΔV` lives in the Fourier-space convolution, the other here).
     pub fn matrix_elements(&self, a: &Mat, b: &Mat, dv: f64) -> Mat {
         let fb = self.apply(b);
-        let mut m = mathkit::gemm_tn(a, &fb);
-        m.scale(dv);
+        let mut m = Mat::zeros(a.ncols(), fb.ncols());
+        // ΔV folds into the contraction's alpha — no separate scale pass.
+        mathkit::gemm(dv, a, Transpose::Yes, &fb, Transpose::No, 0.0, &mut m);
         m
     }
 }

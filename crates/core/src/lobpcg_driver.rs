@@ -31,8 +31,7 @@ pub fn initial_guess(diag_d: &[f64], k: usize, seed: u64) -> Mat {
 pub fn casida_preconditioner(diag_d: &[f64], guard: f64) -> impl Fn(&Mat, &[f64]) -> Mat + '_ {
     move |r: &Mat, theta: &[f64]| {
         let mut w = r.clone();
-        for j in 0..w.ncols() {
-            let th = theta[j];
+        for (j, &th) in theta.iter().enumerate().take(w.ncols()) {
             let col = w.col_mut(j);
             for (i, v) in col.iter_mut().enumerate() {
                 let mut den = diag_d[i] - th;

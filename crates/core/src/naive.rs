@@ -8,7 +8,7 @@ use crate::kernel::HxcKernel;
 use crate::problem::CasidaProblem;
 use crate::timers::StageTimings;
 use isdf::face_splitting_product;
-use mathkit::{syev, Mat};
+use mathkit::{syev, Mat, Transpose};
 use std::time::Instant;
 
 /// Build the dense TDA Hamiltonian `H = D + 2 V_Hxc` (`N_cv × N_cv`).
@@ -27,10 +27,11 @@ pub fn build_dense_hamiltonian(problem: &CasidaProblem, timings: &mut StageTimin
     let f_p = kernel.apply(&p_vc);
     timings.fft += t0.elapsed().as_secs_f64();
 
-    // V_Hxc = ΔV · P_vcᵀ (f_Hxc P_vc) (line 7).
+    // V_Hxc = ΔV · P_vcᵀ (f_Hxc P_vc) (line 7). The TDA singlet factor 2
+    // (paper Eq. 2) and ΔV fold into the GEMM's alpha — no scale pass.
     let t0 = Instant::now();
-    let mut h = mathkit::gemm_tn(&p_vc, &f_p);
-    h.scale(2.0 * dv); // TDA singlet factor 2 (paper Eq. 2)
+    let mut h = Mat::zeros(p_vc.ncols(), f_p.ncols());
+    mathkit::gemm(2.0 * dv, &p_vc, Transpose::Yes, &f_p, Transpose::No, 0.0, &mut h);
     timings.gemm += t0.elapsed().as_secs_f64();
 
     // H = D + 2 V_Hxc (line 10).

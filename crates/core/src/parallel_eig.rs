@@ -18,7 +18,7 @@ use crate::lobpcg_driver::initial_guess;
 use crate::timers::StageTimings;
 use crate::versions::IsdfHamiltonian;
 use mathkit::chol::{cholesky, solve_right_lower_transpose, solve_spd};
-use mathkit::gemm::{gemm, gemm_tn, Transpose};
+use mathkit::gemm::{gemm, gemm_tn, syrk_tn, Transpose};
 use mathkit::lobpcg::LobpcgOptions;
 use mathkit::{syev, Mat};
 use parcomm::layout::block_ranges;
@@ -55,7 +55,7 @@ fn apply_distributed(
     let mut out = Mat::zeros(rows.len(), m);
     gemm(2.0, &c_loc, Transpose::Yes, &vcx, Transpose::No, 0.0, &mut out);
     for j in 0..m {
-        let xc = x_loc.col(j).to_vec();
+        let xc = x_loc.col(j);
         let oc = out.col_mut(j);
         for (il, i) in rows.clone().enumerate() {
             oc[il] += ham.diag_d[i] * xc[il];
@@ -74,7 +74,10 @@ fn dist_gram(comm: &Comm, a_loc: &Mat, b_loc: &Mat) -> Mat {
 /// Cholesky-QR of a row-distributed block; falls back to a jittered diagonal
 /// if the Gram matrix degenerates. Returns the orthonormalized local block.
 fn dist_cholesky_qr(comm: &Comm, s_loc: &Mat) -> Option<Mat> {
-    let g = dist_gram(comm, s_loc, s_loc);
+    // SᵀS is a symmetric Gram — the packed rank-k engine computes only the
+    // lower triangle and mirrors it; one small Allreduce replicates it.
+    let mut g = syrk_tn(s_loc);
+    comm.allreduce_sum(g.as_mut_slice());
     match cholesky(&g) {
         Ok(l) => Some(solve_right_lower_transpose(s_loc, &l)),
         Err(_) => None,
@@ -119,9 +122,8 @@ pub fn distributed_casida_lobpcg(
         }
         // Residuals and their global norms.
         let mut r = ax.clone();
-        for j in 0..k {
-            let th = theta[j];
-            let xc = x.col(j).to_vec();
+        for (j, &th) in theta.iter().enumerate().take(k) {
+            let xc = x.col(j);
             for (rv, xv) in r.col_mut(j).iter_mut().zip(xc.iter()) {
                 *rv -= th * xv;
             }
@@ -142,8 +144,7 @@ pub fn distributed_casida_lobpcg(
 
         // Preconditioned residuals (diagonal, row-local; paper Eq. 17).
         let mut w = r;
-        for j in 0..k {
-            let th = theta[j];
+        for (j, &th) in theta.iter().enumerate().take(k) {
             let col = w.col_mut(j);
             for (il, i) in rows.clone().enumerate() {
                 let mut den = ham.diag_d[i] - th;
@@ -268,13 +269,13 @@ mod tests {
             });
             for (vals, conv) in &res {
                 assert!(*conv, "ranks={ranks} did not converge");
-                for i in 0..k {
-                    let rel = (vals[i] - serial.values[i]).abs()
-                        / serial.values[i].abs().max(1e-12);
+                for (i, v) in vals.iter().enumerate().take(k) {
+                    let rel =
+                        (v - serial.values[i]).abs() / serial.values[i].abs().max(1e-12);
                     assert!(
                         rel < 1e-6,
                         "ranks={ranks} state {i}: {} vs {}",
-                        vals[i],
+                        v,
                         serial.values[i]
                     );
                 }

@@ -11,7 +11,7 @@
 //! `V_Hxc`, and reduction of chunk `q` overlaps (in a real network) with the
 //! GEMM of chunk `q+1`.
 
-use mathkit::gemm::{gemm, Transpose};
+use mathkit::gemm::{gemm, syrk_tn_scaled, Transpose};
 use mathkit::Mat;
 use parcomm::layout::block_ranges;
 use parcomm::Comm;
@@ -31,8 +31,15 @@ pub struct GramResult {
 /// Every rank returns the complete `m × n` matrix.
 pub fn gram_allreduce(comm: &Comm, a_local: &Mat, b_local: &Mat, scale: f64) -> GramResult {
     let (m, n) = (a_local.ncols(), b_local.ncols());
-    let mut v = Mat::zeros(m, n);
-    gemm(scale, a_local, Transpose::Yes, b_local, Transpose::No, 0.0, &mut v);
+    // A Gram of a block with itself is symmetric — the packed rank-k engine
+    // computes only the lower triangle and mirrors it.
+    let mut v = if std::ptr::eq(a_local, b_local) {
+        syrk_tn_scaled(scale, a_local)
+    } else {
+        let mut v = Mat::zeros(m, n);
+        gemm(scale, a_local, Transpose::Yes, b_local, Transpose::No, 0.0, &mut v);
+        v
+    };
     comm.allreduce_sum(v.as_mut_slice());
     GramResult { local: v, col_range: 0..n, peak_words: m * n }
 }

@@ -134,7 +134,7 @@ impl IsdfHamiltonian {
         let mut out = Mat::zeros(ncv, x.ncols());
         gemm(2.0, &self.c, Transpose::Yes, &vcx, Transpose::No, 0.0, &mut out);
         for j in 0..x.ncols() {
-            let xc = x.col(j).to_vec();
+            let xc = x.col(j);
             let oc = out.col_mut(j);
             for i in 0..ncv {
                 oc[i] += self.diag_d[i] * xc[i];
@@ -199,8 +199,9 @@ pub fn build_isdf_hamiltonian(
     let f_theta = kernel.apply(&isdf.theta);
     timings.fft += t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let mut v_tilde = mathkit::gemm_tn(&isdf.theta, &f_theta);
-    v_tilde.scale(dv);
+    // ΔV folds into the contraction's alpha — no separate scale pass.
+    let mut v_tilde = Mat::zeros(isdf.theta.ncols(), f_theta.ncols());
+    gemm(dv, &isdf.theta, Transpose::Yes, &f_theta, Transpose::No, 0.0, &mut v_tilde);
     v_tilde.symmetrize();
     let c = isdf.coefficients();
     timings.gemm += t0.elapsed().as_secs_f64();

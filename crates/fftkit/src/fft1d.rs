@@ -115,8 +115,8 @@ fn bluestein(x: &mut [Complex], inverse: bool) {
     }
     radix2(&mut a, false);
     radix2(&mut b, false);
-    for j in 0..m {
-        a[j] = a[j] * b[j];
+    for (av, bv) in a.iter_mut().zip(b.iter()) {
+        *av *= *bv;
     }
     radix2(&mut a, true);
     let minv = 1.0 / m as f64;

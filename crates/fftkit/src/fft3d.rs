@@ -98,14 +98,14 @@ impl Fft3 {
                 // SAFETY: each (i3, i1) pair touches a disjoint strided line.
                 let p = data_ptr;
                 unsafe {
-                    for i2 in 0..n2 {
-                        line[i2] = *p.0.add(base + i1 + i2 * n1);
+                    for (i2, l) in line.iter_mut().enumerate() {
+                        *l = *p.0.add(base + i1 + i2 * n1);
                     }
                 }
                 apply(&mut line);
                 unsafe {
-                    for i2 in 0..n2 {
-                        *p.0.add(base + i1 + i2 * n1) = line[i2];
+                    for (i2, l) in line.iter().enumerate() {
+                        *p.0.add(base + i1 + i2 * n1) = *l;
                     }
                 }
             }
@@ -120,14 +120,14 @@ impl Fft3 {
                 let off = i1 + i2 * n1;
                 // SAFETY: disjoint strided lines per (i1, i2).
                 unsafe {
-                    for i3 in 0..n3 {
-                        line[i3] = *p.0.add(off + i3 * plane);
+                    for (i3, l) in line.iter_mut().enumerate() {
+                        *l = *p.0.add(off + i3 * plane);
                     }
                 }
                 apply(&mut line);
                 unsafe {
-                    for i3 in 0..n3 {
-                        *p.0.add(off + i3 * plane) = line[i3];
+                    for (i3, l) in line.iter().enumerate() {
+                        *p.0.add(off + i3 * plane) = *l;
                     }
                 }
             }

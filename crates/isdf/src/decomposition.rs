@@ -1,7 +1,6 @@
 //! The assembled ISDF decomposition and the face-splitting product.
 
 use mathkit::Mat;
-use rayon::prelude::*;
 
 use crate::interp::interpolation_vectors;
 
@@ -183,7 +182,7 @@ mod tests {
         let isdf = IsdfDecomposition::build(&psi, &phi, &pts);
         let rec = isdf.reconstruct_pair(1, 0);
         let z = face_splitting_product(&psi, &phi);
-        let col = z.col(1 * 2 + 0);
+        let col = z.col(2); // pair (i=1, j=0) → column i·nb + j with nb = 2
         let err: f64 = rec
             .iter()
             .zip(col.iter())

@@ -19,7 +19,7 @@
 //! `O(N_r N_μ²)`-class costs in the paper's Table 4.
 
 use mathkit::chol::solve_spd;
-use mathkit::gemm::{gemm, Transpose};
+use mathkit::gemm::{gemm, syrk_nt, Transpose};
 use mathkit::Mat;
 
 /// The two Hadamard-factored Gram matrices of the Galerkin system.
@@ -41,10 +41,10 @@ pub fn gram_pair(psi: &Mat, phi: &Mat, psi_hat: &Mat, phi_hat: &Mat) -> GramPair
     gemm(1.0, phi, Transpose::No, phi_hat, Transpose::Yes, 0.0, &mut p2);
     let zc_t = p1.hadamard(&p2);
 
-    let mut q1 = Mat::zeros(n_mu, n_mu);
-    gemm(1.0, psi_hat, Transpose::No, psi_hat, Transpose::Yes, 0.0, &mut q1);
-    let mut q2 = Mat::zeros(n_mu, n_mu);
-    gemm(1.0, phi_hat, Transpose::No, phi_hat, Transpose::Yes, 0.0, &mut q2);
+    // Ψ̂ Ψ̂ᵀ and Φ̂ Φ̂ᵀ are symmetric Grams — use the packed rank-k engine,
+    // which computes only the lower triangle and mirrors it.
+    let q1 = syrk_nt(psi_hat);
+    let q2 = syrk_nt(phi_hat);
     let cc_t = q1.hadamard(&q2);
 
     GramPair { zc_t, cc_t }

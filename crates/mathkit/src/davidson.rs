@@ -17,17 +17,11 @@ use crate::ortho::modified_gram_schmidt;
 
 /// Options for [`davidson`]. Reuses the LOBPCG option struct for the common
 /// fields plus a subspace cap.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct DavidsonOptions {
     pub base: LobpcgOptions,
     /// Maximum subspace dimension before a restart (≥ 2k).
     pub max_space: usize,
-}
-
-impl Default for DavidsonOptions {
-    fn default() -> Self {
-        DavidsonOptions { base: LobpcgOptions::default(), max_space: 0 }
-    }
 }
 
 /// Lowest `k = x0.ncols()` eigenpairs of the symmetric operator `apply`,
@@ -75,8 +69,7 @@ where
 
         // Residuals R = A X − X Θ.
         let mut r = aritz;
-        for j in 0..k {
-            let th = theta[j];
+        for (j, &th) in theta.iter().enumerate().take(k) {
             let xc = ritz.col(j).to_vec();
             for (rv, xv) in r.col_mut(j).iter_mut().zip(xc.iter()) {
                 *rv -= th * xv;
@@ -175,8 +168,8 @@ mod tests {
         let x0 = Mat::random(n, 3, &mut rng);
         let res = davidson(diag_op(&d), no_precond, &x0, DavidsonOptions::default());
         assert!(res.converged, "residual {}", res.residual);
-        for i in 0..3 {
-            assert!((res.values[i] - d[i]).abs() < 1e-6);
+        for (v, dv) in res.values.iter().zip(d.iter()).take(3) {
+            assert!((v - dv).abs() < 1e-6);
         }
     }
 
@@ -231,9 +224,9 @@ mod tests {
         let d: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
         let precond = |r: &Mat, theta: &[f64]| {
             let mut w = r.clone();
-            for j in 0..w.ncols() {
+            for (j, &th) in theta.iter().enumerate().take(w.ncols()) {
                 for (i, v) in w.col_mut(j).iter_mut().enumerate() {
-                    let den = (d[i] - theta[j]).abs().max(0.1);
+                    let den = (d[i] - th).abs().max(0.1);
                     *v /= den;
                 }
             }

@@ -33,7 +33,9 @@ pub use chol::{cholesky, solve_lower, solve_lower_transpose, solve_spd};
 pub use davidson::{davidson, DavidsonOptions};
 pub use lobpcg::{lobpcg, no_precond, LobpcgOptions, LobpcgResult};
 pub use eigen::{syev, Eigen};
-pub use gemm::{gemm, gemm_tn, gemv, syrk_tn, Transpose};
+pub use gemm::{
+    gemm, gemm_tn, gemv, matmul, syrk_nt, syrk_nt_scaled, syrk_tn, syrk_tn_scaled, Transpose,
+};
 pub use lstsq::{lstsq_normal, lstsq_qr};
 pub use lu::{lu_decompose, solve_general, Lu};
 pub use mat::Mat;

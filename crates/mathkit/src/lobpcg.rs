@@ -90,8 +90,7 @@ where
             *t = xtax[(i, i)];
         }
         let mut r = ax.clone();
-        for j in 0..k {
-            let th = theta[j];
+        for (j, &th) in theta.iter().enumerate().take(k) {
             let xc = x.col(j).to_vec();
             let rc = r.col_mut(j);
             for (rv, xv) in rc.iter_mut().zip(xc.iter()) {
@@ -289,8 +288,8 @@ mod tests {
         };
         let precond = |r: &Mat, theta: &[f64]| {
             let mut w = r.clone();
-            for j in 0..w.ncols() {
-                let shift = (2.0 - theta[j]).max(0.1);
+            for (j, &th) in theta.iter().enumerate().take(w.ncols()) {
+                let shift = (2.0 - th).max(0.1);
                 for v in w.col_mut(j) {
                     *v /= shift;
                 }

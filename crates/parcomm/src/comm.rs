@@ -8,10 +8,15 @@
 //! safe because only the owner writes its slot.
 
 use crate::cost::CostModel;
-use parking_lot::Mutex;
 use std::cell::Cell;
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// `lock()` with poison-recovery: a panicked rank already aborts the SPMD
+/// scope, so recovering the data here never observes a torn slot.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Per-rank communication statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -98,18 +103,18 @@ impl Comm {
             self.account(0, t0, 0.0);
             return;
         }
-        *self.shared.flat[self.rank].lock() = buf.to_vec();
+        *lock(&self.shared.flat[self.rank]) = buf.to_vec();
         self.shared.barrier.wait();
         buf.fill(0.0);
         for r in 0..p {
-            let slot = self.shared.flat[r].lock();
+            let slot = lock(&self.shared.flat[r]);
             assert_eq!(slot.len(), buf.len(), "allreduce length mismatch at rank {r}");
             for (b, s) in buf.iter_mut().zip(slot.iter()) {
                 *b += *s;
             }
         }
         self.shared.barrier.wait();
-        self.shared.flat[self.rank].lock().clear();
+        lock(&self.shared.flat[self.rank]).clear();
         let bytes = buf.len() * 8;
         let m = self.shared.model.allreduce(p, bytes);
         self.account(bytes, t0, m);
@@ -123,14 +128,14 @@ impl Comm {
             self.account(0, t0, 0.0);
             return v;
         }
-        *self.shared.flat[self.rank].lock() = vec![v];
+        *lock(&self.shared.flat[self.rank]) = vec![v];
         self.shared.barrier.wait();
         let mut out = f64::NEG_INFINITY;
         for r in 0..p {
-            out = out.max(self.shared.flat[r].lock()[0]);
+            out = out.max(lock(&self.shared.flat[r])[0]);
         }
         self.shared.barrier.wait();
-        self.shared.flat[self.rank].lock().clear();
+        lock(&self.shared.flat[self.rank]).clear();
         let m = self.shared.model.allreduce(p, 8);
         self.account(8, t0, m);
         out
@@ -144,19 +149,19 @@ impl Comm {
             self.account(0, t0, 0.0);
             return;
         }
-        *self.shared.flat[self.rank].lock() = buf.to_vec();
+        *lock(&self.shared.flat[self.rank]) = buf.to_vec();
         self.shared.barrier.wait();
         if self.rank == root {
             buf.fill(0.0);
             for r in 0..p {
-                let slot = self.shared.flat[r].lock();
+                let slot = lock(&self.shared.flat[r]);
                 for (b, s) in buf.iter_mut().zip(slot.iter()) {
                     *b += *s;
                 }
             }
         }
         self.shared.barrier.wait();
-        self.shared.flat[self.rank].lock().clear();
+        lock(&self.shared.flat[self.rank]).clear();
         let bytes = buf.len() * 8;
         let m = self.shared.model.reduce(p, bytes);
         self.account(bytes, t0, m);
@@ -171,17 +176,17 @@ impl Comm {
             return;
         }
         if self.rank == root {
-            *self.shared.flat[root].lock() = buf.to_vec();
+            *lock(&self.shared.flat[root]) = buf.to_vec();
         }
         self.shared.barrier.wait();
         if self.rank != root {
-            let slot = self.shared.flat[root].lock();
+            let slot = lock(&self.shared.flat[root]);
             assert_eq!(slot.len(), buf.len(), "bcast length mismatch");
             buf.copy_from_slice(&slot);
         }
         self.shared.barrier.wait();
         if self.rank == root {
-            self.shared.flat[root].lock().clear();
+            lock(&self.shared.flat[root]).clear();
         }
         let bytes = buf.len() * 8;
         let m = self.shared.model.bcast(p, bytes);
@@ -197,14 +202,14 @@ impl Comm {
             self.account(0, t0, 0.0);
             return mine.to_vec();
         }
-        *self.shared.flat[self.rank].lock() = mine.to_vec();
+        *lock(&self.shared.flat[self.rank]) = mine.to_vec();
         self.shared.barrier.wait();
         let mut out = Vec::new();
         for r in 0..p {
-            out.extend_from_slice(&self.shared.flat[r].lock());
+            out.extend_from_slice(&lock(&self.shared.flat[r]));
         }
         self.shared.barrier.wait();
-        self.shared.flat[self.rank].lock().clear();
+        lock(&self.shared.flat[self.rank]).clear();
         let total = out.len() * 8;
         let m = self.shared.model.allgatherv(p, total);
         self.account(mine.len() * 8, t0, m);
@@ -222,15 +227,15 @@ impl Comm {
             self.account(0, t0, 0.0);
             return send;
         }
-        *self.shared.chunked[self.rank].lock() = send;
+        *lock(&self.shared.chunked[self.rank]) = send;
         self.shared.barrier.wait();
         let mut recv = Vec::with_capacity(p);
         for r in 0..p {
-            let slot = self.shared.chunked[r].lock();
+            let slot = lock(&self.shared.chunked[r]);
             recv.push(slot[self.rank].clone());
         }
         self.shared.barrier.wait();
-        self.shared.chunked[self.rank].lock().clear();
+        lock(&self.shared.chunked[self.rank]).clear();
         let m = self.shared.model.alltoallv(p, sent_bytes);
         self.account(sent_bytes, t0, m);
         recv
@@ -262,12 +267,12 @@ where
         model,
     });
     let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(size);
         for rank in 0..size {
             let shared = Arc::clone(&shared);
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let comm = Comm {
                     rank,
                     shared,
@@ -282,8 +287,7 @@ where
         for (rank, h) in handles.into_iter().enumerate() {
             results[rank] = Some(h.join().expect("rank panicked"));
         }
-    })
-    .expect("SPMD scope failed");
+    });
     results.into_iter().map(|r| r.unwrap()).collect()
 }
 

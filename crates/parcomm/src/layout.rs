@@ -67,7 +67,7 @@ impl BlockCyclic2D {
     /// Square-ish process grid for `p` ranks with block size `nb`.
     pub fn for_ranks(p: usize, nb: usize) -> Self {
         let mut prow = (p as f64).sqrt().floor() as usize;
-        while prow > 1 && p % prow != 0 {
+        while prow > 1 && !p.is_multiple_of(prow) {
             prow -= 1;
         }
         let prow = prow.max(1);

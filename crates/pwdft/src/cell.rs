@@ -79,9 +79,9 @@ impl Grid {
     /// radix-2 FFTs (the paper similarly picks FFT-friendly dimensions).
     pub fn for_cutoff(cell: Cell, ecut: f64) -> Self {
         let mut n = [0usize; 3];
-        for c in 0..3 {
-            let raw = ((2.0 * ecut).sqrt() * cell.lengths[c] / std::f64::consts::PI).ceil();
-            n[c] = (raw as usize).max(4).next_power_of_two();
+        for (nc, len) in n.iter_mut().zip(cell.lengths.iter()) {
+            let raw = ((2.0 * ecut).sqrt() * len / std::f64::consts::PI).ceil();
+            *nc = (raw as usize).max(4).next_power_of_two();
         }
         Grid::new(cell, n)
     }
@@ -180,8 +180,8 @@ mod tests {
         let first = g.coords(0);
         assert_eq!(first, [0.0, 0.0, 0.0]);
         let last = g.coords(g.len() - 1);
-        for c in 0..3 {
-            assert!((last[c] - 6.0).abs() < 1e-12); // 3/4 * 8
+        for v in last {
+            assert!((v - 6.0).abs() < 1e-12); // 3/4 * 8
         }
     }
 

@@ -26,35 +26,43 @@ impl<'g> KsHamiltonian<'g> {
 
     /// Apply `H` to a block of wavefunction columns (`N_r × N_b`).
     pub fn apply(&self, psi: &Mat) -> Mat {
-        assert_eq!(psi.nrows(), self.grid.len());
         let mut out = Mat::zeros(psi.nrows(), psi.ncols());
+        self.apply_into(psi, &mut out);
+        out
+    }
+
+    /// [`KsHamiltonian::apply`] writing into a caller-owned `out`.
+    ///
+    /// Columns go through parallel column views of `out`; the FFT workspace
+    /// is one complex scratch buffer per Rayon worker (`for_each_init`), not
+    /// a fresh allocation per column.
+    pub fn apply_into(&self, psi: &Mat, out: &mut Mat) {
+        let nr = self.grid.len();
+        assert_eq!(psi.nrows(), nr);
+        assert_eq!(out.shape(), psi.shape(), "apply_into shape mismatch");
         let plan = self.grid.plan();
         let g2 = self.grid.g2();
         let v = &self.v_eff;
-        let cols: Vec<Vec<f64>> = (0..psi.ncols())
-            .into_par_iter()
-            .map(|j| {
+        out.par_cols_mut().enumerate().for_each_init(
+            || Vec::<Complex>::with_capacity(nr),
+            |spec, (j, out_col)| {
                 let col = psi.col(j);
                 // Kinetic: FFT → ½|G|² → inverse FFT.
-                let mut spec: Vec<Complex> =
-                    col.iter().map(|&x| Complex::from_re(x)).collect();
-                plan.forward(&mut spec);
+                spec.clear();
+                spec.extend(col.iter().map(|&x| Complex::from_re(x)));
+                plan.forward(spec);
                 for (z, &gg) in spec.iter_mut().zip(g2.iter()) {
                     *z = z.scale(0.5 * gg);
                 }
-                plan.inverse(&mut spec);
+                plan.inverse(spec);
                 // Plus local potential.
-                spec.iter()
-                    .zip(col.iter())
-                    .zip(v.iter())
-                    .map(|((t, &x), &vr)| t.re + vr * x)
-                    .collect()
-            })
-            .collect();
-        for (j, c) in cols.into_iter().enumerate() {
-            out.col_mut(j).copy_from_slice(&c);
-        }
-        out
+                for (((o, t), &x), &vr) in
+                    out_col.iter_mut().zip(spec.iter()).zip(col.iter()).zip(v.iter())
+                {
+                    *o = t.re + vr * x;
+                }
+            },
+        );
     }
 
     /// Diagonal kinetic preconditioner in reciprocal space:
@@ -63,22 +71,21 @@ impl<'g> KsHamiltonian<'g> {
         let plan = self.grid.plan();
         let g2 = self.grid.g2();
         let mut out = Mat::zeros(r.nrows(), r.ncols());
-        let cols: Vec<Vec<f64>> = (0..r.ncols())
-            .into_par_iter()
-            .map(|j| {
-                let mut spec: Vec<Complex> =
-                    r.col(j).iter().map(|&x| Complex::from_re(x)).collect();
-                plan.forward(&mut spec);
+        out.par_cols_mut().enumerate().for_each_init(
+            || Vec::<Complex>::with_capacity(self.grid.len()),
+            |spec, (j, out_col)| {
+                spec.clear();
+                spec.extend(r.col(j).iter().map(|&x| Complex::from_re(x)));
+                plan.forward(spec);
                 for (z, &gg) in spec.iter_mut().zip(g2.iter()) {
                     *z = z.scale(1.0 / (1.0 + gg));
                 }
-                plan.inverse(&mut spec);
-                spec.into_iter().map(|z| z.re).collect()
-            })
-            .collect();
-        for (j, c) in cols.into_iter().enumerate() {
-            out.col_mut(j).copy_from_slice(&c);
-        }
+                plan.inverse(spec);
+                for (o, z) in out_col.iter_mut().zip(spec.iter()) {
+                    *o = z.re;
+                }
+            },
+        );
         out
     }
 }

@@ -259,7 +259,7 @@ pub fn scf(grid: &Grid, structure: &Structure, opts: ScfOptions) -> GroundState 
 mod tests {
     use super::*;
     use crate::structures::{silicon_supercell, water_in_box};
-    use mathkit::gemm_tn;
+    use mathkit::syrk_tn_scaled;
 
     fn quick_opts() -> ScfOptions {
         ScfOptions {
@@ -290,8 +290,8 @@ mod tests {
             assert!(w[0] <= w[1] + 1e-9);
         }
         // orbitals grid-orthonormal
-        let mut overlap = gemm_tn(&gs.psi, &gs.psi);
-        overlap.scale(grid.dv());
+        // ΨᵀΨ is a symmetric Gram — packed rank-k engine with ΔV in alpha.
+        let overlap = syrk_tn_scaled(grid.dv(), &gs.psi);
         assert!(overlap.max_abs_diff(&Mat::eye(gs.eps.len())) < 1e-5);
     }
 

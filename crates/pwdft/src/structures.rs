@@ -38,7 +38,7 @@ impl Structure {
     /// Number of doubly-occupied valence orbitals (closed shell).
     pub fn n_valence(&self) -> usize {
         let ne = self.n_electrons();
-        assert!(ne % 2 == 0, "closed-shell systems only (even electron count)");
+        assert!(ne.is_multiple_of(2), "closed-shell systems only (even electron count)");
         ne / 2
     }
 }

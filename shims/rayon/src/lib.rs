@@ -1,0 +1,232 @@
+//! Serial drop-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no registry access, so the real `rayon` cannot
+//! be vendored; this shim keeps every `par_*` call site source-compatible
+//! while executing serially. Because the traits are blanket-implemented over
+//! [`std::iter::Iterator`], all the usual adapters (`map`, `zip`,
+//! `enumerate`, `for_each`, `collect`, …) keep working unchanged, and code
+//! written against this shim stays correct under the real rayon: every
+//! closure is still required to be shape-compatible with a parallel run
+//! (no `&mut` captures across items beyond what `for_each_init` provides).
+
+pub mod iter {
+    /// Serial stand-in: every std iterator counts as a parallel iterator.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Run `op` for each item with a per-"worker" scratch value.
+        ///
+        /// Serially there is exactly one worker, so `init` runs once and the
+        /// scratch is threaded through every call — the same guarantee rayon
+        /// gives per worker thread, which is what callers must code against.
+        fn for_each_init<T, INIT, OP>(self, init: INIT, op: OP)
+        where
+            INIT: FnMut() -> T,
+            OP: FnMut(&mut T, Self::Item),
+        {
+            let mut init = init;
+            let mut op = op;
+            let mut scratch = init();
+            for item in self {
+                op(&mut scratch, item);
+            }
+        }
+
+        /// Map with a per-worker scratch value (serial: one scratch).
+        fn map_init<T, INIT, OP, R>(self, init: INIT, op: OP) -> MapInit<Self, T, OP>
+        where
+            INIT: FnMut() -> T,
+            OP: FnMut(&mut T, Self::Item) -> R,
+        {
+            let mut init = init;
+            MapInit { base: self, scratch: init(), op }
+        }
+
+        fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+
+        fn with_max_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+
+    /// Serial stand-in for rayon's indexed (exact-length) parallel iterator.
+    pub trait IndexedParallelIterator: ParallelIterator {}
+
+    impl<I: Iterator> IndexedParallelIterator for I {}
+
+    /// Iterator returned by [`ParallelIterator::map_init`].
+    pub struct MapInit<I, T, OP> {
+        base: I,
+        scratch: T,
+        op: OP,
+    }
+
+    impl<I, T, OP, R> Iterator for MapInit<I, T, OP>
+    where
+        I: Iterator,
+        OP: FnMut(&mut T, I::Item) -> R,
+    {
+        type Item = R;
+
+        fn next(&mut self) -> Option<R> {
+            let item = self.base.next()?;
+            Some((self.op)(&mut self.scratch, item))
+        }
+    }
+}
+
+pub mod slice {
+    /// `par_chunks` over shared slices (serial: std `chunks`).
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_chunks_mut` over mutable slices (serial: std `chunks_mut`).
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IndexedParallelIterator, ParallelIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+
+    /// `into_par_iter()` for anything that is `IntoIterator` (ranges, Vec, …).
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for any collection whose shared reference iterates.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for any collection whose mutable reference iterates.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Serial `join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The shim always runs on the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn into_par_iter_on_range_supports_std_adapters() {
+        let v: Vec<usize> = (0..10).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_on_vec_and_slice() {
+        let data = vec![1.0, 2.0, 3.0];
+        let s: f64 = data.par_iter().sum();
+        assert_eq!(s, 6.0);
+        let s2: f64 = data[..2].par_iter().sum();
+        assert_eq!(s2, 3.0);
+    }
+
+    #[test]
+    fn par_chunks_mut_partitions_disjointly() {
+        let mut buf = vec![0.0; 10];
+        buf.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as f64;
+            }
+        });
+        assert_eq!(buf, [0., 0., 0., 1., 1., 1., 2., 2., 2., 3.]);
+    }
+
+    #[test]
+    fn for_each_init_reuses_scratch() {
+        let mut inits = 0;
+        let mut out = vec![0usize; 5];
+        {
+            let cells: Vec<&mut usize> = out.iter_mut().collect();
+            cells.into_par_iter().enumerate().for_each_init(
+                || {
+                    inits += 1;
+                    Vec::<u8>::with_capacity(16)
+                },
+                |scratch, (i, cell)| {
+                    scratch.clear();
+                    scratch.extend(std::iter::repeat_n(0u8, i));
+                    *cell = scratch.len();
+                },
+            );
+        }
+        assert_eq!(inits, 1);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

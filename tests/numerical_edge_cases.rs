@@ -61,7 +61,7 @@ fn erfc_strictly_decreasing_and_bounded() {
     for i in -40..=40 {
         let x = i as f64 * 0.1;
         let v = erfc(x);
-        assert!(v >= 0.0 && v <= 2.0, "erfc({x}) = {v}");
+        assert!((0.0..=2.0).contains(&v), "erfc({x}) = {v}");
         assert!(v < prev + 1e-6, "not decreasing at {x}");
         prev = v;
     }
