@@ -304,6 +304,7 @@ pub fn fig5(scale: Scale) -> ExperimentRecord {
     };
     let a = Mat::from_fn(nr, ncv, |i, j| (((i * 31 + j * 7) % 23) as f64) * 0.05 - 0.4);
     let mut rows = Vec::new();
+    let mut comm_by_ranks = Vec::new();
     for ranks in [2usize, 4] {
         let res = spmd(ranks, |c| {
             let rr = parcomm::block_ranges(nr, ranks)[c.rank()].clone();
@@ -315,8 +316,10 @@ pub fn fig5(scale: Scale) -> ExperimentRecord {
             let t0 = Instant::now();
             let pipe = gram_pipelined_reduce(c, &al, &al, 1.0);
             let t_pipe = t0.elapsed().as_secs_f64();
-            (t_mono, t_pipe, mono.peak_words, pipe.peak_words)
+            (t_mono, t_pipe, mono.peak_words, pipe.peak_words, c.stats())
         });
+        comm_by_ranks
+            .push((ranks, res.iter().map(|r| (Default::default(), r.4)).collect::<Vec<_>>()));
         let (tm, tp, wm, wp) = res.into_iter().fold((0.0f64, 0.0f64, 0usize, 0usize), |acc, r| {
             (acc.0.max(r.0), acc.1.max(r.1), acc.2.max(r.2), acc.3.max(r.3))
         });
@@ -345,6 +348,10 @@ pub fn fig5(scale: Scale) -> ExperimentRecord {
     let headers = ["ranks", "monolithic (s)", "pipelined (s)", "mem/rank mono", "mem/rank pipe"];
     println!("\n== Figure 5: GEMM+reduction, monolithic vs pipelined ==");
     print_table(&headers, &rows);
+    for (ranks, per_rank) in &comm_by_ranks {
+        println!("\nmeasured run, {ranks} ranks:");
+        crate::trace_cmd::print_comm_breakdown(per_rank);
+    }
     ExperimentRecord::new(
         "fig5",
         &headers,

@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod gemm_report;
 pub mod report;
 pub mod scaling;
+pub mod trace_cmd;
 
 pub use report::{print_table, ExperimentRecord};
 pub use scaling::{CommPattern, ScalingStudy, Stage};

@@ -17,22 +17,28 @@ pub fn build_dense_hamiltonian(problem: &CasidaProblem, timings: &mut StageTimin
     let dv = problem.grid.dv();
 
     // Face-splitting product P_vc (Algorithm 1 line 2).
+    let sp = obskit::span(obskit::Stage::FaceSplit, "face_split");
     let t0 = Instant::now();
     let p_vc = face_splitting_product(&problem.psi_v, &problem.psi_c);
     timings.face_split += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     // Apply f_Hxc (lines 4–5: FFT Hartree + real-space f_xc).
+    let sp = obskit::span(obskit::Stage::Fft, "kernel.apply");
     let t0 = Instant::now();
     let kernel = HxcKernel::for_problem(problem);
     let f_p = kernel.apply(&p_vc);
     timings.fft += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     // V_Hxc = ΔV · P_vcᵀ (f_Hxc P_vc) (line 7). The TDA singlet factor 2
     // (paper Eq. 2) and ΔV fold into the GEMM's alpha — no scale pass.
+    let sp = obskit::span(obskit::Stage::Gemm, "v_hxc.contract");
     let t0 = Instant::now();
     let mut h = Mat::zeros(p_vc.ncols(), f_p.ncols());
     mathkit::gemm(2.0 * dv, &p_vc, Transpose::Yes, &f_p, Transpose::No, 0.0, &mut h);
     timings.gemm += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     // H = D + 2 V_Hxc (line 10).
     let d = problem.diag_d();
@@ -51,9 +57,11 @@ pub fn solve_naive(
     timings: &mut StageTimings,
 ) -> (Vec<f64>, Mat) {
     let h = build_dense_hamiltonian(problem, timings);
+    let sp = obskit::span(obskit::Stage::Diag, "diag.syev");
     let t0 = Instant::now();
     let eig = syev(&h);
     timings.diag += t0.elapsed().as_secs_f64();
+    drop(sp);
     let k = k.min(eig.values.len());
     let cols: Vec<usize> = (0..k).collect();
     (eig.values[..k].to_vec(), eig.vectors.select_cols(&cols))

@@ -50,6 +50,7 @@ pub fn distributed_kernel_apply(
     charge_mpi(comm, &mut mark, timings);
 
     // FFT + f_xc on my full-grid columns (lines 4–5).
+    let sp = obskit::span(obskit::Stage::Fft, "kernel.apply");
     let t0 = Instant::now();
     let my_cols = block_ranges(n_cols_global, comm.size())[comm.rank()].len();
     let cols_mat = Mat::from_vec(nr, my_cols, col_piece);
@@ -57,6 +58,7 @@ pub fn distributed_kernel_apply(
     let mut transformed = Mat::zeros(nr, my_cols);
     kernel.apply_into(&cols_mat, &mut transformed);
     timings.fft += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     // Column-block → row-block (line 6).
     let back = col_to_row_blocks(comm, transformed.as_slice(), nr, n_cols_global);
@@ -78,11 +80,13 @@ pub fn distributed_dense_hamiltonian(
     let my_rows = block_ranges(nr, comm.size())[comm.rank()].clone();
 
     // Local face-splitting product on my grid slab (line 2).
+    let sp = obskit::span(obskit::Stage::FaceSplit, "face_split");
     let t0 = Instant::now();
     let psi_v_loc = problem.psi_v.row_block(my_rows.start, my_rows.end);
     let psi_c_loc = problem.psi_c.row_block(my_rows.start, my_rows.end);
     let z_loc = face_splitting_product(&psi_v_loc, &psi_c_loc);
     timings.face_split += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     // f_Hxc through the FFT layout dance (lines 3–6).
     let fz_loc = distributed_kernel_apply(comm, problem, &z_loc, ncv, &mut timings);
@@ -90,18 +94,26 @@ pub fn distributed_dense_hamiltonian(
     // V_Hxc: local GEMM + reduction (lines 7–8 / Figs. 4–5).
     let mut mark = comm.stats().measured_seconds;
     let mut h = if pipelined {
+        // NOTE: legacy accounting double-charges the comm hidden inside the
+        // pipelined reduce (elapsed → gemm AND stats delta → mpi). The span
+        // rollup charges it exclusively (nested mpi:* children subtract from
+        // gemm), so the two views diverge on this branch by design.
+        let sp = obskit::span(obskit::Stage::Gemm, "v_hxc.pipelined_reduce");
         let t0 = Instant::now();
         let res = crate::pipeline::gram_pipelined_reduce(comm, &z_loc, &fz_loc, 2.0 * dv);
         timings.gemm += t0.elapsed().as_secs_f64();
+        drop(sp);
         // Re-assemble the replicated matrix for the (replicated) eigensolve.
         let gathered = comm.allgatherv(res.local.as_slice());
         charge_mpi(comm, &mut mark, &mut timings);
         Mat::from_vec(ncv, ncv, gathered)
     } else {
+        let sp = obskit::span(obskit::Stage::Gemm, "v_hxc.contract");
         let t0 = Instant::now();
         let mut v = Mat::zeros(ncv, ncv);
         gemm(2.0 * dv, &z_loc, Transpose::Yes, &fz_loc, Transpose::No, 0.0, &mut v);
         timings.gemm += t0.elapsed().as_secs_f64();
+        drop(sp);
         comm.allreduce_sum(v.as_mut_slice());
         charge_mpi(comm, &mut mark, &mut timings);
         v
@@ -132,14 +144,17 @@ pub fn distributed_kmeans(
 
     // Local weights, gathered so every rank can run the identical
     // deterministic initialization.
+    let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.weights");
     let t0 = Instant::now();
     let psi_v_loc = problem.psi_v.row_block(my_rows.start, my_rows.end);
     let psi_c_loc = problem.psi_c.row_block(my_rows.start, my_rows.end);
     let w_loc = isdf::pair_weights(&psi_v_loc, &psi_c_loc);
     timings.kmeans += t0.elapsed().as_secs_f64();
+    drop(sp);
     let w_all = comm.allgatherv(&w_loc);
     charge_mpi(comm, &mut mark, timings);
 
+    let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.init");
     let t0 = Instant::now();
     let wmax = w_all.iter().cloned().fold(0.0f64, f64::max);
     let cutoff = 1e-6 * wmax;
@@ -172,10 +187,12 @@ pub fn distributed_kmeans(
     // Local active points.
     let active: Vec<usize> = my_rows.clone().filter(|&gi| w_all[gi] > cutoff).collect();
     timings.kmeans += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     // Lloyd iterations: local classification + global weighted reduction.
     let mut assign = vec![0usize; active.len()];
     for _ in 0..max_iter {
+        let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.classify");
         let t0 = Instant::now();
         for (a, &gi) in assign.iter_mut().zip(active.iter()) {
             *a = nearest(&centroids, problem.grid.coords(gi)).0;
@@ -191,9 +208,11 @@ pub fn distributed_kmeans(
             buf[4 * a + 3] += w;
         }
         timings.kmeans += t0.elapsed().as_secs_f64();
+        drop(sp);
         comm.allreduce_sum(&mut buf);
         charge_mpi(comm, &mut mark, timings);
 
+        let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.update");
         let t0 = Instant::now();
         let mut movement = 0.0;
         for k in 0..n_mu {
@@ -205,6 +224,7 @@ pub fn distributed_kmeans(
             }
         }
         timings.kmeans += t0.elapsed().as_secs_f64();
+        drop(sp);
         if movement < 1e-12 {
             break;
         }
@@ -213,6 +233,7 @@ pub fn distributed_kmeans(
     // Snap to grid points: global argmin per cluster via allreduce on
     // (negated distance, encoded index) — implemented as min over gathered
     // per-rank candidates.
+    let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.snap");
     let t0 = Instant::now();
     let mut local_best = vec![f64::INFINITY; n_mu];
     let mut local_idx = vec![-1.0; n_mu];
@@ -227,9 +248,11 @@ pub fn distributed_kmeans(
     cand.extend_from_slice(&local_best);
     cand.extend_from_slice(&local_idx);
     timings.kmeans += t0.elapsed().as_secs_f64();
+    drop(sp);
     let all_cand = comm.allgatherv(&cand);
     charge_mpi(comm, &mut mark, timings);
 
+    let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.select");
     let t0 = Instant::now();
     let p = comm.size();
     let mut points = Vec::with_capacity(n_mu);
@@ -252,6 +275,7 @@ pub fn distributed_kmeans(
     points.sort_unstable();
     points.dedup();
     timings.kmeans += t0.elapsed().as_secs_f64();
+    drop(sp);
     points
 }
 
@@ -275,6 +299,7 @@ pub fn distributed_isdf_hamiltonian(
 
     // 2. Sampled orbital rows, assembled by summation (each point's row
     // lives on exactly one rank).
+    let sp = obskit::span(obskit::Stage::Theta, "theta.sample_rows");
     let t0 = Instant::now();
     let (n_v, n_c) = (problem.n_v(), problem.n_c());
     let mut psi_hat = Mat::zeros(n_mu_eff, n_v);
@@ -290,11 +315,13 @@ pub fn distributed_isdf_hamiltonian(
         }
     }
     timings.theta += t0.elapsed().as_secs_f64();
+    drop(sp);
     comm.allreduce_sum(psi_hat.as_mut_slice());
     comm.allreduce_sum(phi_hat.as_mut_slice());
     charge_mpi(comm, &mut mark, &mut timings);
 
     // 3. Θ rows on my slab: (ZCᵀ)_loc ∘-factored, solved against CCᵀ.
+    let sp = obskit::span(obskit::Stage::Theta, "theta.solve");
     let t0 = Instant::now();
     let psi_v_loc = problem.psi_v.row_block(my_rows.start, my_rows.end);
     let psi_c_loc = problem.psi_c.row_block(my_rows.start, my_rows.end);
@@ -308,24 +335,29 @@ pub fn distributed_isdf_hamiltonian(
     let theta_loc_t = solve_spd(&cc_t, &pair.zc_t.transpose()).expect("CCᵀ SPD");
     let theta_loc = theta_loc_t.transpose();
     timings.theta += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     // 4. f_Hxc Θ through the FFT layout dance.
     let f_theta_loc = distributed_kernel_apply(comm, problem, &theta_loc, n_mu_eff, &mut timings);
 
     // 5. Ṽ = ΔV Θᵀ(fΘ): pipelined GEMM+Reduce, then re-replicate (Ṽ is tiny).
     let mut mark = comm.stats().measured_seconds;
+    let sp = obskit::span(obskit::Stage::Gemm, "v_tilde.contract");
     let t0 = Instant::now();
     let mut v_tilde = Mat::zeros(n_mu_eff, n_mu_eff);
     gemm(dv, &theta_loc, Transpose::Yes, &f_theta_loc, Transpose::No, 0.0, &mut v_tilde);
     timings.gemm += t0.elapsed().as_secs_f64();
+    drop(sp);
     comm.allreduce_sum(v_tilde.as_mut_slice());
     charge_mpi(comm, &mut mark, &mut timings);
     v_tilde.symmetrize();
 
     // 6. Coefficients (replicated, from the replicated sampled rows).
+    let sp = obskit::span(obskit::Stage::Gemm, "coefficients");
     let t0 = Instant::now();
     let c = face_splitting_product(&psi_hat, &phi_hat);
     timings.gemm += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     (IsdfHamiltonian { diag_d: problem.diag_d(), c, v_tilde }, timings)
 }

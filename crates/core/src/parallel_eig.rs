@@ -98,6 +98,10 @@ pub fn distributed_casida_lobpcg(
     let ncv = ham.diag_d.len();
     let k = k.min(ncv);
     let rows = block_ranges(ncv, comm.size())[comm.rank()].clone();
+    // One span over the whole solve: the nested mpi:* spans from the
+    // collectives subtract out in the exclusive rollup, reproducing the
+    // legacy "diag = elapsed − comm" accounting below.
+    let sp = obskit::span(obskit::Stage::Diag, "diag.lobpcg.dist");
     let t_start = Instant::now();
     let comm_start = comm.stats().measured_seconds;
 
@@ -137,6 +141,15 @@ pub fn distributed_casida_lobpcg(
             .map(|(n2, th)| n2.sqrt() / th.abs().max(1.0))
             .fold(0.0f64, f64::max);
         best_residual = best_residual.min(resid);
+        obskit::instant(
+            obskit::Stage::Diag,
+            "lobpcg.iter",
+            &[
+                ("iter", it as f64),
+                ("resid", resid),
+                ("theta_min", theta.iter().cloned().fold(f64::INFINITY, f64::min)),
+            ],
+        );
         if resid < opts.tol {
             converged = true;
             break;
@@ -213,6 +226,7 @@ pub fn distributed_casida_lobpcg(
     let comm_spent = comm.stats().measured_seconds - comm_start;
     timings.mpi += comm_spent;
     timings.diag += (t_start.elapsed().as_secs_f64() - comm_spent).max(0.0);
+    drop(sp);
 
     DistributedEigResult {
         values,

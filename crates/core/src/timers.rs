@@ -67,6 +67,34 @@ impl StageTimings {
             ("diag", self.diag),
         ]
     }
+
+    /// Compatibility view over the span subsystem: derive the same
+    /// per-stage breakdown from one rank's recorded trace. Spans roll up by
+    /// *exclusive* time (a `gemm` span's nested `mpi:*` children are charged
+    /// to `mpi`, not `gemm`), which is exactly what the legacy section
+    /// timers measure — the two views agree to within timer noise.
+    pub fn from_trace(trace: &obskit::Trace, rank: usize) -> StageTimings {
+        let s = trace.stage_seconds_for_rank(rank);
+        StageTimings {
+            kmeans: s[obskit::Stage::Kmeans.index()],
+            qrcp: s[obskit::Stage::Qrcp.index()],
+            face_split: s[obskit::Stage::FaceSplit.index()],
+            theta: s[obskit::Stage::Theta.index()],
+            fft: s[obskit::Stage::Fft.index()],
+            gemm: s[obskit::Stage::Gemm.index()],
+            mpi: s[obskit::Stage::Mpi.index()],
+            diag: s[obskit::Stage::Diag.index()],
+        }
+    }
+
+    /// [`StageTimings::from_trace`] summed over every rank in the trace.
+    pub fn from_trace_all_ranks(trace: &obskit::Trace) -> StageTimings {
+        let mut out = StageTimings::default();
+        for r in &trace.ranks {
+            out.merge(&StageTimings::from_trace(trace, r.rank));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -172,32 +172,41 @@ pub fn build_isdf_hamiltonian(
     // Interpolation points.
     let points = match selector {
         PointSelector::Qrcp => {
+            let sp = obskit::span(obskit::Stage::Qrcp, "isdf.qrcp_points");
             let t0 = Instant::now();
             let pts = qrcp_points(&problem.psi_v, &problem.psi_c, n_mu);
             timings.qrcp += t0.elapsed().as_secs_f64();
+            drop(sp);
             pts
         }
         PointSelector::Kmeans(opts) => {
+            let sp = obskit::span(obskit::Stage::Kmeans, "isdf.kmeans_points");
             let t0 = Instant::now();
             let w = pair_weights(&problem.psi_v, &problem.psi_c);
             let coords: Vec<[f64; 3]> =
                 (0..problem.n_r()).map(|i| problem.grid.coords(i)).collect();
             let out = kmeans_points(&coords, &w, n_mu, opts);
             timings.kmeans += t0.elapsed().as_secs_f64();
+            drop(sp);
             out.points
         }
     };
 
     // Interpolation vectors Θ (Galerkin LS with separable Gram matrices).
+    let sp = obskit::span(obskit::Stage::Theta, "isdf.theta");
     let t0 = Instant::now();
     let isdf = IsdfDecomposition::build(&problem.psi_v, &problem.psi_c, &points);
     timings.theta += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     // Ṽ_Hxc = ΔV · Θᵀ (f_Hxc Θ) (paper Eq. 7).
+    let sp = obskit::span(obskit::Stage::Fft, "kernel.apply");
     let t0 = Instant::now();
     let kernel = HxcKernel::for_problem(problem);
     let f_theta = kernel.apply(&isdf.theta);
     timings.fft += t0.elapsed().as_secs_f64();
+    drop(sp);
+    let sp = obskit::span(obskit::Stage::Gemm, "v_tilde.contract");
     let t0 = Instant::now();
     // ΔV folds into the contraction's alpha — no separate scale pass.
     let mut v_tilde = Mat::zeros(isdf.theta.ncols(), f_theta.ncols());
@@ -205,6 +214,7 @@ pub fn build_isdf_hamiltonian(
     v_tilde.symmetrize();
     let c = isdf.coefficients();
     timings.gemm += t0.elapsed().as_secs_f64();
+    drop(sp);
 
     IsdfHamiltonian { diag_d: problem.diag_d(), c, v_tilde }
 }
@@ -242,10 +252,12 @@ pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) ->
                 PointSelector::Kmeans(KmeansOptions { seed: params.seed, ..Default::default() })
             };
             let ham = build_isdf_hamiltonian(problem, selector, n_mu, &mut timings);
+            let sp = obskit::span(obskit::Stage::Diag, "diag.syev");
             let t0 = Instant::now();
             let h = ham.to_dense();
             let eig = syev(&h);
             timings.diag += t0.elapsed().as_secs_f64();
+            drop(sp);
             let cols: Vec<usize> = (0..k).collect();
             Solution {
                 energies: eig.values[..k].to_vec(),
@@ -260,6 +272,7 @@ pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) ->
             let selector =
                 PointSelector::Kmeans(KmeansOptions { seed: params.seed, ..Default::default() });
             let ham = build_isdf_hamiltonian(problem, selector, n_mu, &mut timings);
+            let sp = obskit::span(obskit::Stage::Diag, "diag.lobpcg");
             let t0 = Instant::now();
             let res = if version == Version::KmeansIsdfLobpcg {
                 // Explicit H, iterative eigensolve (Table 4 row 4).
@@ -280,6 +293,7 @@ pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) ->
                 solve_casida_lobpcg(|x| ham.apply(x), &ham.diag_d, k, params.lobpcg, params.seed)
             };
             timings.diag += t0.elapsed().as_secs_f64();
+            drop(sp);
             Solution {
                 energies: res.values,
                 coefficients: res.vectors,

@@ -71,6 +71,7 @@ impl Fft3 {
     }
 
     fn transform(&self, data: &mut [Complex], inverse: bool) {
+        obskit::add_fft_calls(1);
         let (n1, n2, n3) = (self.n1, self.n2, self.n3);
         let apply = |line: &mut Vec<Complex>| {
             if inverse {

@@ -82,6 +82,11 @@ where
             })
             .fold(0.0f64, f64::max);
         best_residual = best_residual.min(resid);
+        obskit::instant(
+            obskit::Stage::Diag,
+            "davidson.iter",
+            &[("iter", it as f64), ("resid", resid), ("theta_min", theta.iter().cloned().fold(f64::INFINITY, f64::min))],
+        );
         if resid < opts.base.tol {
             return LobpcgResult {
                 values: theta.clone(),

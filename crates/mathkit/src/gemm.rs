@@ -73,6 +73,7 @@ pub fn gemm(
     if m == 0 || n == 0 {
         return;
     }
+    obskit::record_gemm_shape(m, n, k);
     if k == 0 || alpha == 0.0 {
         scale_slice(c.as_mut_slice(), beta);
         return;

@@ -1,0 +1,315 @@
+//! RAII span guards, instant events, and the per-thread event streams.
+//!
+//! Each thread owns a lock-free event buffer; spans push a `Begin` on
+//! creation and an `End` on drop. When the thread's open-span stack returns
+//! to depth zero the buffer drains into the global registry under one mutex
+//! acquisition, keeping hot paths free of shared-state traffic.
+
+use crate::{enabled, now_ns, Stage};
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+/// What kind of event a stream entry is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened (Chrome `B`).
+    Begin,
+    /// Span closed (Chrome `E`). `aborted` means the guard dropped during a
+    /// panic unwind — the trace stays well-formed, the span is flagged.
+    End { aborted: bool },
+    /// Point-in-time marker (Chrome `i`), e.g. a solver-iteration record.
+    Instant,
+}
+
+/// One entry of a rank's event stream.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Static name, e.g. `"mpi:allreduce"` or `"lobpcg.iter"`.
+    pub name: &'static str,
+    /// Roll-up stage (Chrome `cat`).
+    pub stage: Stage,
+    /// Monotonic nanoseconds since the session epoch.
+    pub ts_ns: u64,
+    /// Numeric payload (byte counts, iteration numbers, residuals…).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+/// Global registry of flushed event batches, tagged by rank. Batches are
+/// appended in flush order; within one rank the order is the recording
+/// order because a rank is a single thread.
+static REGISTRY: Mutex<Vec<(usize, Vec<Event>)>> = Mutex::new(Vec::new());
+
+struct ThreadStream {
+    rank: usize,
+    events: Vec<Event>,
+    depth: usize,
+}
+
+impl ThreadStream {
+    const fn new() -> Self {
+        ThreadStream { rank: 0, events: Vec::new(), depth: 0 }
+    }
+
+    fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.events);
+        REGISTRY
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((self.rank, batch));
+    }
+}
+
+impl Drop for ThreadStream {
+    // Backstop: a thread exiting with a non-empty buffer (e.g. killed while
+    // spans were force-forgotten) still delivers what it recorded.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static STREAM: RefCell<ThreadStream> = const { RefCell::new(ThreadStream::new()) };
+}
+
+/// Tag this thread's event stream with a simulated-MPI rank id. Called by
+/// `parcomm::spmd` at rank-thread startup; defaults to 0 elsewhere.
+pub fn set_rank(rank: usize) {
+    STREAM.with(|s| s.borrow_mut().rank = rank);
+}
+
+/// The rank this thread records as.
+pub fn thread_rank() -> usize {
+    STREAM.with(|s| s.borrow().rank)
+}
+
+/// Push this thread's buffered events to the global registry. `parcomm`
+/// calls it when a rank thread finishes; call it on the main thread before
+/// [`crate::take_trace`].
+pub fn flush_thread() {
+    STREAM.with(|s| s.borrow_mut().flush());
+}
+
+pub(crate) fn drain_registry() -> Vec<(usize, Vec<Event>)> {
+    std::mem::take(&mut *REGISTRY.lock().unwrap_or_else(|p| p.into_inner()))
+}
+
+/// RAII span guard. Created by [`span`]; records its `End` event (with
+/// panic-abort marking) when dropped. Attach numeric payload with
+/// [`Span::arg`] — emitted on the closing event.
+#[must_use = "a span measures the scope it lives in; binding it to _ closes it immediately"]
+pub struct Span {
+    live: bool,
+    name: &'static str,
+    stage: Stage,
+    args: Vec<(&'static str, f64)>,
+}
+
+impl Span {
+    /// Attach a numeric argument, exported on the span's closing event.
+    /// No-op on a disabled-mode span.
+    pub fn arg(&mut self, key: &'static str, value: f64) {
+        if self.live {
+            self.args.push((key, value));
+        }
+    }
+
+    /// Whether this guard is actually recording (tracing was enabled at
+    /// creation).
+    pub fn is_recording(&self) -> bool {
+        self.live
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let aborted = std::thread::panicking();
+        let ts_ns = now_ns();
+        STREAM.with(|s| {
+            let mut st = s.borrow_mut();
+            st.events.push(Event {
+                kind: EventKind::End { aborted },
+                name: self.name,
+                stage: self.stage,
+                ts_ns,
+                args: std::mem::take(&mut self.args),
+            });
+            st.depth = st.depth.saturating_sub(1);
+            if st.depth == 0 {
+                st.flush();
+            }
+        });
+    }
+}
+
+/// Open a span. Disabled-mode cost: one relaxed atomic load plus an inert
+/// guard (no allocation, no TLS access).
+#[inline]
+pub fn span(stage: Stage, name: &'static str) -> Span {
+    if !enabled() {
+        return Span { live: false, name, stage, args: Vec::new() };
+    }
+    let ts_ns = now_ns();
+    STREAM.with(|s| {
+        let mut st = s.borrow_mut();
+        st.events.push(Event { kind: EventKind::Begin, name, stage, ts_ns, args: Vec::new() });
+        st.depth += 1;
+    });
+    Span { live: true, name, stage, args: Vec::new() }
+}
+
+/// Record a point-in-time event with a numeric payload, e.g. one solver
+/// iteration's residual norm. Disabled-mode cost: one atomic load.
+#[inline]
+pub fn instant(stage: Stage, name: &'static str, args: &[(&'static str, f64)]) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    STREAM.with(|s| {
+        let mut st = s.borrow_mut();
+        st.events.push(Event {
+            kind: EventKind::Instant,
+            name,
+            stage,
+            ts_ns,
+            args: args.to_vec(),
+        });
+        if st.depth == 0 {
+            st.flush();
+        }
+    });
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// obskit state is process-global; tests that record serialize on this.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        // Start from a clean slate: no stale registry batches or counters.
+        crate::disable();
+        crate::flush_thread();
+        let _ = crate::take_trace();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{disable, enable, take_trace};
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = testutil::exclusive();
+        {
+            let mut s = span(Stage::Gemm, "g");
+            s.arg("bytes", 1.0);
+            assert!(!s.is_recording());
+        }
+        instant(Stage::Diag, "i", &[("x", 1.0)]);
+        flush_thread();
+        let t = take_trace();
+        assert!(t.ranks.is_empty(), "disabled mode must not record");
+    }
+
+    #[test]
+    fn begin_end_pair_with_args_on_close() {
+        let _g = testutil::exclusive();
+        enable();
+        {
+            let mut s = span(Stage::Mpi, "mpi:allreduce");
+            s.arg("bytes", 800.0);
+        }
+        disable();
+        flush_thread();
+        let t = take_trace();
+        assert_eq!(t.ranks.len(), 1);
+        let ev = &t.ranks[0].events;
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].kind, EventKind::Begin);
+        assert_eq!(ev[1].kind, EventKind::End { aborted: false });
+        assert_eq!(ev[1].args, vec![("bytes", 800.0)]);
+        assert!(ev[1].ts_ns >= ev[0].ts_ns, "monotonic timestamps");
+    }
+
+    #[test]
+    fn nested_spans_flush_at_depth_zero() {
+        let _g = testutil::exclusive();
+        enable();
+        {
+            let _outer = span(Stage::Diag, "outer");
+            {
+                let _inner = span(Stage::Mpi, "inner");
+            }
+            // Not yet flushed: stack depth is 1.
+            assert!(crate::span::REGISTRY.lock().unwrap().is_empty());
+        }
+        disable();
+        let t = take_trace();
+        assert_eq!(t.ranks[0].events.len(), 4);
+        let names: Vec<&str> = t.ranks[0].events.iter().map(|e| e.name).collect();
+        assert_eq!(names, ["outer", "inner", "inner", "outer"]);
+    }
+
+    #[test]
+    fn panicking_span_closes_as_aborted() {
+        let _g = testutil::exclusive();
+        enable();
+        let r = std::thread::spawn(|| {
+            set_rank(3);
+            let _s = span(Stage::Fft, "doomed");
+            panic!("boom");
+        })
+        .join();
+        assert!(r.is_err());
+        disable();
+        let t = take_trace();
+        let stream = t.ranks.iter().find(|r| r.rank == 3).expect("rank 3 stream");
+        assert_eq!(stream.events.len(), 2);
+        assert_eq!(stream.events[0].kind, EventKind::Begin);
+        assert_eq!(stream.events[1].kind, EventKind::End { aborted: true });
+    }
+
+    #[test]
+    fn instants_outside_spans_flush_immediately() {
+        let _g = testutil::exclusive();
+        enable();
+        instant(Stage::Other, "scf.iter", &[("iter", 1.0), ("residual", 0.5)]);
+        disable();
+        let t = take_trace();
+        assert_eq!(t.ranks[0].events.len(), 1);
+        assert_eq!(t.ranks[0].events[0].kind, EventKind::Instant);
+        assert_eq!(t.ranks[0].events[0].args.len(), 2);
+    }
+
+    #[test]
+    fn rank_tagging_separates_streams() {
+        let _g = testutil::exclusive();
+        enable();
+        std::thread::scope(|scope| {
+            for rank in 0..4 {
+                scope.spawn(move || {
+                    set_rank(rank);
+                    assert_eq!(thread_rank(), rank);
+                    let _s = span(Stage::Gemm, "work");
+                });
+            }
+        });
+        disable();
+        let t = take_trace();
+        let mut ranks: Vec<usize> = t.ranks.iter().map(|r| r.rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+}

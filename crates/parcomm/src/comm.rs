@@ -18,6 +18,15 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Per-operation slice of [`CommStats`]: how often one collective kind ran,
+/// how many bytes this rank contributed to it, and the measured wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OpStats {
+    pub calls: u64,
+    pub bytes: u64,
+    pub seconds: f64,
+}
+
 /// Per-rank communication statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CommStats {
@@ -29,6 +38,64 @@ pub struct CommStats {
     pub measured_seconds: f64,
     /// Seconds the α–β model charges for the same collectives.
     pub modeled_seconds: f64,
+    /// Per-operation breakdowns; their `calls`/`bytes`/`seconds` sum to the
+    /// aggregate fields above.
+    pub allreduce: OpStats,
+    pub reduce: OpStats,
+    pub bcast: OpStats,
+    pub allgatherv: OpStats,
+    pub alltoallv: OpStats,
+    pub barrier: OpStats,
+}
+
+impl CommStats {
+    /// The per-operation breakdown as `(label, stats)` rows, in a stable
+    /// report order.
+    pub fn per_op(&self) -> [(&'static str, OpStats); 6] {
+        [
+            ("allreduce", self.allreduce),
+            ("reduce", self.reduce),
+            ("bcast", self.bcast),
+            ("allgatherv", self.allgatherv),
+            ("alltoallv", self.alltoallv),
+            ("barrier", self.barrier),
+        ]
+    }
+}
+
+/// Which collective an accounting entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CollOp {
+    Allreduce,
+    Reduce,
+    Bcast,
+    Allgatherv,
+    Alltoallv,
+    Barrier,
+}
+
+impl CollOp {
+    fn span_name(self) -> &'static str {
+        match self {
+            CollOp::Allreduce => "mpi:allreduce",
+            CollOp::Reduce => "mpi:reduce",
+            CollOp::Bcast => "mpi:bcast",
+            CollOp::Allgatherv => "mpi:allgatherv",
+            CollOp::Alltoallv => "mpi:alltoallv",
+            CollOp::Barrier => "mpi:barrier",
+        }
+    }
+
+    fn slot(self, stats: &mut CommStats) -> &mut OpStats {
+        match self {
+            CollOp::Allreduce => &mut stats.allreduce,
+            CollOp::Reduce => &mut stats.reduce,
+            CollOp::Bcast => &mut stats.bcast,
+            CollOp::Allgatherv => &mut stats.allgatherv,
+            CollOp::Alltoallv => &mut stats.alltoallv,
+            CollOp::Barrier => &mut stats.barrier,
+        }
+    }
 }
 
 struct Shared {
@@ -45,10 +112,10 @@ struct Shared {
 pub struct Comm {
     rank: usize,
     shared: Arc<Shared>,
-    bytes_sent: Cell<u64>,
-    calls: Cell<u64>,
-    measured: Cell<f64>,
-    modeled: Cell<f64>,
+    /// All counters live in one `Cell<CommStats>` so [`Comm::reset_stats`]
+    /// clears the aggregate and per-op fields in a single store — they can
+    /// never be observed half-reset.
+    stats: Cell<CommStats>,
 }
 
 impl Comm {
@@ -64,43 +131,51 @@ impl Comm {
 
     /// Statistics accumulated by this rank so far.
     pub fn stats(&self) -> CommStats {
-        CommStats {
-            bytes_sent: self.bytes_sent.get(),
-            collective_calls: self.calls.get(),
-            measured_seconds: self.measured.get(),
-            modeled_seconds: self.modeled.get(),
-        }
+        self.stats.get()
     }
 
-    /// Reset the statistics counters (e.g. between timed phases).
+    /// Reset the statistics counters (e.g. between timed phases). One store:
+    /// aggregate and per-op breakdowns clear together.
     pub fn reset_stats(&self) {
-        self.bytes_sent.set(0);
-        self.calls.set(0);
-        self.measured.set(0.0);
-        self.modeled.set(0.0);
+        self.stats.set(CommStats::default());
     }
 
-    fn account(&self, bytes: usize, t0: Instant, modeled: f64) {
-        self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
-        self.calls.set(self.calls.get() + 1);
-        self.measured.set(self.measured.get() + t0.elapsed().as_secs_f64());
-        self.modeled.set(self.modeled.get() + modeled);
+    fn account(&self, op: CollOp, bytes: usize, t0: Instant, modeled: f64, span: obskit::Span) {
+        let seconds = t0.elapsed().as_secs_f64();
+        let mut s = self.stats.get();
+        s.bytes_sent += bytes as u64;
+        s.collective_calls += 1;
+        s.measured_seconds += seconds;
+        s.modeled_seconds += modeled;
+        let slot = op.slot(&mut s);
+        slot.calls += 1;
+        slot.bytes += bytes as u64;
+        slot.seconds += seconds;
+        self.stats.set(s);
+        obskit::add_bytes_moved(bytes as u64);
+        let mut span = span;
+        span.arg("bytes", bytes as f64);
+        span.arg("modeled_s", modeled);
     }
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
+        let op = CollOp::Barrier;
+        let sp = obskit::span(obskit::Stage::Mpi, op.span_name());
         let t0 = Instant::now();
         self.shared.barrier.wait();
         let m = self.shared.model.barrier(self.size());
-        self.account(0, t0, m);
+        self.account(op, 0, t0, m, sp);
     }
 
     /// In-place sum-allreduce of `buf` across all ranks.
     pub fn allreduce_sum(&self, buf: &mut [f64]) {
+        let op = CollOp::Allreduce;
+        let sp = obskit::span(obskit::Stage::Mpi, op.span_name());
         let t0 = Instant::now();
         let p = self.size();
         if p == 1 {
-            self.account(0, t0, 0.0);
+            self.account(op, 0, t0, 0.0, sp);
             return;
         }
         *lock(&self.shared.flat[self.rank]) = buf.to_vec();
@@ -117,15 +192,17 @@ impl Comm {
         lock(&self.shared.flat[self.rank]).clear();
         let bytes = buf.len() * 8;
         let m = self.shared.model.allreduce(p, bytes);
-        self.account(bytes, t0, m);
+        self.account(op, bytes, t0, m, sp);
     }
 
     /// Max-allreduce of a scalar.
     pub fn allreduce_max(&self, v: f64) -> f64 {
+        let op = CollOp::Allreduce;
+        let sp = obskit::span(obskit::Stage::Mpi, op.span_name());
         let t0 = Instant::now();
         let p = self.size();
         if p == 1 {
-            self.account(0, t0, 0.0);
+            self.account(op, 0, t0, 0.0, sp);
             return v;
         }
         *lock(&self.shared.flat[self.rank]) = vec![v];
@@ -137,16 +214,18 @@ impl Comm {
         self.shared.barrier.wait();
         lock(&self.shared.flat[self.rank]).clear();
         let m = self.shared.model.allreduce(p, 8);
-        self.account(8, t0, m);
+        self.account(op, 8, t0, m, sp);
         out
     }
 
     /// Sum-reduce `buf` to `root`; non-root ranks' buffers are untouched.
     pub fn reduce_sum(&self, buf: &mut [f64], root: usize) {
+        let op = CollOp::Reduce;
+        let sp = obskit::span(obskit::Stage::Mpi, op.span_name());
         let t0 = Instant::now();
         let p = self.size();
         if p == 1 {
-            self.account(0, t0, 0.0);
+            self.account(op, 0, t0, 0.0, sp);
             return;
         }
         *lock(&self.shared.flat[self.rank]) = buf.to_vec();
@@ -164,15 +243,17 @@ impl Comm {
         lock(&self.shared.flat[self.rank]).clear();
         let bytes = buf.len() * 8;
         let m = self.shared.model.reduce(p, bytes);
-        self.account(bytes, t0, m);
+        self.account(op, bytes, t0, m, sp);
     }
 
     /// Broadcast `buf` from `root` to all ranks.
     pub fn bcast(&self, buf: &mut [f64], root: usize) {
+        let op = CollOp::Bcast;
+        let sp = obskit::span(obskit::Stage::Mpi, op.span_name());
         let t0 = Instant::now();
         let p = self.size();
         if p == 1 {
-            self.account(0, t0, 0.0);
+            self.account(op, 0, t0, 0.0, sp);
             return;
         }
         if self.rank == root {
@@ -190,16 +271,18 @@ impl Comm {
         }
         let bytes = buf.len() * 8;
         let m = self.shared.model.bcast(p, bytes);
-        self.account(if self.rank == root { bytes } else { 0 }, t0, m);
+        self.account(op, if self.rank == root { bytes } else { 0 }, t0, m, sp);
     }
 
     /// Variable all-gather: every rank contributes `mine`, receives the
     /// concatenation in rank order.
     pub fn allgatherv(&self, mine: &[f64]) -> Vec<f64> {
+        let op = CollOp::Allgatherv;
+        let sp = obskit::span(obskit::Stage::Mpi, op.span_name());
         let t0 = Instant::now();
         let p = self.size();
         if p == 1 {
-            self.account(0, t0, 0.0);
+            self.account(op, 0, t0, 0.0, sp);
             return mine.to_vec();
         }
         *lock(&self.shared.flat[self.rank]) = mine.to_vec();
@@ -212,19 +295,21 @@ impl Comm {
         lock(&self.shared.flat[self.rank]).clear();
         let total = out.len() * 8;
         let m = self.shared.model.allgatherv(p, total);
-        self.account(mine.len() * 8, t0, m);
+        self.account(op, mine.len() * 8, t0, m, sp);
         out
     }
 
     /// Variable all-to-all: `send[q]` goes to rank `q`; returns what every
     /// rank sent to *me*, indexed by source rank.
     pub fn alltoallv(&self, send: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let op = CollOp::Alltoallv;
+        let sp = obskit::span(obskit::Stage::Mpi, op.span_name());
         let t0 = Instant::now();
         let p = self.size();
         assert_eq!(send.len(), p, "alltoallv needs one chunk per destination");
         let sent_bytes: usize = send.iter().map(|c| c.len() * 8).sum();
         if p == 1 {
-            self.account(0, t0, 0.0);
+            self.account(op, 0, t0, 0.0, sp);
             return send;
         }
         *lock(&self.shared.chunked[self.rank]) = send;
@@ -237,7 +322,7 @@ impl Comm {
         self.shared.barrier.wait();
         lock(&self.shared.chunked[self.rank]).clear();
         let m = self.shared.model.alltoallv(p, sent_bytes);
-        self.account(sent_bytes, t0, m);
+        self.account(op, sent_bytes, t0, m, sp);
         recv
     }
 }
@@ -273,15 +358,14 @@ where
             let shared = Arc::clone(&shared);
             let f = &f;
             handles.push(scope.spawn(move || {
-                let comm = Comm {
-                    rank,
-                    shared,
-                    bytes_sent: Cell::new(0),
-                    calls: Cell::new(0),
-                    measured: Cell::new(0.0),
-                    modeled: Cell::new(0.0),
-                };
-                f(&comm)
+                // Tag this rank thread's trace stream and deliver whatever it
+                // recorded when the rank function returns (or panics — the
+                // thread-local backstop flushes on unwind).
+                obskit::set_rank(rank);
+                let comm = Comm { rank, shared, stats: Cell::new(CommStats::default()) };
+                let out = f(&comm);
+                obskit::flush_thread();
+                out
             }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
@@ -409,6 +493,54 @@ mod tests {
             assert_eq!(s.collective_calls, 2);
             assert_eq!(s.bytes_sent, 800);
             assert!(s.modeled_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn per_op_breakdown_sums_to_aggregate() {
+        let res = spmd(2, |c| {
+            let mut buf = vec![1.0; 16];
+            c.allreduce_sum(&mut buf);
+            c.bcast(&mut buf, 0);
+            let _ = c.allgatherv(&buf);
+            let _ = c.alltoallv(vec![vec![1.0], vec![2.0]]);
+            c.reduce_sum(&mut buf, 0);
+            c.barrier();
+            c.stats()
+        });
+        for s in &res {
+            assert_eq!(s.allreduce.calls, 1);
+            assert_eq!(s.reduce.calls, 1);
+            assert_eq!(s.bcast.calls, 1);
+            assert_eq!(s.allgatherv.calls, 1);
+            assert_eq!(s.alltoallv.calls, 1);
+            assert_eq!(s.barrier.calls, 1);
+            let per: [( &str, OpStats); 6] = s.per_op();
+            let calls: u64 = per.iter().map(|(_, o)| o.calls).sum();
+            let bytes: u64 = per.iter().map(|(_, o)| o.bytes).sum();
+            let secs: f64 = per.iter().map(|(_, o)| o.seconds).sum();
+            assert_eq!(calls, s.collective_calls);
+            assert_eq!(bytes, s.bytes_sent);
+            assert!((secs - s.measured_seconds).abs() < 1e-12);
+            assert_eq!(s.allreduce.bytes, 128);
+            assert_eq!(s.barrier.bytes, 0);
+        }
+        // Root contributed bcast bytes, non-root did not.
+        assert_eq!(res[0].bcast.bytes, 128);
+        assert_eq!(res[1].bcast.bytes, 0);
+    }
+
+    #[test]
+    fn reset_clears_aggregate_and_per_op_together() {
+        let res = spmd(2, |c| {
+            let mut buf = vec![1.0; 8];
+            c.allreduce_sum(&mut buf);
+            c.barrier();
+            c.reset_stats();
+            c.stats()
+        });
+        for s in res {
+            assert_eq!(s, CommStats::default(), "reset must clear every field");
         }
     }
 

@@ -193,6 +193,11 @@ pub fn scf(grid: &Grid, structure: &Structure, opts: ScfOptions) -> GroundState 
             .sum::<f64>()
             * dv
             / ne;
+        obskit::instant(
+            obskit::Stage::Other,
+            "scf.iter",
+            &[("iter", it as f64), ("residual", residual)],
+        );
         // Mix: F = n_out − n_in is the SCF residual field.
         let f: Vec<f64> = n_out.iter().zip(density.iter()).map(|(o, d)| o - d).collect();
         match opts.scheme {
