@@ -11,6 +11,7 @@
 //! * [`report`] — fixed-width table printing and JSON result records.
 
 pub mod experiments;
+pub mod fft_report;
 pub mod gemm_report;
 pub mod report;
 pub mod scaling;

@@ -11,9 +11,9 @@ use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `trace` and `trace-report` take their own flags (--version/--ranks/
-    // --trace/--check) that the experiment arg loop would reject, so they
-    // are dispatched before it.
+    // `trace`, `trace-report`, and `fft-report` take their own flags
+    // (--version/--ranks/--trace/--check) that the experiment arg loop would
+    // reject, so they are dispatched before it.
     match args.first().map(String::as_str) {
         Some("trace") => {
             run_trace_cli(&args[1..]);
@@ -21,6 +21,10 @@ fn main() {
         }
         Some("trace-report") => {
             run_trace_report_cli(&args[1..]);
+            return;
+        }
+        Some("fft-report") => {
+            run_fft_report_cli(&args[1..]);
             return;
         }
         _ => {}
@@ -49,7 +53,7 @@ fn main() {
     }
     let experiment = experiment.unwrap_or_else(|| {
         eprintln!(
-            "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|gemm-report|all> [--quick|--full] [--out DIR]\n       repro trace [--version LABEL] [--ranks N] [--trace PATH] [--quick]\n       repro trace-report <PATH> [--check]"
+            "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|gemm-report|all> [--quick|--full] [--out DIR]\n       repro trace [--version LABEL] [--ranks N] [--trace PATH] [--quick]\n       repro trace-report <PATH> [--check]\n       repro fft-report [--quick|--full] [--out DIR] [--check]"
         );
         std::process::exit(2);
     });
@@ -98,6 +102,35 @@ fn main() {
         let rec = run(&experiment, scale);
         rec.save(&out).expect("write record");
         println!("\nRecord written to {}", out.join(format!("{experiment}.json")).display());
+    }
+}
+
+fn run_fft_report_cli(args: &[String]) {
+    let mut quick = false;
+    let mut check = false;
+    let mut out = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown fft-report argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = bench::fft_report::run(&out, quick, check) {
+        eprintln!("fft-report failed: {e}");
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,73 @@
+//! FFT-call accounting of the two-for-one batched Hxc apply, measured through
+//! obskit's process-global counters. These assertions live in their own test
+//! binary (integration tests get their own process) so no unrelated test can
+//! run transforms mid-measurement; within the binary they serialize on a lock.
+
+use bench::fft_report::{self, hxc_apply_per_column};
+use fftkit::PoissonSolver;
+use lrtddft::kernel::HxcKernel;
+use mathkit::Mat;
+use pwdft::{Cell, Grid};
+use std::sync::{Mutex, MutexGuard};
+
+static OBSKIT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize on the lock and drain any stale counter state.
+fn exclusive() -> MutexGuard<'static, ()> {
+    let g = OBSKIT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    obskit::disable();
+    let _ = obskit::take_trace();
+    g
+}
+
+#[test]
+fn two_for_one_halves_fft_calls() {
+    let _g = exclusive();
+    let grid = Grid::new(Cell::cubic(4.0), [8, 8, 8]);
+    let fxc = vec![0.0; grid.len()];
+    let kernel = HxcKernel::new(&grid, fxc.clone());
+    let solver = PoissonSolver::new(grid.plan(), grid.cell.lengths);
+    let fields = Mat::from_fn(grid.len(), 8, |r, j| ((r + j) % 7) as f64 - 3.0);
+    let mut out = Mat::zeros(grid.len(), 8);
+
+    obskit::enable();
+    hxc_apply_per_column(&solver, &fxc, &fields, &mut out);
+    obskit::disable();
+    let per_column = obskit::take_trace().counters.fft_calls;
+
+    obskit::enable();
+    kernel.apply_into(&fields, &mut out);
+    obskit::disable();
+    let batched = obskit::take_trace().counters.fft_calls;
+
+    assert_eq!(per_column, 16, "2 transforms per column on 8 columns");
+    assert_eq!(batched, 8, "2 transforms per column pair on 4 pairs");
+}
+
+#[test]
+fn odd_column_count_rounds_up_one_pair() {
+    let _g = exclusive();
+    let grid = Grid::new(Cell::cubic(4.0), [8, 8, 8]);
+    let kernel = HxcKernel::new(&grid, vec![0.0; grid.len()]);
+    let fields = Mat::from_fn(grid.len(), 5, |r, j| ((r * 3 + j) % 11) as f64 * 0.1);
+    let mut out = Mat::zeros(grid.len(), 5);
+
+    obskit::enable();
+    kernel.apply_into(&fields, &mut out);
+    obskit::disable();
+    let batched = obskit::take_trace().counters.fft_calls;
+    // ⌈5/2⌉ = 3 pairs, 2 transforms each.
+    assert_eq!(batched, 6);
+}
+
+#[test]
+fn quick_report_writes_json_and_passes_check() {
+    let _g = exclusive();
+    let dir = std::env::temp_dir().join("lrtddft_fft_report_test");
+    fft_report::run(&dir, true, true).unwrap();
+    let body = std::fs::read_to_string(dir.join("BENCH_fft.json")).unwrap();
+    assert!(body.contains("\"benchmark\": \"fft-report\""));
+    assert!(body.contains("\"fft_call_ratio\""));
+    assert!(body.contains("\"grids\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}

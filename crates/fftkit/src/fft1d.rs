@@ -1,14 +1,267 @@
-//! 1-D complex FFT.
+//! 1-D complex FFT with precomputed plans.
 //!
-//! * Power-of-two lengths: iterative radix-2 Cooley–Tukey with precomputed
-//!   bit-reversal and twiddle tables (the workhorse — plane-wave grids are
-//!   chosen as powers of two, as on the Cori runs where `N_r = 104³` was the
-//!   FFT-friendly grid for Si₁₀₀₀; we snap to powers of two instead).
-//! * Arbitrary lengths: Bluestein's chirp-z algorithm, which reduces any `n`
-//!   to a power-of-two convolution. This keeps the library usable for the
-//!   odd grid dimensions produced by non-cubic cells.
+//! * Power-of-two lengths: iterative radix-2 Cooley–Tukey reading bit-reversal
+//!   and per-stage twiddle tables built once at plan time (the workhorse —
+//!   plane-wave grids are chosen as powers of two, as on the Cori runs where
+//!   `N_r = 104³` was the FFT-friendly grid for Si₁₀₀₀; we snap to powers of
+//!   two instead). The tables replace the old `w *= wlen` recurrence, whose
+//!   rounding error grows with line length.
+//! * Arbitrary lengths: Bluestein's chirp-z algorithm with the chirp sequence
+//!   and both convolution-kernel spectra cached in the plan, so a transform
+//!   runs no trig at all. This keeps the library usable for the odd grid
+//!   dimensions produced by non-cubic cells.
+//!
+//! [`Plan1d`] is the planned engine; the free functions [`fft`]/[`ifft`]
+//! remain as conveniences backed by a process-wide plan cache keyed on length.
 
 use crate::complex::Complex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A reusable 1-D FFT plan: all tables precomputed, no trig per transform.
+#[derive(Debug)]
+pub struct Plan1d {
+    n: usize,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    /// `n <= 1`: the transform is the identity.
+    Trivial,
+    /// Power-of-two Cooley–Tukey.
+    Radix2 {
+        /// Bit-reversed index of every position (u32: lines are ≪ 4G long).
+        bitrev: Vec<u32>,
+        /// Forward twiddles `e^{-2πik/len}`, stage-major: the stage with
+        /// butterfly span `len` owns `len/2` consecutive entries at offset
+        /// `len/2 - 1`. Inverse transforms conjugate on the fly.
+        twiddles: Vec<Complex>,
+    },
+    /// Bluestein chirp-z for arbitrary `n` via a power-of-two convolution.
+    Bluestein {
+        /// Forward chirp `e^{-iπ j²/n}` (j² taken mod 2n); inverse is conj.
+        chirp: Vec<Complex>,
+        /// FFT_m of the forward convolution kernel `b[j] = conj(chirp[j])`.
+        bspec_fwd: Vec<Complex>,
+        /// FFT_m of the inverse convolution kernel `b[j] = chirp[j]`.
+        bspec_inv: Vec<Complex>,
+        /// Inner power-of-two plan of length `m ≥ 2n−1`.
+        inner: Box<Plan1d>,
+    },
+}
+
+impl Plan1d {
+    pub fn new(n: usize) -> Self {
+        let kind = if n <= 1 {
+            Kind::Trivial
+        } else if n.is_power_of_two() {
+            let (bitrev, twiddles) = radix2_tables(n);
+            Kind::Radix2 { bitrev, twiddles }
+        } else {
+            bluestein_plan(n)
+        };
+        Plan1d { n, kind }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Scratch length a transform needs (`m` for Bluestein, 0 otherwise).
+    pub fn scratch_len(&self) -> usize {
+        match &self.kind {
+            Kind::Bluestein { inner, .. } => inner.n,
+            _ => 0,
+        }
+    }
+
+    /// Forward DFT in place (no normalization). `scratch` is grown on demand
+    /// and only touched on Bluestein lengths — pass the same `Vec` across
+    /// calls to keep batched transforms allocation-free.
+    pub fn forward(&self, x: &mut [Complex], scratch: &mut Vec<Complex>) {
+        debug_assert_eq!(x.len(), self.n);
+        self.execute(x, false, scratch);
+    }
+
+    /// Inverse DFT in place, including the `1/n` normalization.
+    pub fn inverse(&self, x: &mut [Complex], scratch: &mut Vec<Complex>) {
+        debug_assert_eq!(x.len(), self.n);
+        self.execute(x, true, scratch);
+        let inv = 1.0 / self.n.max(1) as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+
+    fn execute(&self, x: &mut [Complex], inverse: bool, scratch: &mut Vec<Complex>) {
+        match &self.kind {
+            Kind::Trivial => {}
+            Kind::Radix2 { bitrev, twiddles } => radix2_planned(x, bitrev, twiddles, inverse),
+            Kind::Bluestein { chirp, bspec_fwd, bspec_inv, inner } => {
+                bluestein_planned(x, chirp, bspec_fwd, bspec_inv, inner, inverse, scratch)
+            }
+        }
+    }
+}
+
+/// Bit-reversal permutation and stage-major twiddle tables for length `n`.
+fn radix2_tables(n: usize) -> (Vec<u32>, Vec<Complex>) {
+    debug_assert!(n.is_power_of_two() && n >= 2);
+    let mut bitrev = vec![0u32; n];
+    let mut j = 0usize;
+    for slot in bitrev.iter_mut().skip(1) {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        *slot = j as u32;
+    }
+    let mut twiddles = Vec::with_capacity(n - 1);
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for k in 0..half {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+            twiddles.push(Complex::cis(ang));
+        }
+        len <<= 1;
+    }
+    (bitrev, twiddles)
+}
+
+/// Iterative radix-2 butterflies reading the precomputed tables.
+fn radix2_planned(x: &mut [Complex], bitrev: &[u32], twiddles: &[Complex], inverse: bool) {
+    let n = x.len();
+    debug_assert_eq!(bitrev.len(), n);
+    for (i, &rev) in bitrev.iter().enumerate().skip(1) {
+        let j = rev as usize;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    let mut toff = 0;
+    while len <= n {
+        let half = len / 2;
+        let stage = &twiddles[toff..toff + half];
+        for block in x.chunks_exact_mut(len) {
+            let (lo, hi) = block.split_at_mut(half);
+            if inverse {
+                for ((u, v), w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage.iter()) {
+                    let t = *v * w.conj();
+                    let s = *u;
+                    *u = s + t;
+                    *v = s - t;
+                }
+            } else {
+                for ((u, v), w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage.iter()) {
+                    let t = *v * *w;
+                    let s = *u;
+                    *u = s + t;
+                    *v = s - t;
+                }
+            }
+        }
+        toff += half;
+        len <<= 1;
+    }
+}
+
+/// Build the cached Bluestein tables for length `n`.
+fn bluestein_plan(n: usize) -> Kind {
+    let m = (2 * n - 1).next_power_of_two();
+    let inner = Box::new(Plan1d::new(m));
+    // chirp[j] = e^{-iπ j²/n}; j² mod 2n keeps the phase argument exact for
+    // large j (e^{-iπ (j² + 2n t)/n} = e^{-iπ j²/n}).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|j| {
+            let jj = (j * j) % (2 * n);
+            Complex::cis(-std::f64::consts::PI * jj as f64 / n as f64)
+        })
+        .collect();
+    let mut scratch = Vec::new();
+    let mut spectrum_of = |b0: &dyn Fn(usize) -> Complex| -> Vec<Complex> {
+        let mut b = vec![Complex::ZERO; m];
+        b[0] = b0(0);
+        for j in 1..n {
+            b[j] = b0(j);
+            b[m - j] = b0(j);
+        }
+        inner.forward(&mut b, &mut scratch);
+        b
+    };
+    let bspec_fwd = spectrum_of(&|j| chirp[j].conj());
+    let bspec_inv = spectrum_of(&|j| chirp[j]);
+    Kind::Bluestein { chirp, bspec_fwd, bspec_inv, inner }
+}
+
+/// Chirp-z execution against the cached tables (no normalization).
+fn bluestein_planned(
+    x: &mut [Complex],
+    chirp: &[Complex],
+    bspec_fwd: &[Complex],
+    bspec_inv: &[Complex],
+    inner: &Plan1d,
+    inverse: bool,
+    scratch: &mut Vec<Complex>,
+) {
+    let m = inner.len();
+    scratch.clear();
+    scratch.resize(m, Complex::ZERO);
+    // Avoid aliasing scratch through the nested inner transform: the inner
+    // plan is power-of-two, so its scratch demand is zero.
+    let mut no_scratch = Vec::new();
+    let bspec = if inverse { bspec_inv } else { bspec_fwd };
+    if inverse {
+        for (s, (&xi, &c)) in scratch.iter_mut().zip(x.iter().zip(chirp.iter())) {
+            *s = xi * c.conj();
+        }
+    } else {
+        for (s, (&xi, &c)) in scratch.iter_mut().zip(x.iter().zip(chirp.iter())) {
+            *s = xi * c;
+        }
+    }
+    inner.forward(scratch, &mut no_scratch);
+    for (s, b) in scratch.iter_mut().zip(bspec.iter()) {
+        *s *= *b;
+    }
+    // Inverse convolution without normalization; fold 1/m into the unchirp.
+    inner.execute(scratch, true, &mut no_scratch);
+    let minv = 1.0 / m as f64;
+    if inverse {
+        for (xi, (&s, &c)) in x.iter_mut().zip(scratch.iter().zip(chirp.iter())) {
+            *xi = s.scale(minv) * c.conj();
+        }
+    } else {
+        for (xi, (&s, &c)) in x.iter_mut().zip(scratch.iter().zip(chirp.iter())) {
+            *xi = s.scale(minv) * c;
+        }
+    }
+}
+
+/// Process-wide plan cache backing the free functions: one `Plan1d` per
+/// length, shared by reference.
+fn cached_plan(n: usize) -> Arc<Plan1d> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Plan1d>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().unwrap_or_else(|p| p.into_inner());
+    guard.entry(n).or_insert_with(|| Arc::new(Plan1d::new(n))).clone()
+}
+
+/// Shared plan for length `n` from the process-wide cache.
+pub fn plan(n: usize) -> Arc<Plan1d> {
+    cached_plan(n)
+}
 
 /// Forward DFT: `X[k] = Σ_j x[j] e^{-2πi jk/n}` (no normalization).
 pub fn fft(x: &[Complex]) -> Vec<Complex> {
@@ -26,103 +279,22 @@ pub fn ifft(x: &[Complex]) -> Vec<Complex> {
 
 /// In-place forward DFT.
 pub fn fft_inplace(x: &mut [Complex]) {
-    let n = x.len();
-    if n <= 1 {
+    if x.len() <= 1 {
         return;
     }
-    if n.is_power_of_two() {
-        radix2(x, false);
-    } else {
-        bluestein(x, false);
-    }
+    let plan = cached_plan(x.len());
+    let mut scratch = Vec::new();
+    plan.forward(x, &mut scratch);
 }
 
 /// In-place inverse DFT (includes the `1/n` normalization).
 pub fn ifft_inplace(x: &mut [Complex]) {
-    let n = x.len();
-    if n <= 1 {
+    if x.len() <= 1 {
         return;
     }
-    if n.is_power_of_two() {
-        radix2(x, true);
-    } else {
-        bluestein(x, true);
-    }
-    let inv = 1.0 / n as f64;
-    for v in x.iter_mut() {
-        *v = v.scale(inv);
-    }
-}
-
-/// Iterative radix-2 Cooley–Tukey (decimation in time).
-fn radix2(x: &mut [Complex], inverse: bool) {
-    let n = x.len();
-    debug_assert!(n.is_power_of_two());
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            x.swap(i, j);
-        }
-    }
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        let half = len / 2;
-        let mut i = 0;
-        while i < n {
-            let mut w = Complex::ONE;
-            for k in 0..half {
-                let u = x[i + k];
-                let v = x[i + k + half] * w;
-                x[i + k] = u + v;
-                x[i + k + half] = u - v;
-                w *= wlen;
-            }
-            i += len;
-        }
-        len <<= 1;
-    }
-}
-
-/// Bluestein chirp-z: DFT of arbitrary length via a power-of-two convolution.
-fn bluestein(x: &mut [Complex], inverse: bool) {
-    let n = x.len();
-    let sign = if inverse { 1.0 } else { -1.0 };
-    // Chirp: w[j] = e^{sign * -πi j² / n}; use j² mod 2n to avoid overflow.
-    let mut chirp = Vec::with_capacity(n);
-    for j in 0..n {
-        let jj = (j * j) % (2 * n);
-        chirp.push(Complex::cis(sign * std::f64::consts::PI * jj as f64 / n as f64));
-    }
-    let m = (2 * n - 1).next_power_of_two();
-    let mut a = vec![Complex::ZERO; m];
-    let mut b = vec![Complex::ZERO; m];
-    for j in 0..n {
-        a[j] = x[j] * chirp[j];
-        b[j] = chirp[j].conj();
-    }
-    for j in 1..n {
-        b[m - j] = chirp[j].conj();
-    }
-    radix2(&mut a, false);
-    radix2(&mut b, false);
-    for (av, bv) in a.iter_mut().zip(b.iter()) {
-        *av *= *bv;
-    }
-    radix2(&mut a, true);
-    let minv = 1.0 / m as f64;
-    for j in 0..n {
-        x[j] = a[j].scale(minv) * chirp[j];
-    }
+    let plan = cached_plan(x.len());
+    let mut scratch = Vec::new();
+    plan.inverse(x, &mut scratch);
 }
 
 #[cfg(test)]
@@ -135,7 +307,7 @@ mod tests {
         let mut out = vec![Complex::ZERO; n];
         for (k, o) in out.iter_mut().enumerate() {
             for (j, &xi) in x.iter().enumerate() {
-                let ang = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                let ang = sign * 2.0 * std::f64::consts::PI * ((j * k) % n) as f64 / n as f64;
                 *o += xi * Complex::cis(ang);
             }
         }
@@ -176,6 +348,38 @@ mod tests {
         for &n in &[3usize, 5, 6, 7, 12, 15, 27, 100] {
             let x = rand_signal(n, 7 + n as u64);
             assert!(close(&fft(&x), &naive_dft(&x, false), 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn long_line_accuracy_vs_naive_dft() {
+        // The old `w *= wlen` twiddle recurrence drifted measurably by
+        // n = 4096; the table-driven plan must stay at DFT-roundoff level
+        // (tolerance ~1e-12·n, i.e. ≈4e-9 absolute here).
+        let n = 4096;
+        let x = rand_signal(n, 2024);
+        let tol = 1e-12 * n as f64;
+        let planned = fft(&x);
+        let naive = naive_dft(&x, false);
+        let worst = planned
+            .iter()
+            .zip(naive.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < tol, "worst deviation {worst:.3e} exceeds {tol:.3e}");
+    }
+
+    #[test]
+    fn plan_reuse_matches_free_functions() {
+        for &n in &[32usize, 45] {
+            let p = Plan1d::new(n);
+            let mut scratch = Vec::new();
+            let x = rand_signal(n, 3 * n as u64);
+            let mut y = x.clone();
+            p.forward(&mut y, &mut scratch);
+            assert!(close(&y, &fft(&x), 1e-11), "forward n={n}");
+            p.inverse(&mut y, &mut scratch);
+            assert!(close(&y, &x, 1e-10), "roundtrip n={n}");
         }
     }
 

@@ -1,29 +1,83 @@
-//! 3-D FFT over a real-space grid.
+//! 3-D FFT over a real-space grid — planned, batched, with a two-for-one
+//! real-field path.
 //!
 //! Layout convention: a scalar field on an `n1 × n2 × n3` grid is stored as a
 //! flat slice with index `i1 + n1*(i2 + n2*i3)` — the same Fortran-ordering
 //! PWDFT uses, so axis-1 lines are contiguous.
 //!
-//! The 3-D transform is three passes of batched 1-D transforms. Each pass is
-//! Rayon-parallel over independent lines, matching the paper's column-block
-//! distribution where every MPI task FFTs its own orbitals independently.
+//! The 3-D transform is three passes of batched 1-D transforms against the
+//! per-axis [`Plan1d`] tables held by the plan (built once in [`Fft3::new`]):
+//! no trig, no twiddle recurrence, and no per-line allocation runs inside a
+//! transform. Axis-2/axis-3 lines are strided, so they are gathered into
+//! cache-blocked tiles of [`LINE_TILE`] lines per worker-scratch buffer,
+//! transformed contiguously, and scattered back. Each pass is Rayon-parallel
+//! over independent line sets, matching the paper's column-block distribution
+//! where every MPI task FFTs its own orbitals independently.
+//!
+//! For *real* fields (Γ-point orbital pair products, densities, potentials)
+//! the engine additionally offers a two-for-one path: two real fields `a, b`
+//! are packed as `z = a + i·b`, one complex transform produces both spectra
+//! (recoverable by Hermitian symmetry, see [`Fft3::split_packed_spectrum`]),
+//! a diagonal reciprocal-space kernel is applied, and one inverse transform
+//! returns both filtered fields in the real and imaginary parts. This halves
+//! the 3-D FFT count of every real-field kernel application in the code base
+//! — see [`Fft3::apply_real_diagonal_batch`].
 
 use crate::complex::Complex;
-use crate::fft1d::{fft_inplace, ifft_inplace};
+use crate::fft1d::Plan1d;
 use rayon::prelude::*;
+use std::sync::Arc;
 
-/// A reusable 3-D FFT "plan" (grid dimensions + scratch strategy).
+/// Lines gathered per tile in the strided passes. Eight complex lines of a
+/// 64-point axis are 8 KiB — comfortably L1-resident next to the twiddles.
+const LINE_TILE: usize = 8;
+
+/// A reusable 3-D FFT plan: grid dimensions plus per-axis 1-D plans
+/// (bit-reversal + twiddle tables, cached Bluestein chirp/kernel spectra for
+/// non-power-of-two axes). Cloning shares the tables via `Arc`.
 #[derive(Clone, Debug)]
 pub struct Fft3 {
     pub n1: usize,
     pub n2: usize,
     pub n3: usize,
+    ax1: Arc<Plan1d>,
+    ax2: Arc<Plan1d>,
+    ax3: Arc<Plan1d>,
 }
+
+/// Per-worker scratch for the strided passes: one tile of gathered lines
+/// plus the Bluestein convolution buffer. Reused across every line a worker
+/// touches — nothing is allocated inside a transform after warm-up.
+struct Scratch {
+    lines: Vec<Complex>,
+    conv: Vec<Complex>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch { lines: Vec::new(), conv: Vec::new() }
+    }
+}
+
+/// Raw pointer wrapper so disjoint strided writes can cross Rayon tasks.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut Complex);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
 
 impl Fft3 {
     pub fn new(n1: usize, n2: usize, n3: usize) -> Self {
         assert!(n1 > 0 && n2 > 0 && n3 > 0);
-        Fft3 { n1, n2, n3 }
+        let ax1 = crate::fft1d::plan(n1);
+        let ax2 = if n2 == n1 { ax1.clone() } else { crate::fft1d::plan(n2) };
+        let ax3 = if n3 == n1 {
+            ax1.clone()
+        } else if n3 == n2 {
+            ax2.clone()
+        } else {
+            crate::fft1d::plan(n3)
+        };
+        Fft3 { n1, n2, n3, ax1, ax2, ax3 }
     }
 
     /// Total grid points.
@@ -43,16 +97,53 @@ impl Fft3 {
         i1 + self.n1 * (i2 + self.n2 * i3)
     }
 
+    /// Flat index of `−G` for flat index `idx` — the bin whose spectrum value
+    /// is the conjugate of `idx`'s for any real field (Hermitian symmetry).
+    #[inline]
+    pub fn conj_index(&self, idx: usize) -> usize {
+        let i1 = idx % self.n1;
+        let i2 = (idx / self.n1) % self.n2;
+        let i3 = idx / (self.n1 * self.n2);
+        let j1 = (self.n1 - i1) % self.n1;
+        let j2 = (self.n2 - i2) % self.n2;
+        let j3 = (self.n3 - i3) % self.n3;
+        self.idx(j1, j2, j3)
+    }
+
     /// Forward in-place 3-D FFT (no normalization).
     pub fn forward(&self, data: &mut [Complex]) {
         assert_eq!(data.len(), self.len());
-        self.transform(data, false);
+        obskit::add_fft_calls(1);
+        self.transform_par(data, false);
     }
 
     /// Inverse in-place 3-D FFT (normalized by `1/N`).
     pub fn inverse(&self, data: &mut [Complex]) {
         assert_eq!(data.len(), self.len());
-        self.transform(data, true);
+        obskit::add_fft_calls(1);
+        self.transform_par(data, true);
+    }
+
+    /// Forward transform of a batch of grids stored back to back
+    /// (`batch.len()` must be a multiple of [`Fft3::len`]). Grids are
+    /// distributed over Rayon workers, each owning one scratch set.
+    pub fn forward_many(&self, batch: &mut [Complex]) {
+        self.many(batch, false);
+    }
+
+    /// Inverse transform (normalized) of a back-to-back batch of grids.
+    pub fn inverse_many(&self, batch: &mut [Complex]) {
+        self.many(batch, true);
+    }
+
+    fn many(&self, batch: &mut [Complex], inverse: bool) {
+        let len = self.len();
+        assert_eq!(batch.len() % len, 0, "batch length must be a multiple of the grid size");
+        let count = batch.len() / len;
+        obskit::add_fft_calls(count as u64);
+        batch
+            .par_chunks_mut(len)
+            .for_each_init(Scratch::new, |s, grid| self.transform_seq(grid, inverse, s));
     }
 
     /// Forward transform of a real field into a freshly allocated complex grid.
@@ -70,77 +161,232 @@ impl Fft3 {
         data.into_iter().map(|z| z.re).collect()
     }
 
-    fn transform(&self, data: &mut [Complex], inverse: bool) {
-        obskit::add_fft_calls(1);
-        let (n1, n2, n3) = (self.n1, self.n2, self.n3);
-        let apply = |line: &mut Vec<Complex>| {
-            if inverse {
-                ifft_inplace(line);
-            } else {
-                fft_inplace(line);
-            }
-        };
+    /// Split a packed-pair spectrum: if `z = FFT(a + i·b)` for real fields
+    /// `a, b`, Hermitian symmetry recovers both individual spectra as
+    /// `A(G) = (z(G) + conj(z(−G)))/2` and `B(G) = −i(z(G) − conj(z(−G)))/2`.
+    pub fn split_packed_spectrum(&self, z: &[Complex]) -> (Vec<Complex>, Vec<Complex>) {
+        assert_eq!(z.len(), self.len());
+        let mut a = vec![Complex::ZERO; z.len()];
+        let mut b = vec![Complex::ZERO; z.len()];
+        for g in 0..z.len() {
+            let zc = z[self.conj_index(g)].conj();
+            a[g] = (z[g] + zc).scale(0.5);
+            b[g] = (z[g] - zc) * Complex::new(0.0, -0.5);
+        }
+        (a, b)
+    }
 
-        // Pass 1: axis-1 lines are contiguous chunks of length n1.
-        data.par_chunks_mut(n1).for_each(|chunk| {
-            let mut line = chunk.to_vec();
-            apply(&mut line);
-            chunk.copy_from_slice(&line);
-        });
+    /// Apply a diagonal reciprocal-space kernel `coeff` to `k` real fields
+    /// stored column-major in `fields` (length `k·N`), writing the filtered
+    /// real fields into `out` (`+=` when `accumulate`).
+    ///
+    /// `coeff` must be real and even under `G → −G` (`coeff[conj_index(g)] ==
+    /// coeff[g]`) — true for any kernel that is a function of `|G|²`, e.g. the
+    /// Hartree `4π/|G|²`, the kinetic `½|G|²`, or the Teter preconditioner.
+    /// Evenness is what keeps the two-for-one packing exact: columns are
+    /// packed in pairs `z = a + i·b`, one forward transform yields both
+    /// spectra superposed, the even kernel scales both Hermitian halves
+    /// identically, and one inverse transform returns `kernel∗a` in the real
+    /// part and `kernel∗b` in the imaginary part — two 3-D FFTs per pair of
+    /// columns instead of four.
+    pub fn apply_real_diagonal_batch(
+        &self,
+        coeff: &[f64],
+        fields: &[f64],
+        out: &mut [f64],
+        accumulate: bool,
+    ) {
+        let len = self.len();
+        assert_eq!(coeff.len(), len, "coefficient table must match the grid");
+        assert_eq!(fields.len(), out.len(), "fields/out length mismatch");
+        assert_eq!(fields.len() % len, 0, "fields length must be a multiple of the grid size");
+        debug_assert!(
+            (0..len).step_by((len / 64).max(1)).all(|g| {
+                let c = coeff[g];
+                (c - coeff[self.conj_index(g)]).abs() <= 1e-12 * c.abs().max(1.0)
+            }),
+            "diagonal kernel must be even under G → −G for the two-for-one path"
+        );
+        let k = fields.len() / len;
+        obskit::add_fft_calls(2 * k.div_ceil(2) as u64);
+        out.par_chunks_mut(2 * len).enumerate().for_each_init(
+            || (vec![Complex::ZERO; len], Scratch::new()),
+            |(z, s), (p, out_pair)| {
+                let f = &fields[2 * p * len..2 * p * len + out_pair.len()];
+                if out_pair.len() == 2 * len {
+                    let (fa, fb) = f.split_at(len);
+                    for ((zv, &a), &b) in z.iter_mut().zip(fa.iter()).zip(fb.iter()) {
+                        *zv = Complex::new(a, b);
+                    }
+                } else {
+                    for (zv, &a) in z.iter_mut().zip(f.iter()) {
+                        *zv = Complex::from_re(a);
+                    }
+                }
+                self.transform_seq(z, false, s);
+                for (zv, &c) in z.iter_mut().zip(coeff.iter()) {
+                    *zv = zv.scale(c);
+                }
+                self.transform_seq(z, true, s);
+                if out_pair.len() == 2 * len {
+                    let (oa, ob) = out_pair.split_at_mut(len);
+                    if accumulate {
+                        for ((o, q), zv) in oa.iter_mut().zip(ob.iter_mut()).zip(z.iter()) {
+                            *o += zv.re;
+                            *q += zv.im;
+                        }
+                    } else {
+                        for ((o, q), zv) in oa.iter_mut().zip(ob.iter_mut()).zip(z.iter()) {
+                            *o = zv.re;
+                            *q = zv.im;
+                        }
+                    }
+                } else if accumulate {
+                    for (o, zv) in out_pair.iter_mut().zip(z.iter()) {
+                        *o += zv.re;
+                    }
+                } else {
+                    for (o, zv) in out_pair.iter_mut().zip(z.iter()) {
+                        *o = zv.re;
+                    }
+                }
+            },
+        );
+    }
 
-        // Pass 2: axis-2 lines, stride n1 within each i3-plane.
+    /// One full 3-D transform, parallel over line sets within the grid
+    /// (used by the single-grid entry points).
+    fn transform_par(&self, data: &mut [Complex], inverse: bool) {
+        let (n1, n2) = (self.n1, self.n2);
         let plane = n1 * n2;
-        // Collect per-(i3, i1) lines; parallelize over planes.
-        let data_ptr = SendPtr(data.as_mut_ptr());
-        (0..n3).into_par_iter().for_each(|i3| {
-            let base = i3 * plane;
-            let mut line = vec![Complex::ZERO; n2];
-            for i1 in 0..n1 {
-                // SAFETY: each (i3, i1) pair touches a disjoint strided line.
-                let p = data_ptr;
-                unsafe {
-                    for (i2, l) in line.iter_mut().enumerate() {
-                        *l = *p.0.add(base + i1 + i2 * n1);
-                    }
-                }
-                apply(&mut line);
-                unsafe {
-                    for (i2, l) in line.iter().enumerate() {
-                        *p.0.add(base + i1 + i2 * n1) = *l;
-                    }
-                }
+
+        // Pass 1: axis-1 lines are contiguous; transform in place, several
+        // lines per task so scratch init amortizes.
+        data.par_chunks_mut(n1 * LINE_TILE).for_each_init(Scratch::new, |s, block| {
+            for line in block.chunks_mut(n1) {
+                self.line(&self.ax1, line, inverse, s);
             }
         });
 
-        // Pass 3: axis-3 lines, stride n1*n2; parallelize over (i2) rows.
-        let data_ptr = SendPtr(data.as_mut_ptr());
-        (0..n2).into_par_iter().for_each(|i2| {
-            let mut line = vec![Complex::ZERO; n3];
-            for i1 in 0..n1 {
-                let p = data_ptr;
-                let off = i1 + i2 * n1;
-                // SAFETY: disjoint strided lines per (i1, i2).
-                unsafe {
-                    for (i3, l) in line.iter_mut().enumerate() {
-                        *l = *p.0.add(off + i3 * plane);
-                    }
-                }
-                apply(&mut line);
-                unsafe {
-                    for (i3, l) in line.iter().enumerate() {
-                        *p.0.add(off + i3 * plane) = *l;
-                    }
-                }
-            }
+        // Pass 2: axis-2 lines, stride n1. Planes are contiguous chunks, so
+        // each worker owns whole planes.
+        data.par_chunks_mut(plane).for_each_init(Scratch::new, |s, pl| {
+            let p = SendPtr(pl.as_mut_ptr());
+            self.pass2_plane(p, inverse, s);
         });
+
+        // Pass 3: axis-3 lines, stride n1*n2, spanning every plane;
+        // parallelize over i2 rows (disjoint strided line sets).
+        let p = SendPtr(data.as_mut_ptr());
+        (0..n2).into_par_iter().for_each_init(Scratch::new, |s, i2| {
+            self.pass3_row(p, i2, inverse, s);
+        });
+    }
+
+    /// One full 3-D transform on the calling thread (used inside batches,
+    /// where parallelism lives across grids, not within one).
+    fn transform_seq(&self, data: &mut [Complex], inverse: bool, s: &mut Scratch) {
+        let (n1, n2, n3) = (self.n1, self.n2, self.n3);
+        let plane = n1 * n2;
+        for line in data.chunks_mut(n1) {
+            self.line(&self.ax1, line, inverse, s);
+        }
+        for i3 in 0..n3 {
+            let p = SendPtr(data[i3 * plane..(i3 + 1) * plane].as_mut_ptr());
+            self.pass2_plane(p, inverse, s);
+        }
+        let p = SendPtr(data.as_mut_ptr());
+        for i2 in 0..n2 {
+            self.pass3_row(p, i2, inverse, s);
+        }
+    }
+
+    #[inline]
+    fn line(&self, plan: &Plan1d, x: &mut [Complex], inverse: bool, s: &mut Scratch) {
+        if inverse {
+            plan.inverse(x, &mut s.conv);
+        } else {
+            plan.forward(x, &mut s.conv);
+        }
+    }
+
+    /// Axis-2 pass over one `n1 × n2` plane pointed to by `p`.
+    fn pass2_plane(&self, p: SendPtr, inverse: bool, s: &mut Scratch) {
+        let (n1, n2) = (self.n1, self.n2);
+        let mut i1 = 0;
+        while i1 < n1 {
+            let w = LINE_TILE.min(n1 - i1);
+            // SAFETY: the tile touches only `{i1..i1+w} × {0..n2}` of this
+            // plane; tiles are disjoint and the caller hands each plane to
+            // exactly one worker.
+            unsafe { self.strided_tile(p, i1, w, n2, n1, &self.ax2, inverse, s) };
+            i1 += w;
+        }
+    }
+
+    /// Axis-3 pass over the `i2`-th row family of the whole grid.
+    fn pass3_row(&self, p: SendPtr, i2: usize, inverse: bool, s: &mut Scratch) {
+        let (n1, n3) = (self.n1, self.n3);
+        let plane = n1 * self.n2;
+        let mut i1 = 0;
+        while i1 < n1 {
+            let w = LINE_TILE.min(n1 - i1);
+            // SAFETY: the tile touches only `{i1..i1+w}` at this `i2` across
+            // all planes; (i2, tile) regions are pairwise disjoint.
+            unsafe { self.strided_tile(p, i2 * n1 + i1, w, n3, plane, &self.ax3, inverse, s) };
+            i1 += w;
+        }
+    }
+
+    /// Gather `nline` consecutive strided lines (`base + t + e*stride` for
+    /// line `t`, element `e`) into the scratch tile, transform each
+    /// contiguously, and scatter back.
+    ///
+    /// # Safety
+    /// `base + t + e*stride` must be in bounds for all `t < nline`,
+    /// `e < len`, and no other thread may touch those elements concurrently.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn strided_tile(
+        &self,
+        p: SendPtr,
+        base: usize,
+        nline: usize,
+        len: usize,
+        stride: usize,
+        plan: &Plan1d,
+        inverse: bool,
+        s: &mut Scratch,
+    ) {
+        s.lines.resize(nline * len, Complex::ZERO);
+        for e in 0..len {
+            let src = p.0.add(base + e * stride);
+            for t in 0..nline {
+                *s.lines.get_unchecked_mut(t * len + e) = *src.add(t);
+            }
+        }
+        // Transform the gathered lines without holding a borrow of `s`.
+        let mut lines = std::mem::take(&mut s.lines);
+        for line in lines.chunks_mut(len) {
+            self.line(plan, line, inverse, s);
+        }
+        s.lines = lines;
+        for e in 0..len {
+            let dst = p.0.add(base + e * stride);
+            for t in 0..nline {
+                *dst.add(t) = *s.lines.get_unchecked(t * len + e);
+            }
+        }
     }
 }
 
-/// Raw pointer wrapper so disjoint strided writes can cross Rayon tasks.
-#[derive(Clone, Copy)]
-struct SendPtr(*mut Complex);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+/// Pack two real fields into one complex grid: `out[i] = a[i] + i·b[i]`.
+pub fn pack_real_pair(a: &[f64], b: &[f64], out: &mut [Complex]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = Complex::new(x, y);
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -155,6 +401,10 @@ mod tests {
             (s as f64 / u64::MAX as f64) * 2.0 - 1.0
         };
         (0..n).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    fn rand_real(n: usize, seed: u64) -> Vec<f64> {
+        rand_field(n, seed).into_iter().map(|z| z.re).collect()
     }
 
     #[test]
@@ -224,19 +474,102 @@ mod tests {
         let plan = Fft3::new(4, 4, 4);
         let real: Vec<f64> = (0..plan.len()).map(|i| ((i * 37 % 11) as f64) - 5.0).collect();
         let spec = plan.forward_real(&real);
-        // F(-G) = conj(F(G))
-        for i3 in 0..4 {
-            for i2 in 0..4 {
-                for i1 in 0..4 {
-                    let a = spec[plan.idx(i1, i2, i3)];
-                    let b = spec[plan.idx((4 - i1) % 4, (4 - i2) % 4, (4 - i3) % 4)];
-                    assert!((a - b.conj()).abs() < 1e-9);
-                }
-            }
+        // F(-G) = conj(F(G)), with conj_index supplying the -G bin.
+        for (g, v) in spec.iter().enumerate() {
+            let b = spec[plan.conj_index(g)];
+            assert!((*v - b.conj()).abs() < 1e-9);
         }
         let back = plan.inverse_to_real(spec);
         for (a, b) in real.iter().zip(&back) {
             assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn conj_index_is_an_involution() {
+        let plan = Fft3::new(4, 6, 5);
+        for g in 0..plan.len() {
+            assert_eq!(plan.conj_index(plan.conj_index(g)), g);
+        }
+        assert_eq!(plan.conj_index(0), 0);
+    }
+
+    #[test]
+    fn batched_matches_single_transforms() {
+        let plan = Fft3::new(4, 5, 8);
+        let len = plan.len();
+        let k = 3;
+        let mut batch: Vec<Complex> = (0..k).flat_map(|j| rand_field(len, 7 + j)).collect();
+        let singles: Vec<Vec<Complex>> = (0..k)
+            .map(|j| {
+                let mut g = batch[j as usize * len..(j as usize + 1) * len].to_vec();
+                plan.forward(&mut g);
+                g
+            })
+            .collect();
+        plan.forward_many(&mut batch);
+        for j in 0..k as usize {
+            for (a, b) in batch[j * len..(j + 1) * len].iter().zip(singles[j].iter()) {
+                assert!((*a - *b).abs() < 1e-11);
+            }
+        }
+        plan.inverse_many(&mut batch);
+        for (j, orig) in (0..k).map(|j| rand_field(len, 7 + j)).enumerate() {
+            for (a, b) in batch[j * len..(j + 1) * len].iter().zip(orig.iter()) {
+                assert!((*a - *b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn split_packed_spectrum_recovers_individual_spectra() {
+        let plan = Fft3::new(4, 4, 6);
+        let a = rand_real(plan.len(), 21);
+        let b = rand_real(plan.len(), 22);
+        let mut z = vec![Complex::ZERO; plan.len()];
+        pack_real_pair(&a, &b, &mut z);
+        plan.forward(&mut z);
+        let (sa, sb) = plan.split_packed_spectrum(&z);
+        let ra = plan.forward_real(&a);
+        let rb = plan.forward_real(&b);
+        for g in 0..plan.len() {
+            assert!((sa[g] - ra[g]).abs() < 1e-10, "A spectrum differs at {g}");
+            assert!((sb[g] - rb[g]).abs() < 1e-10, "B spectrum differs at {g}");
+        }
+    }
+
+    #[test]
+    fn two_for_one_kernel_apply_matches_per_column() {
+        let plan = Fft3::new(4, 6, 4);
+        let len = plan.len();
+        // Even diagonal kernel: a function of the bin's |G|-like magnitude.
+        let coeff: Vec<f64> = (0..len)
+            .map(|g| {
+                let cg = plan.conj_index(g);
+                1.0 + 0.1 * (g.min(cg) as f64)
+            })
+            .collect();
+        for k in [1usize, 2, 3, 5] {
+            let fields: Vec<f64> = (0..k).flat_map(|j| rand_real(len, 40 + j as u64)).collect();
+            let mut out = vec![0.5; fields.len()];
+            plan.apply_real_diagonal_batch(&coeff, &fields, &mut out, false);
+            for j in 0..k {
+                let col = &fields[j * len..(j + 1) * len];
+                let mut spec = plan.forward_real(col);
+                for (z, &c) in spec.iter_mut().zip(coeff.iter()) {
+                    *z = z.scale(c);
+                }
+                let expect = plan.inverse_to_real(spec);
+                for (o, e) in out[j * len..(j + 1) * len].iter().zip(expect.iter()) {
+                    assert!((o - e).abs() < 1e-10, "k={k} col={j}");
+                }
+            }
+            // Accumulate mode adds on top.
+            let mut acc = vec![1.0; fields.len()];
+            plan.apply_real_diagonal_batch(&coeff, &fields, &mut acc, true);
+            for (a, o) in acc.iter().zip(out.iter()) {
+                assert!((a - 1.0 - o).abs() < 1e-10);
+            }
         }
     }
 }

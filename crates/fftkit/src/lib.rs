@@ -8,10 +8,18 @@
 //!
 //! Provided here:
 //! * [`Complex`] — a minimal `f64` complex type (no external dependency),
-//! * [`fft`]/[`ifft`] — 1-D transforms: iterative radix-2 Cooley–Tukey for
-//!   power-of-two lengths, Bluestein's algorithm otherwise (any length),
-//! * [`Fft3`] — 3-D transform over a `n1 × n2 × n3` grid with plan reuse,
-//! * [`poisson`] — the periodic Poisson solver / Hartree kernel.
+//! * [`Plan1d`] — a planned 1-D transform: precomputed bit-reversal and
+//!   twiddle tables for power-of-two lengths, cached Bluestein chirp and
+//!   convolution-kernel spectra otherwise (any length). [`fft`]/[`ifft`]
+//!   remain as conveniences backed by a process-wide plan cache,
+//! * [`Fft3`] — planned 3-D transform over a `n1 × n2 × n3` grid with
+//!   batched entry points ([`Fft3::forward_many`]) that tile strided lines
+//!   through per-worker scratch, and a two-for-one real-field path
+//!   ([`Fft3::apply_real_diagonal_batch`]) that packs pairs of real fields
+//!   into one complex grid and halves the 3-D FFT count of every diagonal
+//!   reciprocal-space kernel application,
+//! * [`poisson`] — the periodic Poisson solver / Hartree kernel, including
+//!   the fused batched [`PoissonSolver::hartree_many`].
 
 pub mod complex;
 pub mod fft1d;
@@ -19,6 +27,6 @@ pub mod fft3d;
 pub mod poisson;
 
 pub use complex::Complex;
-pub use fft1d::{fft, fft_inplace, ifft, ifft_inplace};
-pub use fft3d::Fft3;
+pub use fft1d::{fft, fft_inplace, ifft, ifft_inplace, Plan1d};
+pub use fft3d::{pack_real_pair, Fft3};
 pub use poisson::{hartree_energy, solve_poisson, PoissonSolver};

@@ -61,7 +61,7 @@ pub fn total_energy(grid: &Grid, structure: &Structure, gs: &GroundState) -> Ene
     let band: f64 = gs.eps[..gs.n_valence].iter().map(|e| 2.0 * e).sum();
 
     // Hartree double counting.
-    let poisson = PoissonSolver::new(grid.plan().clone(), grid.cell.lengths);
+    let poisson = PoissonSolver::new(grid.plan(), grid.cell.lengths);
     let v_h = poisson.hartree_potential(&gs.density);
     let hartree = hartree_energy(&gs.density, &v_h, dv);
 

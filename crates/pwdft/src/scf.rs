@@ -143,8 +143,11 @@ pub fn scf(grid: &Grid, structure: &Structure, opts: ScfOptions) -> GroundState 
     let ne = structure.n_electrons() as f64;
 
     let v_ion = local_potential(grid, structure);
-    let poisson = PoissonSolver::new(grid.plan().clone(), grid.cell.lengths);
+    let poisson = PoissonSolver::new(grid.plan(), grid.cell.lengths);
     let mut density = initial_density(grid, structure);
+    // Hartree-potential buffer reused across iterations (the solver itself
+    // reuses its per-worker FFT scratch).
+    let mut v_h = vec![0.0; grid.len()];
 
     // Deterministic random initial orbitals.
     let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -161,7 +164,7 @@ pub fn scf(grid: &Grid, structure: &Structure, opts: ScfOptions) -> GroundState 
     for it in 0..opts.max_iter {
         iterations = it + 1;
         // Effective potential from the current density.
-        let v_h = poisson.hartree_potential(&density);
+        poisson.hartree_potential_into(&density, &mut v_h);
         for i in 0..grid.len() {
             v_eff[i] = v_ion[i] + v_h[i] + vxc_lda(density[i]);
         }

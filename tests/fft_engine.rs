@@ -1,0 +1,166 @@
+//! Property-based tests of the planned/batched FFT engine: batch round
+//! trips on power-of-two and Bluestein axes, Hermitian symmetry of real
+//! spectra, the two-for-one packed transform against independent complex
+//! transforms, Parseval, and the fused diagonal-kernel batch apply.
+
+use fftkit::poisson::signed_freq;
+use fftkit::{pack_real_pair, Complex, Fft3, PoissonSolver};
+use proptest::prelude::*;
+
+/// Axis lengths mixing radix-2 (2, 4, 8) and Bluestein (3, 5, 6) paths.
+const AXES: [usize; 6] = [2, 3, 4, 5, 6, 8];
+
+/// A grid plan plus `k` real fields (column-major, `k·N` values).
+fn batch_strategy(max_cols: usize) -> impl Strategy<Value = (Fft3, usize, Vec<f64>)> {
+    (0usize..AXES.len(), 0usize..AXES.len(), 0usize..AXES.len(), 1..=max_cols).prop_flat_map(
+        |(a1, a2, a3, k)| {
+            let (n1, n2, n3) = (AXES[a1], AXES[a2], AXES[a3]);
+            prop::collection::vec(-2.0f64..2.0, n1 * n2 * n3 * k)
+                .prop_map(move |data| (Fft3::new(n1, n2, n3), k, data))
+        },
+    )
+}
+
+/// An even (`c[-G] = c[G]`) diagonal kernel — the shape every reciprocal-space
+/// kernel in the pipeline has (Hartree, kinetic, preconditioner are all
+/// functions of `|G|²`).
+fn even_coeff(plan: &Fft3, scale: f64) -> Vec<f64> {
+    let (n1, n2, n3) = (plan.n1, plan.n2, plan.n3);
+    let mut out = vec![0.0; plan.len()];
+    for i3 in 0..n3 {
+        for i2 in 0..n2 {
+            for i1 in 0..n1 {
+                let m2 = (signed_freq(i1, n1).pow(2)
+                    + signed_freq(i2, n2).pow(2)
+                    + signed_freq(i3, n3).pow(2)) as f64;
+                out[plan.idx(i1, i2, i3)] = scale / (1.0 + m2);
+            }
+        }
+    }
+    out
+}
+
+/// Reference diagonal-kernel application: one complex transform per column.
+fn apply_per_column(plan: &Fft3, coeff: &[f64], fields: &[f64]) -> Vec<f64> {
+    let n = plan.len();
+    let mut out = Vec::with_capacity(fields.len());
+    for col in fields.chunks(n) {
+        let mut spec = plan.forward_real(col);
+        for (z, &c) in spec.iter_mut().zip(coeff.iter()) {
+            *z = z.scale(c);
+        }
+        out.extend(plan.inverse_to_real(spec));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn complex_batch_roundtrip((plan, k, data) in batch_strategy(3)) {
+        let mut batch: Vec<Complex> = data.iter()
+            .map(|&v| Complex::new(v, 0.7 * v - 0.1))
+            .collect();
+        let original = batch.clone();
+        plan.forward_many(&mut batch);
+        plan.inverse_many(&mut batch);
+        prop_assert_eq!(batch.len(), k * plan.len());
+        for (a, b) in batch.iter().zip(original.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_batch_roundtrip_via_identity_kernel((plan, _k, data) in batch_strategy(3)) {
+        // All-ones coefficients make the packed forward+inverse an identity.
+        let ones = vec![1.0; plan.len()];
+        let mut out = vec![0.0; data.len()];
+        plan.apply_real_diagonal_batch(&ones, &data, &mut out, false);
+        for (a, b) in out.iter().zip(data.iter()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_spectrum_is_hermitian((plan, _k, data) in batch_strategy(1)) {
+        let spec = plan.forward_real(&data[..plan.len()]);
+        for i in 0..plan.len() {
+            let j = plan.conj_index(i);
+            prop_assert!((spec[i] - spec[j].conj()).abs() < 1e-9,
+                "bin {i} vs conj bin {j}");
+        }
+    }
+
+    #[test]
+    fn packed_pair_splits_into_independent_spectra((plan, _k, data) in batch_strategy(2)) {
+        let n = plan.len();
+        // Reuse the field data for both halves of the pair (second half
+        // reversed so the two columns differ).
+        let a: Vec<f64> = data[..n].to_vec();
+        let b: Vec<f64> = data[..n].iter().rev().copied().collect();
+        let mut z = vec![Complex::ZERO; n];
+        pack_real_pair(&a, &b, &mut z);
+        plan.forward(&mut z);
+        let (sa, sb) = plan.split_packed_spectrum(&z);
+        let ra = plan.forward_real(&a);
+        let rb = plan.forward_real(&b);
+        for i in 0..n {
+            prop_assert!((sa[i] - ra[i]).abs() < 1e-9, "A spectrum bin {i}");
+            prop_assert!((sb[i] - rb[i]).abs() < 1e-9, "B spectrum bin {i}");
+        }
+    }
+
+    #[test]
+    fn batch_parseval((plan, k, data) in batch_strategy(3)) {
+        let n = plan.len();
+        let mut batch: Vec<Complex> = data.iter()
+            .map(|&v| Complex::new(v, -0.3 * v))
+            .collect();
+        let real_energy: Vec<f64> = (0..k)
+            .map(|j| batch[j * n..(j + 1) * n].iter().map(|z| z.norm_sqr()).sum())
+            .collect();
+        plan.forward_many(&mut batch);
+        for (j, &er) in real_energy.iter().enumerate() {
+            let eg: f64 = batch[j * n..(j + 1) * n].iter()
+                .map(|z| z.norm_sqr())
+                .sum::<f64>() / n as f64;
+            prop_assert!((er - eg).abs() < 1e-8 * er.max(1.0), "column {j}: {er} vs {eg}");
+        }
+    }
+
+    #[test]
+    fn diagonal_batch_apply_matches_per_column((plan, _k, data) in batch_strategy(4)) {
+        let coeff = even_coeff(&plan, 2.5);
+        let reference = apply_per_column(&plan, &coeff, &data);
+        let mut out = vec![0.0; data.len()];
+        plan.apply_real_diagonal_batch(&coeff, &data, &mut out, false);
+        for (a, b) in out.iter().zip(reference.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // Accumulate mode adds on top of pre-filled output.
+        let mut acc = vec![1.5; data.len()];
+        plan.apply_real_diagonal_batch(&coeff, &data, &mut acc, true);
+        for (a, b) in acc.iter().zip(reference.iter()) {
+            prop_assert!((a - (1.5 + b)).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn hartree_many_matches_single_solves_on_mixed_axes() {
+    let plan = Fft3::new(8, 6, 5);
+    let lengths = [6.0, 5.0, 4.5];
+    let solver = PoissonSolver::new(&plan, lengths);
+    let n = plan.len();
+    let k = 3;
+    let fields: Vec<f64> = (0..k * n).map(|i| ((i * 17 + 3) % 19) as f64 * 0.1 - 0.9).collect();
+    let mut out = vec![0.0; k * n];
+    solver.hartree_many(&fields, &mut out, false);
+    for j in 0..k {
+        let v = solver.hartree_potential(&fields[j * n..(j + 1) * n]);
+        for (a, b) in out[j * n..(j + 1) * n].iter().zip(v.iter()) {
+            assert!((a - b).abs() < 1e-10, "column {j}");
+        }
+    }
+}
