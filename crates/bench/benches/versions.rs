@@ -2,17 +2,17 @@
 //! fixed silicon-like workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lrtddft::{problem::silicon_like_problem, solve, SolverParams, Version};
+use lrtddft::{problem::silicon_like_problem, solve_with, SolveOptions, Version};
 
 fn bench_versions(c: &mut Criterion) {
     let problem = silicon_like_problem(1, 12, 4);
-    let params = SolverParams { n_states: 3, ..Default::default() };
+    let opts = SolveOptions::new().n_states(3);
 
     let mut group = c.benchmark_group("table6_versions");
     group.sample_size(10);
     for v in Version::all() {
         group.bench_function(v.label(), |b| {
-            b.iter(|| solve(&problem, v, params));
+            b.iter(|| solve_with(&problem, v, &opts));
         });
     }
     group.finish();

@@ -1,0 +1,347 @@
+//! `repro comm-report` — the nonblocking comms engine vs. the blocking path,
+//! written to `BENCH_comm.json`.
+//!
+//! Three measurements on the Fig.-5 `V_Hxc` contraction shape (distinct
+//! `A`/`B` factors so the packed GEMM path, not SYRK, is exercised — the
+//! same path the pipelined schedule chunks):
+//!
+//! 1. **Blocking vs. pipelined wall time** — `gram_allreduce` (monolithic
+//!    GEMM + `Allreduce`) against `gram_pipelined_reduce` (chunked GEMM with
+//!    each chunk's `ireduce` streaming on the progress engine), per rank
+//!    count.
+//! 2. **Measured overlap fraction** — each rank's request-outstanding
+//!    windows intersected with the union of *every* rank's GEMM intervals
+//!    (`parcomm::overlap_fraction`), averaged across ranks: the share of
+//!    outstanding-communication time during which the application was
+//!    computing. The global union is the right compute reference here
+//!    because the SPMD ranks are threads sharing this host's cores — a
+//!    single rank's own compute is bounded by `1/P` of wall-clock, which
+//!    would make the per-rank measure say more about the core count than
+//!    about the schedule. (The per-rank own-compute fractions are still
+//!    reported as `overlap_fraction_self_mean`.) `--check` asserts `> 0.25`
+//!    at 4 ranks: at least a quarter of outstanding-comm time must hide
+//!    under compute.
+//! 3. **Bitwise agreement** — every column chunk of the pipelined result
+//!    must equal the blocking result bit-for-bit (`--check` gates on it),
+//!    plus a ring vs. recursive-halving/doubling `iallreduce` comparison
+//!    (reassociated tree sums agree only to rounding; reported, not gated).
+//!
+//! Per-op call/byte counters and the engine's segment-step statistics for
+//! the pipelined schedule are included in the JSON so regressions in chunk
+//! granularity (segment count collapsing to 1, say) are visible.
+
+use crate::report::json;
+use lrtddft::pipeline::{gram_allreduce, gram_pipelined_reduce};
+use mathkit::Mat;
+use parcomm::layout::block_ranges;
+use parcomm::{
+    overlap_fraction, spmd, Algorithm, CommInterval, CommStats, ComputeInterval, OverlapStats,
+};
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Rank counts benchmarked; `--check` gates on the last one.
+const RANK_COUNTS: [usize; 2] = [2, 4];
+/// Overlap-fraction gate for `--check` at 4 ranks.
+const OVERLAP_GATE: f64 = 0.25;
+
+struct Shape {
+    /// Global grid rows (`N_r` of the contraction).
+    nr: usize,
+    /// Output dimension (`N_cv`): the Gram result is `ncv × ncv`.
+    ncv: usize,
+    reps: usize,
+}
+
+fn shape(quick: bool) -> Shape {
+    if quick {
+        Shape { nr: 2048, ncv: 128, reps: 5 }
+    } else {
+        Shape { nr: 4096, ncv: 256, reps: 5 }
+    }
+}
+
+/// Deterministic dense factors — distinct so the Gram takes the GEMM path.
+fn global_ab(nr: usize, ncv: usize) -> (Mat, Mat) {
+    let a = Mat::from_fn(nr, ncv, |i, j| ((i * 7 + j * 3) % 13) as f64 * 0.1 - 0.5);
+    let b = Mat::from_fn(nr, ncv, |i, j| ((i * 5 + j * 11) % 17) as f64 * 0.1 - 0.7);
+    (a, b)
+}
+
+struct RankResult {
+    blocking_s: f64,
+    pipelined_s: f64,
+    bitwise_identical: bool,
+    /// Overlap against this rank's own compute intervals.
+    overlap_self: OverlapStats,
+    comm_intervals: Vec<CommInterval>,
+    compute_intervals: Vec<ComputeInterval>,
+    stats: CommStats,
+}
+
+struct CaseResult {
+    ranks: usize,
+    blocking_s: f64,
+    pipelined_s: f64,
+    bitwise_identical: bool,
+    overlap_fraction_mean: f64,
+    overlap_fraction_min: f64,
+    overlap_fraction_self_mean: f64,
+    comm_outstanding_s: f64,
+    compute_busy_s: f64,
+    seg_steps: u64,
+    seg_bytes: u64,
+    ireduce_calls: u64,
+}
+
+/// One rank count: time both schedules, verify bitwise agreement, collect
+/// the engine's overlap measurement and per-op stats from one clean run.
+fn bench_case(p: usize, sh: &Shape) -> CaseResult {
+    let (a, b) = global_ab(sh.nr, sh.ncv);
+    let reps = sh.reps;
+    let per_rank = spmd(p, |c| {
+        let rr = block_ranges(sh.nr, p)[c.rank()].clone();
+        let al = a.row_block(rr.start, rr.end);
+        let bl = b.row_block(rr.start, rr.end);
+
+        // Warm-up: page in buffers, spawn the progress worker.
+        let mono = gram_allreduce(c, &al, &bl, 1.0);
+        let _ = gram_pipelined_reduce(c, &al, &bl, 1.0);
+
+        c.barrier();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = gram_allreduce(c, &al, &bl, 1.0);
+        }
+        c.barrier();
+        let blocking_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+        c.barrier();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = gram_pipelined_reduce(c, &al, &bl, 1.0);
+        }
+        c.barrier();
+        let pipelined_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+        // One clean, stats-isolated run for overlap + per-op counters and
+        // the bitwise comparison against the blocking result.
+        c.reset_stats();
+        let pipe = gram_pipelined_reduce(c, &al, &bl, 1.0);
+        let stats = c.stats();
+        let mut bitwise = true;
+        for (jl, j) in pipe.col_range.clone().enumerate() {
+            for i in 0..sh.ncv {
+                if mono.local[(i, j)].to_bits() != pipe.local[(i, jl)].to_bits() {
+                    bitwise = false;
+                }
+            }
+        }
+        RankResult {
+            blocking_s,
+            pipelined_s,
+            bitwise_identical: bitwise,
+            overlap_self: pipe.overlap.expect("pipelined path measures overlap"),
+            comm_intervals: pipe.comm_intervals,
+            compute_intervals: pipe.compute_intervals,
+            stats,
+        }
+    });
+
+    // Overlap of each rank's outstanding-comm windows with the union of
+    // every rank's compute: the ranks are threads on shared cores, so
+    // "the application was computing" means *any* rank's GEMM was running.
+    let all_compute: Vec<ComputeInterval> =
+        per_rank.iter().flat_map(|r| r.compute_intervals.iter().copied()).collect();
+    let global: Vec<OverlapStats> = per_rank
+        .iter()
+        .map(|r| overlap_fraction(&r.comm_intervals, &all_compute))
+        .collect();
+
+    let n = per_rank.len() as f64;
+    CaseResult {
+        ranks: p,
+        // Barriers bracket the timed loops, so every rank reads ~the
+        // critical path; take the max to be exact about it.
+        blocking_s: per_rank.iter().map(|r| r.blocking_s).fold(0.0, f64::max),
+        pipelined_s: per_rank.iter().map(|r| r.pipelined_s).fold(0.0, f64::max),
+        bitwise_identical: per_rank.iter().all(|r| r.bitwise_identical),
+        overlap_fraction_mean: global.iter().map(|o| o.fraction).sum::<f64>() / n,
+        overlap_fraction_min: global.iter().map(|o| o.fraction).fold(f64::INFINITY, f64::min),
+        overlap_fraction_self_mean: per_rank.iter().map(|r| r.overlap_self.fraction).sum::<f64>()
+            / n,
+        comm_outstanding_s: global.iter().map(|o| o.comm_busy).sum::<f64>(),
+        compute_busy_s: per_rank.iter().map(|r| r.overlap_self.compute_busy).sum::<f64>(),
+        seg_steps: per_rank.iter().map(|r| r.stats.seg.steps).sum(),
+        seg_bytes: per_rank.iter().map(|r| r.stats.seg.bytes).sum(),
+        ireduce_calls: per_rank.iter().map(|r| r.stats.ireduce.calls).sum(),
+    }
+}
+
+struct AlgResult {
+    ring_s: f64,
+    tree_s: f64,
+    max_abs_diff: f64,
+    ring_matches_blocking_bitwise: bool,
+}
+
+/// Ring vs. recursive-halving/doubling `iallreduce` on an `ncv × ncv`
+/// buffer at 4 ranks. Ring must match the blocking path bit-for-bit (same
+/// fold order); the tree reassociates and agrees only to rounding.
+fn bench_algorithms(sh: &Shape) -> AlgResult {
+    let n = sh.ncv * sh.ncv;
+    let reps = sh.reps;
+    let per_rank = spmd(4, |c| {
+        let mine: Vec<f64> =
+            (0..n).map(|i| ((i * 31 + c.rank() * 17) % 101) as f64 * 1e-2 - 0.5).collect();
+
+        let ring = c.iallreduce_sum_with(mine.clone(), Algorithm::Ring).wait();
+        let tree = c.iallreduce_sum_with(mine.clone(), Algorithm::RecursiveDoubling).wait();
+        let mut blocking = mine.clone();
+        c.allreduce_sum(&mut blocking);
+
+        c.barrier();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = c.iallreduce_sum_with(mine.clone(), Algorithm::Ring).wait();
+        }
+        c.barrier();
+        let ring_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+        c.barrier();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = c.iallreduce_sum_with(mine.clone(), Algorithm::RecursiveDoubling).wait();
+        }
+        c.barrier();
+        let tree_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+        let diff = ring
+            .iter()
+            .zip(&tree)
+            .map(|(r, t)| (r - t).abs())
+            .fold(0.0f64, f64::max);
+        let bitwise = ring.iter().zip(&blocking).all(|(r, b)| r.to_bits() == b.to_bits());
+        (ring_s, tree_s, diff, bitwise)
+    });
+    AlgResult {
+        ring_s: per_rank.iter().map(|r| r.0).fold(0.0, f64::max),
+        tree_s: per_rank.iter().map(|r| r.1).fold(0.0, f64::max),
+        max_abs_diff: per_rank.iter().map(|r| r.2).fold(0.0, f64::max),
+        ring_matches_blocking_bitwise: per_rank.iter().all(|r| r.3),
+    }
+}
+
+pub fn run(out_dir: &Path, quick: bool, check: bool) -> std::io::Result<()> {
+    let sh = shape(quick);
+    println!(
+        "comm-report: Fig.-5 contraction shape N_r={} N_cv={} ({} reps), ranks {:?}",
+        sh.nr, sh.ncv, sh.reps, RANK_COUNTS
+    );
+
+    let cases: Vec<CaseResult> = RANK_COUNTS.iter().map(|&p| bench_case(p, &sh)).collect();
+
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.ranks.to_string(),
+                format!("{:.3}", c.blocking_s * 1e3),
+                format!("{:.3}", c.pipelined_s * 1e3),
+                format!("{:.2}x", c.blocking_s / c.pipelined_s),
+                format!("{:.3}", c.overlap_fraction_mean),
+                c.seg_steps.to_string(),
+                if c.bitwise_identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    crate::report::print_table(
+        &["ranks", "blocking (ms)", "pipelined (ms)", "speedup", "overlap", "seg steps", "bitwise"],
+        &rows,
+    );
+
+    let alg = bench_algorithms(&sh);
+    println!(
+        "iallreduce algorithms @4 ranks, {} words: ring {:.3} ms, recursive-doubling {:.3} ms, \
+         max |ring−tree| = {:.2e}, ring≡blocking bitwise: {}",
+        sh.ncv * sh.ncv,
+        alg.ring_s * 1e3,
+        alg.tree_s * 1e3,
+        alg.max_abs_diff,
+        alg.ring_matches_blocking_bitwise
+    );
+
+    // --- BENCH_comm.json --------------------------------------------------
+    let case_entries: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"ranks\": {}, \"blocking_s\": {}, \"pipelined_s\": {}, \"speedup\": {}, \
+                 \"overlap_fraction\": {}, \"overlap_fraction_min\": {}, \
+                 \"overlap_fraction_self_mean\": {}, \"comm_outstanding_s\": {}, \
+                 \"compute_busy_s\": {}, \"seg_steps\": {}, \"seg_bytes\": {}, \
+                 \"ireduce_calls\": {}, \"bitwise_identical\": {}}}",
+                c.ranks,
+                json::number(c.blocking_s),
+                json::number(c.pipelined_s),
+                json::number(c.blocking_s / c.pipelined_s),
+                json::number(c.overlap_fraction_mean),
+                json::number(c.overlap_fraction_min),
+                json::number(c.overlap_fraction_self_mean),
+                json::number(c.comm_outstanding_s),
+                json::number(c.compute_busy_s),
+                c.seg_steps,
+                c.seg_bytes,
+                c.ireduce_calls,
+                c.bitwise_identical
+            )
+        })
+        .collect();
+    let json_text = format!(
+        "{{\n  \"benchmark\": \"comm-report\",\n  \"shape\": {{\"nr\": {}, \"ncv\": {}, \
+         \"reps\": {}}},\n  \"segment_words\": {},\n  \"cases\": [\n{}\n  ],\n  \
+         \"algorithms\": {{\"ring_s\": {}, \"recursive_doubling_s\": {}, \"max_abs_diff\": {}, \
+         \"ring_matches_blocking_bitwise\": {}}}\n}}\n",
+        sh.nr,
+        sh.ncv,
+        sh.reps,
+        parcomm::DEFAULT_SEGMENT_WORDS,
+        case_entries.join(",\n"),
+        json::number(alg.ring_s),
+        json::number(alg.tree_s),
+        json::number(alg.max_abs_diff),
+        alg.ring_matches_blocking_bitwise
+    );
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_comm.json");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json_text.as_bytes())?;
+    println!("wrote {}", path.display());
+
+    if check {
+        let four = cases.iter().find(|c| c.ranks == 4).expect("4-rank case present");
+        let mut failures = Vec::new();
+        if four.overlap_fraction_mean <= OVERLAP_GATE {
+            failures.push(format!(
+                "overlap fraction {:.3} at 4 ranks ≤ gate {OVERLAP_GATE}",
+                four.overlap_fraction_mean
+            ));
+        }
+        if !cases.iter().all(|c| c.bitwise_identical) {
+            failures.push("pipelined result not bitwise-identical to blocking".to_string());
+        }
+        if !alg.ring_matches_blocking_bitwise {
+            failures.push("ring iallreduce diverged from blocking allreduce".to_string());
+        }
+        if failures.is_empty() {
+            println!("comm-report --check: all gates passed");
+        } else {
+            for f in &failures {
+                eprintln!("comm-report --check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}

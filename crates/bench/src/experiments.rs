@@ -6,10 +6,10 @@ use crate::report::{print_table, ExperimentRecord};
 use crate::scaling::{CommPattern, ScalingStudy, Stage};
 use isdf::{kmeans_points, pair_weights, qrcp_points, KmeansOptions};
 use lrtddft::{
-    parallel::{distributed_dense_hamiltonian, distributed_isdf_hamiltonian},
+    parallel::{distributed_dense_hamiltonian_with, distributed_isdf_hamiltonian_with},
     pipeline::{gram_allreduce, gram_pipelined_reduce},
     problem::{silicon_like_problem, CasidaProblem},
-    solve, IsdfRank, SolverParams, StageTimings, Version,
+    solve_with, IsdfRank, SolveOptions, StageTimings, Version,
 };
 use mathkit::Mat;
 use parcomm::{spmd, CostModel};
@@ -87,11 +87,11 @@ pub fn table4(scale: Scale) -> ExperimentRecord {
         Scale::Quick => silicon_like_problem(1, 12, 4),
         _ => silicon_like_problem(1, 16, 8),
     };
-    let params = SolverParams { n_states: 3, ..Default::default() };
+    let opts = SolveOptions::new().n_states(3);
     let mut rows = Vec::new();
     for v in Version::all() {
         let t0 = Instant::now();
-        let s = solve(&problem, v, params);
+        let s = solve_with(&problem, v, &opts);
         let wall = t0.elapsed().as_secs_f64();
         rows.push(vec![
             v.label().to_string(),
@@ -123,11 +123,11 @@ pub fn table4(scale: Scale) -> ExperimentRecord {
 pub fn table5(scale: Scale) -> ExperimentRecord {
     let mut rows = Vec::new();
     let mut run_system = |label: &str, problem: &CasidaProblem, n_mu: usize| {
-        let naive = solve(problem, Version::Naive, SolverParams { n_states: 3, ..Default::default() });
-        let isdf = solve(
+        let naive = solve_with(problem, Version::Naive, &SolveOptions::new().n_states(3));
+        let isdf = solve_with(
             problem,
             Version::ImplicitKmeansIsdfLobpcg,
-            SolverParams { n_states: 3, rank: IsdfRank::Fixed(n_mu), ..Default::default() },
+            &SolveOptions::new().n_states(3).rank(IsdfRank::Fixed(n_mu)),
         );
         for i in 0..3.min(naive.energies.len()) {
             let e_ref = naive.energies[i];
@@ -203,12 +203,12 @@ pub fn table6(scale: Scale) -> ExperimentRecord {
     let mut rows = Vec::new();
     for (label, n_cells, grid_n, n_c) in ladder {
         let problem = silicon_like_problem(n_cells, grid_n, n_c);
-        let params = SolverParams { n_states: 8.min(problem.n_cv()), ..Default::default() };
+        let opts = SolveOptions::new().n_states(8.min(problem.n_cv()));
         let t0 = Instant::now();
-        let naive = solve(&problem, Version::Naive, params);
+        let naive = solve_with(&problem, Version::Naive, &opts);
         let t_naive = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let fast = solve(&problem, Version::ImplicitKmeansIsdfLobpcg, params);
+        let fast = solve_with(&problem, Version::ImplicitKmeansIsdfLobpcg, &opts);
         let t_fast = t0.elapsed().as_secs_f64();
         let err = naive
             .energies
@@ -383,12 +383,18 @@ pub fn calibrate(scale: Scale) -> Calibration {
     };
     let n_mu = IsdfRank::default().resolve(problem.n_r(), problem.n_v(), problem.n_c());
     // Single-rank distributed runs give the per-stage serial works.
-    let naive_t = spmd(1, |c| distributed_dense_hamiltonian(c, &problem, false).1).pop().unwrap();
-    let isdf_t = spmd(1, |c| distributed_isdf_hamiltonian(c, &problem, n_mu).1).pop().unwrap();
+    let naive_t =
+        spmd(1, |c| distributed_dense_hamiltonian_with(c, &problem, &SolveOptions::new()).1)
+            .pop()
+            .unwrap();
+    let isdf_opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu));
+    let isdf_t = spmd(1, |c| distributed_isdf_hamiltonian_with(c, &problem, &isdf_opts).1)
+        .pop()
+        .unwrap();
     // Diagonalization works measured via the versions API.
-    let params = SolverParams { n_states: 8.min(problem.n_cv()), ..Default::default() };
-    let dense = solve(&problem, Version::KmeansIsdf, params);
-    let implicit = solve(&problem, Version::ImplicitKmeansIsdfLobpcg, params);
+    let opts = SolveOptions::new().n_states(8.min(problem.n_cv()));
+    let dense = solve_with(&problem, Version::KmeansIsdf, &opts);
+    let implicit = solve_with(&problem, Version::ImplicitKmeansIsdfLobpcg, &opts);
     Calibration {
         problem_label: label.to_string(),
         n_r: problem.n_r(),
@@ -636,7 +642,7 @@ pub fn ablation(scale: Scale) -> ExperimentRecord {
     {
         use lrtddft::versions::{build_isdf_hamiltonian as bih, PointSelector as PS};
         let reference =
-            solve(&problem, Version::Naive, SolverParams { n_states: 1, ..Default::default() });
+            solve_with(&problem, Version::Naive, &SolveOptions::new().n_states(1));
         for snap in [isdf::SnapRule::NearestCentroid, isdf::SnapRule::MaxWeight] {
             let mut t = StageTimings::default();
             let ham = bih(
@@ -657,13 +663,13 @@ pub fn ablation(scale: Scale) -> ExperimentRecord {
     }
 
     // (b) rank sweep: relative error of the lowest excitation vs N_μ.
-    let reference = solve(&problem, Version::Naive, SolverParams { n_states: 1, ..Default::default() });
+    let reference = solve_with(&problem, Version::Naive, &SolveOptions::new().n_states(1));
     for frac in [4usize, 8, 16, 32] {
         let n_mu = (problem.n_cv() * frac / 32).max(4);
-        let s = solve(
+        let s = solve_with(
             &problem,
             Version::ImplicitKmeansIsdfLobpcg,
-            SolverParams { n_states: 1, rank: IsdfRank::Fixed(n_mu), ..Default::default() },
+            &SolveOptions::new().n_states(1).rank(IsdfRank::Fixed(n_mu)),
         );
         let rel = ((s.energies[0] - reference.energies[0]) / reference.energies[0]).abs();
         rows.push(vec![
@@ -760,10 +766,10 @@ pub fn fig9(scale: Scale) -> ExperimentRecord {
         if (d - 2.6).abs() < 1e-9 {
             let problem = CasidaProblem::from_ground_state(&grid, &gs);
             let k = 8.min(problem.n_cv());
-            let sol = solve(
+            let sol = solve_with(
                 &problem,
                 Version::ImplicitKmeansIsdfLobpcg,
-                SolverParams { n_states: k, ..Default::default() },
+                &SolveOptions::new().n_states(k),
             );
             let emax = sol.energies.iter().cloned().fold(0.0f64, f64::max) + 0.1;
             let xdos = gaussian_dos(&sol.energies, None, 0.02, 0.0, emax, 25);

@@ -17,8 +17,8 @@
 //! non-zero (used by CI).
 
 use crate::report::{json, print_table};
-use lrtddft::parallel::{distributed_dense_hamiltonian, distributed_solve_implicit};
-use lrtddft::{silicon_like_problem, StageTimings, Version};
+use lrtddft::parallel::{distributed_dense_hamiltonian_with, distributed_solve_with};
+use lrtddft::{silicon_like_problem, IsdfRank, SolveOptions, StageTimings, Version};
 use mathkit::syev;
 use parcomm::{spmd, CommStats};
 use std::fmt::Write as _;
@@ -73,11 +73,12 @@ pub fn run_trace(opts: &TraceOptions) -> Result<(), String> {
     obskit::enable();
     let per_rank: Vec<(StageTimings, CommStats)> = match version {
         Version::ImplicitKmeansIsdfLobpcg => spmd(opts.ranks, |c| {
-            let (_vals, t) = distributed_solve_implicit(c, &problem, n_mu, k, 0xcafe);
+            let o = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(k).seed(0xcafe);
+            let (_vals, t) = distributed_solve_with(c, &problem, &o);
             (t, c.stats())
         }),
         Version::Naive => spmd(opts.ranks, |c| {
-            let (h, mut t) = distributed_dense_hamiltonian(c, &problem, false);
+            let (h, mut t) = distributed_dense_hamiltonian_with(c, &problem, &SolveOptions::new());
             let sp = obskit::span(obskit::Stage::Diag, "diag.syev");
             let t0 = std::time::Instant::now();
             let _ = syev(&h);

@@ -32,6 +32,7 @@ pub mod kernel;
 pub mod lobpcg_driver;
 pub mod metrics;
 pub mod naive;
+pub mod options;
 pub mod parallel;
 pub mod parallel_eig;
 pub mod pipeline;
@@ -46,7 +47,10 @@ pub use kernel::HxcKernel;
 pub use metrics::ComplexityEstimate;
 pub use naive::{build_dense_hamiltonian, solve_naive};
 pub use problem::{silicon_like_problem, synthetic_problem, CasidaProblem, KernelKind};
+pub use options::{Eig, SolveOptions};
 pub use rank::IsdfRank;
 pub use spectrum::{absorption_spectrum, oscillator_strengths, transition_dipoles};
 pub use timers::StageTimings;
-pub use versions::{solve, PointSelector, Solution, SolverParams, Version};
+pub use versions::{solve_with, PointSelector, Solution, Version};
+#[allow(deprecated)]
+pub use versions::{solve, SolverParams};

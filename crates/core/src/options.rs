@@ -1,0 +1,158 @@
+//! Unified solver configuration.
+//!
+//! Historically the entry points grew knobs one at a time: `SolverParams`
+//! carried the serial settings, `distributed_dense_hamiltonian` took a bare
+//! `bool pipelined`, and `distributed_solve_implicit` threaded
+//! `(n_mu, k, seed)` positionally. [`SolveOptions`] collapses all of them
+//! into one consuming builder shared by the serial ([`crate::solve_with`])
+//! and distributed (`crate::parallel::*_with`) entry points:
+//!
+//! ```
+//! use lrtddft::{Eig, SolveOptions};
+//! let opts = SolveOptions::new()
+//!     .n_states(4)
+//!     .pipelined(true)
+//!     .eigensolver(Eig::Lobpcg);
+//! assert_eq!(opts.n_states, 4);
+//! assert!(opts.pipelined);
+//! ```
+
+use crate::rank::IsdfRank;
+use mathkit::lobpcg::LobpcgOptions;
+
+/// Which eigensolver the distributed solve finishes with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Eig {
+    /// Replicated dense SYEV on the materialized factored Hamiltonian —
+    /// exact, `O(N_cv³)`, fine while `N_cv` is small.
+    Syev,
+    /// Distributed matrix-free LOBPCG for the lowest `n_states` — the
+    /// paper's Table 4 row (5) path.
+    Lobpcg,
+}
+
+/// Every knob of a serial or distributed LR-TDDFT solve, with a consuming
+/// builder. `Default` reproduces the legacy `SolverParams::default()`
+/// behavior: 3 states, `IsdfRank::default()` rank policy, 400-iteration
+/// LOBPCG at `tol = 1e-8`, seed `0xcafe`, monolithic (non-pipelined)
+/// reductions, LOBPCG eigensolver.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Number of excitations to return (`k`).
+    pub n_states: usize,
+    /// ISDF rank policy.
+    pub rank: IsdfRank,
+    /// LOBPCG settings (used when the eigensolver is iterative).
+    pub lobpcg: LobpcgOptions,
+    /// RNG seed (K-Means init, LOBPCG guess dressing).
+    pub seed: u64,
+    /// Use the pipelined GEMM+`Reduce` overlap schedule (paper Fig. 5) for
+    /// the distributed `V_Hxc` / `Ṽ_Hxc` contractions instead of the
+    /// monolithic GEMM+`Allreduce`. Bitwise-identical results either way.
+    pub pipelined: bool,
+    /// Final eigensolver for the distributed solve.
+    pub eigensolver: Eig,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            n_states: 3,
+            rank: IsdfRank::default(),
+            lobpcg: LobpcgOptions { max_iter: 400, tol: 1e-8 },
+            seed: 0xcafe,
+            pipelined: false,
+            eigensolver: Eig::Lobpcg,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Start from the defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of excitations to return.
+    pub fn n_states(mut self, k: usize) -> Self {
+        self.n_states = k;
+        self
+    }
+
+    /// ISDF rank policy.
+    pub fn rank(mut self, rank: IsdfRank) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// LOBPCG iteration/tolerance settings.
+    pub fn lobpcg(mut self, opts: LobpcgOptions) -> Self {
+        self.lobpcg = opts;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Toggle the pipelined GEMM+`Reduce` overlap schedule.
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    /// Final eigensolver for the distributed solve.
+    pub fn eigensolver(mut self, eig: Eig) -> Self {
+        self.eigensolver = eig;
+        self
+    }
+}
+
+#[allow(deprecated)]
+impl From<crate::versions::SolverParams> for SolveOptions {
+    fn from(p: crate::versions::SolverParams) -> Self {
+        SolveOptions {
+            n_states: p.n_states,
+            rank: p.rank,
+            lobpcg: p.lobpcg,
+            seed: p.seed,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let o = SolveOptions::new()
+            .n_states(7)
+            .rank(IsdfRank::Fixed(12))
+            .lobpcg(LobpcgOptions { max_iter: 10, tol: 1e-3 })
+            .seed(42)
+            .pipelined(true)
+            .eigensolver(Eig::Syev);
+        assert_eq!(o.n_states, 7);
+        assert!(matches!(o.rank, IsdfRank::Fixed(12)));
+        assert_eq!(o.lobpcg.max_iter, 10);
+        assert_eq!(o.seed, 42);
+        assert!(o.pipelined);
+        assert_eq!(o.eigensolver, Eig::Syev);
+    }
+
+    #[test]
+    fn defaults_match_legacy_solver_params() {
+        #[allow(deprecated)]
+        let legacy: SolveOptions = crate::versions::SolverParams::default().into();
+        let fresh = SolveOptions::default();
+        assert_eq!(legacy.n_states, fresh.n_states);
+        assert_eq!(legacy.seed, fresh.seed);
+        assert_eq!(legacy.lobpcg.max_iter, fresh.lobpcg.max_iter);
+        assert!(!fresh.pipelined);
+        assert_eq!(fresh.eigensolver, Eig::Lobpcg);
+    }
+}

@@ -13,13 +13,15 @@
 //! replicated (suitable for the replicated diagonalization step).
 
 use crate::kernel::HxcKernel;
+use crate::options::{Eig, SolveOptions};
 use crate::problem::CasidaProblem;
+use crate::rank::IsdfRank;
 use crate::timers::StageTimings;
 use crate::versions::IsdfHamiltonian;
 use isdf::face_splitting_product;
 use mathkit::chol::solve_spd;
 use mathkit::gemm::{gemm, Transpose};
-use mathkit::Mat;
+use mathkit::{syev, Mat};
 use parcomm::layout::block_ranges;
 use parcomm::redist::{col_to_row_blocks, row_to_col_blocks};
 use parcomm::Comm;
@@ -67,12 +69,14 @@ pub fn distributed_kernel_apply(
 }
 
 /// Distributed naive Hamiltonian construction (Algorithm 1). Returns the
-/// replicated dense `H` plus this rank's stage timings.
-pub fn distributed_dense_hamiltonian(
+/// replicated dense `H` plus this rank's stage timings. `opts.pipelined`
+/// selects the GEMM+`Reduce` overlap schedule for the `V_Hxc` contraction.
+pub fn distributed_dense_hamiltonian_with(
     comm: &Comm,
     problem: &CasidaProblem,
-    pipelined: bool,
+    opts: &SolveOptions,
 ) -> (Mat, StageTimings) {
+    let pipelined = opts.pipelined;
     let mut timings = StageTimings::default();
     let nr = problem.n_r();
     let ncv = problem.n_cv();
@@ -126,6 +130,16 @@ pub fn distributed_dense_hamiltonian(
     }
     h.symmetrize();
     (h, timings)
+}
+
+/// Legacy entry point with a bare `pipelined` flag.
+#[deprecated(note = "use distributed_dense_hamiltonian_with with SolveOptions::pipelined")]
+pub fn distributed_dense_hamiltonian(
+    comm: &Comm,
+    problem: &CasidaProblem,
+    pipelined: bool,
+) -> (Mat, StageTimings) {
+    distributed_dense_hamiltonian_with(comm, problem, &SolveOptions::new().pipelined(pipelined))
 }
 
 /// Distributed weighted K-Means (paper §4.2 parallel design): every rank
@@ -209,7 +223,7 @@ pub fn distributed_kmeans(
         }
         timings.kmeans += t0.elapsed().as_secs_f64();
         drop(sp);
-        comm.allreduce_sum(&mut buf);
+        let buf = comm.iallreduce_sum(buf).wait();
         charge_mpi(comm, &mut mark, timings);
 
         let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.update");
@@ -280,16 +294,18 @@ pub fn distributed_kmeans(
 }
 
 /// Distributed ISDF Hamiltonian construction: K-Means points, row-block Θ
-/// solve, FFT layout dance, pipelined Ṽ reduction. Returns the replicated
-/// factored Hamiltonian plus this rank's timings.
-pub fn distributed_isdf_hamiltonian(
+/// solve, FFT layout dance, monolithic or pipelined Ṽ reduction
+/// (`opts.pipelined`). Returns the replicated factored Hamiltonian plus this
+/// rank's timings.
+pub fn distributed_isdf_hamiltonian_with(
     comm: &Comm,
     problem: &CasidaProblem,
-    n_mu: usize,
+    opts: &SolveOptions,
 ) -> (IsdfHamiltonian, StageTimings) {
     let mut timings = StageTimings::default();
     let nr = problem.n_r();
     let dv = problem.grid.dv();
+    let n_mu = opts.rank.resolve(nr, problem.n_v(), problem.n_c());
     let my_rows = block_ranges(nr, comm.size())[comm.rank()].clone();
 
     // 1. Interpolation points (distributed K-Means).
@@ -316,8 +332,12 @@ pub fn distributed_isdf_hamiltonian(
     }
     timings.theta += t0.elapsed().as_secs_f64();
     drop(sp);
-    comm.allreduce_sum(psi_hat.as_mut_slice());
-    comm.allreduce_sum(phi_hat.as_mut_slice());
+    // Both sampled-row reductions stream on the progress engine at once
+    // instead of serializing two blocking allreduces.
+    let rq_psi = comm.iallreduce_sum(psi_hat.into_vec());
+    let rq_phi = comm.iallreduce_sum(phi_hat.into_vec());
+    let psi_hat = Mat::from_vec(n_mu_eff, n_v, rq_psi.wait());
+    let phi_hat = Mat::from_vec(n_mu_eff, n_c, rq_phi.wait());
     charge_mpi(comm, &mut mark, &mut timings);
 
     // 3. Θ rows on my slab: (ZCᵀ)_loc ∘-factored, solved against CCᵀ.
@@ -340,16 +360,30 @@ pub fn distributed_isdf_hamiltonian(
     // 4. f_Hxc Θ through the FFT layout dance.
     let f_theta_loc = distributed_kernel_apply(comm, problem, &theta_loc, n_mu_eff, &mut timings);
 
-    // 5. Ṽ = ΔV Θᵀ(fΘ): pipelined GEMM+Reduce, then re-replicate (Ṽ is tiny).
+    // 5. Ṽ = ΔV Θᵀ(fΘ): monolithic GEMM+Allreduce, or the chunked
+    // GEMM+Reduce overlap schedule (bitwise-identical) followed by a tiny
+    // allgather to re-replicate.
     let mut mark = comm.stats().measured_seconds;
-    let sp = obskit::span(obskit::Stage::Gemm, "v_tilde.contract");
-    let t0 = Instant::now();
-    let mut v_tilde = Mat::zeros(n_mu_eff, n_mu_eff);
-    gemm(dv, &theta_loc, Transpose::Yes, &f_theta_loc, Transpose::No, 0.0, &mut v_tilde);
-    timings.gemm += t0.elapsed().as_secs_f64();
-    drop(sp);
-    comm.allreduce_sum(v_tilde.as_mut_slice());
-    charge_mpi(comm, &mut mark, &mut timings);
+    let mut v_tilde = if opts.pipelined {
+        let sp = obskit::span(obskit::Stage::Gemm, "v_tilde.pipelined_reduce");
+        let t0 = Instant::now();
+        let res = crate::pipeline::gram_pipelined_reduce(comm, &theta_loc, &f_theta_loc, dv);
+        timings.gemm += t0.elapsed().as_secs_f64();
+        drop(sp);
+        let gathered = comm.allgatherv(res.local.as_slice());
+        charge_mpi(comm, &mut mark, &mut timings);
+        Mat::from_vec(n_mu_eff, n_mu_eff, gathered)
+    } else {
+        let sp = obskit::span(obskit::Stage::Gemm, "v_tilde.contract");
+        let t0 = Instant::now();
+        let mut v = Mat::zeros(n_mu_eff, n_mu_eff);
+        gemm(dv, &theta_loc, Transpose::Yes, &f_theta_loc, Transpose::No, 0.0, &mut v);
+        timings.gemm += t0.elapsed().as_secs_f64();
+        drop(sp);
+        comm.allreduce_sum(v.as_mut_slice());
+        charge_mpi(comm, &mut mark, &mut timings);
+        v
+    };
     v_tilde.symmetrize();
 
     // 6. Coefficients (replicated, from the replicated sampled rows).
@@ -362,9 +396,55 @@ pub fn distributed_isdf_hamiltonian(
     (IsdfHamiltonian { diag_d: problem.diag_d(), c, v_tilde }, timings)
 }
 
+/// Legacy entry point with a positional `n_mu`.
+#[deprecated(note = "use distributed_isdf_hamiltonian_with with SolveOptions::rank")]
+pub fn distributed_isdf_hamiltonian(
+    comm: &Comm,
+    problem: &CasidaProblem,
+    n_mu: usize,
+) -> (IsdfHamiltonian, StageTimings) {
+    distributed_isdf_hamiltonian_with(comm, problem, &SolveOptions::new().rank(IsdfRank::Fixed(n_mu)))
+}
+
 /// Full distributed solve: ISDF construction (Algorithm 1 + §4) followed by
-/// the distributed implicit LOBPCG. Returns replicated eigenvalues plus this
-/// rank's timings — the complete parallel path of paper Table 4 row (5).
+/// the eigensolver `opts.eigensolver` picks — distributed matrix-free
+/// LOBPCG ([`Eig::Lobpcg`], paper Table 4 row 5) or a replicated dense SYEV
+/// on the factored Hamiltonian ([`Eig::Syev`]). Returns replicated
+/// eigenvalues plus this rank's timings.
+pub fn distributed_solve_with(
+    comm: &Comm,
+    problem: &CasidaProblem,
+    opts: &SolveOptions,
+) -> (Vec<f64>, StageTimings) {
+    let (ham, mut timings) = distributed_isdf_hamiltonian_with(comm, problem, opts);
+    let k = opts.n_states.min(problem.n_cv());
+    match opts.eigensolver {
+        Eig::Lobpcg => {
+            let res = crate::parallel_eig::distributed_casida_lobpcg(
+                comm,
+                &ham,
+                k,
+                opts.lobpcg,
+                opts.seed,
+                &mut timings,
+            );
+            (res.values, timings)
+        }
+        Eig::Syev => {
+            // The factored H is replicated, so every rank runs the same
+            // dense solve — exact while N_cv stays small.
+            let sp = obskit::span(obskit::Stage::Diag, "diag.syev.replicated");
+            let t0 = Instant::now();
+            let eig = syev(&ham.to_dense());
+            timings.diag += t0.elapsed().as_secs_f64();
+            drop(sp);
+            (eig.values[..k].to_vec(), timings)
+        }
+    }
+}
+
+/// Legacy entry point with positional `(n_mu, k, seed)`.
+#[deprecated(note = "use distributed_solve_with with a SolveOptions builder")]
 pub fn distributed_solve_implicit(
     comm: &Comm,
     problem: &CasidaProblem,
@@ -372,16 +452,8 @@ pub fn distributed_solve_implicit(
     k: usize,
     seed: u64,
 ) -> (Vec<f64>, StageTimings) {
-    let (ham, mut timings) = distributed_isdf_hamiltonian(comm, problem, n_mu);
-    let res = crate::parallel_eig::distributed_casida_lobpcg(
-        comm,
-        &ham,
-        k,
-        mathkit::lobpcg::LobpcgOptions { max_iter: 400, tol: 1e-8 },
-        seed,
-        &mut timings,
-    );
-    (res.values, timings)
+    let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(k).seed(seed);
+    distributed_solve_with(comm, problem, &opts)
 }
 
 #[inline]
@@ -421,7 +493,9 @@ mod tests {
         let serial = build_dense_hamiltonian(&p, &mut t);
         for ranks in [1usize, 2, 4] {
             for pipelined in [false, true] {
-                let res = spmd(ranks, |c| distributed_dense_hamiltonian(c, &p, pipelined).0);
+                let opts = SolveOptions::new().pipelined(pipelined);
+                let res =
+                    spmd(ranks, |c| distributed_dense_hamiltonian_with(c, &p, &opts).0);
                 for h in res {
                     assert!(
                         h.max_abs_diff(&serial) < 1e-9,
@@ -478,8 +552,10 @@ mod tests {
         let mut t = StageTimings::default();
         let serial_h = build_dense_hamiltonian(&p, &mut t);
         let serial_eig = syev(&serial_h);
+        let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu));
         for ranks in [1usize, 2, 4] {
-            let res = spmd(ranks, |c| distributed_isdf_hamiltonian(c, &p, n_mu).0.to_dense());
+            let res =
+                spmd(ranks, |c| distributed_isdf_hamiltonian_with(c, &p, &opts).0.to_dense());
             for h in res {
                 let eig = syev(&h);
                 for i in 0..3 {
@@ -496,17 +572,14 @@ mod tests {
         let p = synthetic_problem([8, 8, 8], 6.0, 3, 2);
         let n_mu = p.n_cv();
         let k = 3;
-        let serial = crate::solve(
+        let serial = crate::solve_with(
             &p,
             crate::Version::ImplicitKmeansIsdfLobpcg,
-            crate::SolverParams {
-                n_states: k,
-                rank: crate::IsdfRank::Fixed(n_mu),
-                ..Default::default()
-            },
+            &SolveOptions::new().n_states(k).rank(IsdfRank::Fixed(n_mu)),
         );
+        let opts = SolveOptions::new().n_states(k).rank(IsdfRank::Fixed(n_mu)).seed(9);
         for ranks in [1usize, 3] {
-            let res = spmd(ranks, |c| distributed_solve_implicit(c, &p, n_mu, k, 9).0);
+            let res = spmd(ranks, |c| distributed_solve_with(c, &p, &opts).0);
             for vals in &res {
                 for (i, v) in vals.iter().enumerate().take(k) {
                     let rel =
@@ -525,10 +598,58 @@ mod tests {
     #[test]
     fn timings_accumulate_mpi_for_multirank() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let res = spmd(4, |c| distributed_dense_hamiltonian(c, &p, false).1);
+        let res = spmd(4, |c| distributed_dense_hamiltonian_with(c, &p, &SolveOptions::new()).1);
         for t in res {
             assert!(t.mpi > 0.0, "collectives must register comm time");
             assert!(t.fft > 0.0 && t.gemm > 0.0 && t.face_split > 0.0);
+        }
+    }
+
+    #[test]
+    fn pipelined_solve_bitwise_matches_blocking() {
+        // The overlap schedule reorders nothing: every distributed solve must
+        // produce bitwise-identical eigenvalues either way.
+        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        let base = SolveOptions::new().n_states(2).rank(IsdfRank::Fixed(p.n_cv())).seed(7);
+        for ranks in [2usize, 4] {
+            let blocking = spmd(ranks, |c| distributed_solve_with(c, &p, &base).0);
+            let pipelined =
+                spmd(ranks, |c| distributed_solve_with(c, &p, &base.pipelined(true)).0);
+            for (b, q) in blocking.iter().zip(&pipelined) {
+                assert_eq!(b.len(), q.len());
+                for (x, y) in b.iter().zip(q) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "ranks={ranks}: {x:e} vs {y:e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_syev_matches_lobpcg_spectrum() {
+        let p = synthetic_problem([8, 8, 8], 6.0, 3, 2);
+        let base = SolveOptions::new().n_states(3).rank(IsdfRank::Fixed(p.n_cv()));
+        let dense = spmd(2, |c| distributed_solve_with(c, &p, &base.eigensolver(Eig::Syev)).0);
+        let iter = spmd(2, |c| distributed_solve_with(c, &p, &base).0);
+        for (d, l) in dense.iter().zip(&iter) {
+            for (x, y) in d.iter().zip(l) {
+                let rel = (x - y).abs() / x.abs().max(1e-12);
+                assert!(rel < 1e-6, "syev {x} vs lobpcg {y}");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_distributed_shims_still_work() {
+        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        let n_mu = p.n_cv();
+        let old = spmd(2, |c| distributed_solve_implicit(c, &p, n_mu, 2, 9).0);
+        let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(2).seed(9);
+        let new = spmd(2, |c| distributed_solve_with(c, &p, &opts).0);
+        for (o, n) in old.iter().zip(&new) {
+            for (x, y) in o.iter().zip(n) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 }

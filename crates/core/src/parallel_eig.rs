@@ -49,16 +49,27 @@ fn apply_distributed(
     let c_loc = ham.c.col_block(rows.start, rows.end);
     let mut cx = Mat::zeros(n_mu, m);
     gemm(1.0, &c_loc, Transpose::No, x_loc, Transpose::No, 0.0, &mut cx);
-    comm.allreduce_sum(cx.as_mut_slice());
+    // The CX reduction streams on the progress engine while the diagonal
+    // term (independent of CX) is computed.
+    let rq = comm.iallreduce_sum(cx.into_vec());
+    let mut diag_term = Mat::zeros(rows.len(), m);
+    for j in 0..m {
+        let xc = x_loc.col(j);
+        let dc = diag_term.col_mut(j);
+        for (il, i) in rows.clone().enumerate() {
+            dc[il] = ham.diag_d[i] * xc[il];
+        }
+    }
+    let cx = Mat::from_vec(n_mu, m, rq.wait());
     let mut vcx = Mat::zeros(n_mu, m);
     gemm(1.0, &ham.v_tilde, Transpose::No, &cx, Transpose::No, 0.0, &mut vcx);
     let mut out = Mat::zeros(rows.len(), m);
     gemm(2.0, &c_loc, Transpose::Yes, &vcx, Transpose::No, 0.0, &mut out);
     for j in 0..m {
-        let xc = x_loc.col(j);
+        let dc = diag_term.col(j);
         let oc = out.col_mut(j);
-        for (il, i) in rows.clone().enumerate() {
-            oc[il] += ham.diag_d[i] * xc[il];
+        for (o, d) in oc.iter_mut().zip(dc) {
+            *o += d;
         }
     }
     out

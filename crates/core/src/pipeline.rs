@@ -6,15 +6,17 @@
 //! until the whole GEMM is done.
 //!
 //! Optimized (Fig. 4 partitioning + Fig. 5 pipelining): the output columns
-//! are split into per-rank chunks; each chunk is GEMMed *and immediately
-//! `MPI_Reduce`d to its owning rank*. Each rank stores only `1/P` of
-//! `V_Hxc`, and reduction of chunk `q` overlaps (in a real network) with the
-//! GEMM of chunk `q+1`.
+//! are split into per-rank chunks; each chunk is GEMMed and its `ireduce` to
+//! the owning rank is issued **nonblocking**, so the reduction of chunk `q`
+//! streams on the progress engine while this rank GEMMs chunk `q+1`. The
+//! in-flight window is bounded at one chunk, which preserves the `1/P`
+//! peak-memory property, and the engine's per-segment timestamps yield a
+//! measured compute/communication [`OverlapStats`] for the schedule.
 
 use mathkit::gemm::{gemm, syrk_tn_scaled, Transpose};
 use mathkit::Mat;
 use parcomm::layout::block_ranges;
-use parcomm::Comm;
+use parcomm::{overlap_fraction, Comm, CommInterval, ComputeInterval, OverlapStats, Request};
 
 /// Result of a distributed Gram-matrix build.
 pub struct GramResult {
@@ -25,6 +27,18 @@ pub struct GramResult {
     pub col_range: std::ops::Range<usize>,
     /// Peak output words held by this rank.
     pub peak_words: usize,
+    /// Measured comm/compute overlap of the pipelined schedule (`None` on
+    /// the monolithic path, where nothing can overlap by construction),
+    /// against *this rank's own* compute intervals. On a host where rank
+    /// threads share cores, a rank's own compute is bounded by `1/P` of
+    /// wall-clock, so schedule-level overlap is better judged from the raw
+    /// intervals below against the union of every rank's compute.
+    pub overlap: Option<OverlapStats>,
+    /// Request-outstanding windows of this schedule's `ireduce`s (pipelined
+    /// path only).
+    pub comm_intervals: Vec<CommInterval>,
+    /// The chunk-GEMM intervals of this rank (pipelined path only).
+    pub compute_intervals: Vec<ComputeInterval>,
 }
 
 /// Monolithic path: full local GEMM `Aᵀ_local·B_local`, then `Allreduce`.
@@ -41,12 +55,19 @@ pub fn gram_allreduce(comm: &Comm, a_local: &Mat, b_local: &Mat, scale: f64) -> 
         v
     };
     comm.allreduce_sum(v.as_mut_slice());
-    GramResult { local: v, col_range: 0..n, peak_words: m * n }
+    GramResult {
+        local: v,
+        col_range: 0..n,
+        peak_words: m * n,
+        overlap: None,
+        comm_intervals: Vec::new(),
+        compute_intervals: Vec::new(),
+    }
 }
 
-/// Pipelined path: per-destination column chunks, each GEMMed then
-/// `Reduce`d to its owner. Rank `r` returns only columns
-/// `block_ranges(n, P)[r]`.
+/// Pipelined path: per-destination column chunks, each GEMMed and then
+/// `ireduce`d to its owner while the *next* chunk's GEMM runs (Fig. 5).
+/// Rank `r` returns only columns `block_ranges(n, P)[r]`.
 pub fn gram_pipelined_reduce(
     comm: &Comm,
     a_local: &Mat,
@@ -57,27 +78,54 @@ pub fn gram_pipelined_reduce(
     let (m, n) = (a_local.ncols(), b_local.ncols());
     let ranges = block_ranges(n, p);
     let my_range = ranges[comm.rank()].clone();
+    // Comm windows from earlier phases must not count toward this
+    // schedule's overlap measurement.
+    let _ = comm.drain_comm_intervals();
+    let mut compute: Vec<ComputeInterval> = Vec::with_capacity(p);
     let mut mine = Mat::zeros(m, my_range.len());
     let mut peak_words = 0usize;
+    // Window-2 pipeline: at most one chunk's reduce in flight while the
+    // next chunk is GEMMed. Bounding the window keeps peak memory at
+    // ~2 chunks + my piece, still `O(1/P)` of the full matrix.
+    let mut in_flight: Option<(usize, usize, Request)> = None;
+    let settle = |slot: Option<(usize, usize, Request)>, mine: &mut Mat| {
+        if let Some((owner, len, rq)) = slot {
+            let out = rq.wait();
+            if owner == comm.rank() {
+                *mine = Mat::from_vec(m, len, out);
+            }
+        }
+    };
     for (owner, range) in ranges.iter().enumerate() {
-        if range.is_empty() {
-            // Zero-length reduce keeps the collective schedule aligned.
-            let mut empty: [f64; 0] = [];
-            comm.reduce_sum(&mut empty, owner);
-            continue;
-        }
-        // GEMM only this chunk of output columns.
-        let b_chunk = b_local.col_block(range.start, range.end);
-        let mut v_chunk = Mat::zeros(m, range.len());
-        gemm(scale, a_local, Transpose::Yes, &b_chunk, Transpose::No, 0.0, &mut v_chunk);
-        peak_words = peak_words.max(v_chunk.as_slice().len() + mine.as_slice().len());
-        // Immediately reduce the finished chunk to its owner (Fig. 5).
-        comm.reduce_sum(v_chunk.as_mut_slice(), owner);
-        if owner == comm.rank() {
-            mine = v_chunk;
-        }
+        // GEMM only this chunk of output columns (overlaps the in-flight
+        // reduce of the previous chunk on the progress engine).
+        let t0 = comm.now_secs();
+        let v_chunk = if range.is_empty() {
+            // Zero-length ireduce keeps the op-id schedule aligned.
+            Vec::new()
+        } else {
+            let b_chunk = b_local.col_block(range.start, range.end);
+            let mut v = Mat::zeros(m, range.len());
+            gemm(scale, a_local, Transpose::Yes, &b_chunk, Transpose::No, 0.0, &mut v);
+            v.into_vec()
+        };
+        compute.push(ComputeInterval::new(t0, comm.now_secs()));
+        let prev_words = in_flight.as_ref().map_or(0, |(_, len, _)| m * *len);
+        peak_words = peak_words.max(v_chunk.len() + prev_words + mine.as_slice().len());
+        settle(in_flight.take(), &mut mine);
+        in_flight = Some((owner, range.len(), comm.ireduce_sum(v_chunk, owner)));
     }
-    GramResult { local: mine, col_range: my_range, peak_words }
+    settle(in_flight.take(), &mut mine);
+    let segs = comm.drain_comm_intervals();
+    let overlap = Some(overlap_fraction(&segs, &compute));
+    GramResult {
+        local: mine,
+        col_range: my_range,
+        peak_words,
+        overlap,
+        comm_intervals: segs,
+        compute_intervals: compute,
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +185,34 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_matches_allreduce_bitwise() {
+        // Same ring fold order per element on both paths ⇒ exact equality.
+        let (nr, m, n, p) = (32, 6, 8, 4);
+        let (a, b) = global_ab(nr, m, n);
+        let res = spmd(p, |c| {
+            let rr = block_ranges(nr, p)[c.rank()].clone();
+            let al = a.row_block(rr.start, rr.end);
+            let bl = b.row_block(rr.start, rr.end);
+            let mono = gram_allreduce(c, &al, &bl, 1.5);
+            let pipe = gram_pipelined_reduce(c, &al, &bl, 1.5);
+            (mono, pipe)
+        });
+        for (rank, (mono, pipe)) in res.iter().enumerate() {
+            let cr = block_ranges(n, p)[rank].clone();
+            for (jl, j) in cr.clone().enumerate() {
+                for i in 0..m {
+                    let full = mono.local[(i, j)];
+                    let chunk = pipe.local[(i, jl)];
+                    assert!(
+                        full.to_bits() == chunk.to_bits(),
+                        "({i},{j}): {full:e} != {chunk:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn pipelined_uses_less_memory_per_rank() {
         let (nr, m, n, p) = (40, 16, 16, 4);
         let (a, b) = global_ab(nr, m, n);
@@ -150,6 +226,25 @@ mod tests {
         });
         for (mono, pipe) in res {
             assert!(pipe < mono, "pipelined {pipe} should beat monolithic {mono}");
+        }
+    }
+
+    #[test]
+    fn pipelined_reports_overlap_stats() {
+        let (nr, m, n, p) = (64, 24, 24, 3);
+        let (a, b) = global_ab(nr, m, n);
+        let res = spmd(p, |c| {
+            let rr = block_ranges(nr, p)[c.rank()].clone();
+            let al = a.row_block(rr.start, rr.end);
+            let bl = b.row_block(rr.start, rr.end);
+            gram_pipelined_reduce(c, &al, &bl, 1.0).overlap
+        });
+        for ov in res {
+            let ov = ov.expect("pipelined path must measure overlap");
+            assert!(ov.comm_busy > 0.0, "engine must have run segment steps");
+            assert!(ov.compute_busy > 0.0);
+            assert!((0.0..=1.0).contains(&ov.fraction), "fraction {}", ov.fraction);
+            assert!(ov.overlapped <= ov.comm_busy + 1e-12);
         }
     }
 

@@ -104,7 +104,7 @@ pub fn absorption_spectrum(
 mod tests {
     use super::*;
     use crate::problem::synthetic_problem;
-    use crate::{solve, SolverParams, Version};
+    use crate::{solve_with, SolveOptions, Version};
 
     #[test]
     fn dipoles_have_expected_shape_and_are_finite() {
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn oscillator_strengths_nonnegative_for_positive_excitations() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let sol = solve(&p, Version::Naive, SolverParams { n_states: 4, ..Default::default() });
+        let sol = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(4));
         let f = oscillator_strengths(&p, &sol.energies, &sol.coefficients);
         assert_eq!(f.len(), 4);
         for (i, fi) in f.iter().enumerate() {

@@ -4,6 +4,7 @@ use crate::kernel::HxcKernel;
 use crate::lobpcg_driver::solve_casida_lobpcg;
 use crate::metrics::ComplexityEstimate;
 use crate::naive::solve_naive;
+use crate::options::SolveOptions;
 use crate::problem::CasidaProblem;
 use crate::rank::IsdfRank;
 use crate::timers::StageTimings;
@@ -69,6 +70,7 @@ impl Version {
 }
 
 /// Knobs shared by all versions.
+#[deprecated(note = "use SolveOptions — one builder for serial and distributed knobs")]
 #[derive(Clone, Copy, Debug)]
 pub struct SolverParams {
     /// Number of excitations to return (`k`).
@@ -81,6 +83,7 @@ pub struct SolverParams {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for SolverParams {
     fn default() -> Self {
         SolverParams {
@@ -220,10 +223,15 @@ pub fn build_isdf_hamiltonian(
 }
 
 /// Solve `problem` with the requested `version`.
-pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) -> Solution {
+///
+/// The `version` picks the algorithm (Table 4); `opts` supplies the knobs.
+/// `opts.eigensolver`/`opts.pipelined` only affect the distributed entry
+/// points — here the version already fixes the eigensolver and nothing is
+/// distributed.
+pub fn solve_with(problem: &CasidaProblem, version: Version, opts: &SolveOptions) -> Solution {
     let mut timings = StageTimings::default();
-    let k = params.n_states.min(problem.n_cv());
-    let n_mu = params.rank.resolve(problem.n_r(), problem.n_v(), problem.n_c());
+    let k = opts.n_states.min(problem.n_cv());
+    let n_mu = opts.rank.resolve(problem.n_r(), problem.n_v(), problem.n_c());
     let complexity = ComplexityEstimate::for_version(
         version,
         problem.n_r(),
@@ -249,7 +257,7 @@ pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) ->
             let selector = if version == Version::QrcpIsdf {
                 PointSelector::Qrcp
             } else {
-                PointSelector::Kmeans(KmeansOptions { seed: params.seed, ..Default::default() })
+                PointSelector::Kmeans(KmeansOptions { seed: opts.seed, ..Default::default() })
             };
             let ham = build_isdf_hamiltonian(problem, selector, n_mu, &mut timings);
             let sp = obskit::span(obskit::Stage::Diag, "diag.syev");
@@ -270,7 +278,7 @@ pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) ->
         }
         Version::KmeansIsdfLobpcg | Version::ImplicitKmeansIsdfLobpcg => {
             let selector =
-                PointSelector::Kmeans(KmeansOptions { seed: params.seed, ..Default::default() });
+                PointSelector::Kmeans(KmeansOptions { seed: opts.seed, ..Default::default() });
             let ham = build_isdf_hamiltonian(problem, selector, n_mu, &mut timings);
             let sp = obskit::span(obskit::Stage::Diag, "diag.lobpcg");
             let t0 = Instant::now();
@@ -285,12 +293,12 @@ pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) ->
                     },
                     &ham.diag_d,
                     k,
-                    params.lobpcg,
-                    params.seed,
+                    opts.lobpcg,
+                    opts.seed,
                 )
             } else {
                 // Matrix-free (Table 4 row 5): H never materialized.
-                solve_casida_lobpcg(|x| ham.apply(x), &ham.diag_d, k, params.lobpcg, params.seed)
+                solve_casida_lobpcg(|x| ham.apply(x), &ham.diag_d, k, opts.lobpcg, opts.seed)
             };
             timings.diag += t0.elapsed().as_secs_f64();
             drop(sp);
@@ -306,17 +314,20 @@ pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) ->
     }
 }
 
+/// Solve `problem` with the requested `version` (legacy entry point).
+#[deprecated(note = "use solve_with with a SolveOptions builder")]
+#[allow(deprecated)]
+pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) -> Solution {
+    solve_with(problem, version, &params.into())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::problem::synthetic_problem;
 
-    fn full_rank_params(p: &CasidaProblem) -> SolverParams {
-        SolverParams {
-            n_states: 3,
-            rank: IsdfRank::Fixed(p.n_cv()),
-            ..Default::default()
-        }
+    fn full_rank_opts(p: &CasidaProblem) -> SolveOptions {
+        SolveOptions::new().rank(IsdfRank::Fixed(p.n_cv()))
     }
 
     #[test]
@@ -324,15 +335,15 @@ mod tests {
         // With N_μ = N_cv the ISDF fit is (numerically) exact, so versions
         // 2–5 must reproduce the naive spectrum.
         let p = synthetic_problem([8, 8, 8], 6.0, 3, 2);
-        let params = full_rank_params(&p);
-        let reference = solve(&p, Version::Naive, params);
+        let opts = full_rank_opts(&p);
+        let reference = solve_with(&p, Version::Naive, &opts);
         for v in [
             Version::QrcpIsdf,
             Version::KmeansIsdf,
             Version::KmeansIsdfLobpcg,
             Version::ImplicitKmeansIsdfLobpcg,
         ] {
-            let s = solve(&p, v, params);
+            let s = solve_with(&p, v, &opts);
             for i in 0..3 {
                 let rel = (s.energies[i] - reference.energies[i]).abs()
                     / reference.energies[i].abs().max(1e-12);
@@ -366,13 +377,9 @@ mod tests {
         // The paper's headline accuracy claim: low-rank + iterative introduces
         // only tiny relative errors (Table 5: ~0.001%–1%).
         let p = synthetic_problem([8, 8, 8], 6.0, 4, 3);
-        let reference = solve(&p, Version::Naive, full_rank_params(&p));
-        let reduced = SolverParams {
-            n_states: 3,
-            rank: IsdfRank::Fixed(p.n_cv() * 3 / 4),
-            ..Default::default()
-        };
-        let s = solve(&p, Version::ImplicitKmeansIsdfLobpcg, reduced);
+        let reference = solve_with(&p, Version::Naive, &full_rank_opts(&p));
+        let reduced = SolveOptions::new().rank(IsdfRank::Fixed(p.n_cv() * 3 / 4));
+        let s = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &reduced);
         for i in 0..3 {
             let rel = (s.energies[i] - reference.energies[i]).abs()
                 / reference.energies[i].abs().max(1e-12);
@@ -383,17 +390,17 @@ mod tests {
     #[test]
     fn timing_stages_populated_per_version() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let params = full_rank_params(&p);
-        let naive = solve(&p, Version::Naive, params);
+        let opts = full_rank_opts(&p);
+        let naive = solve_with(&p, Version::Naive, &opts);
         assert!(naive.timings.face_split > 0.0);
         assert!(naive.timings.kmeans == 0.0);
-        let km = solve(&p, Version::KmeansIsdf, params);
+        let km = solve_with(&p, Version::KmeansIsdf, &opts);
         assert!(km.timings.kmeans > 0.0);
         assert!(km.timings.qrcp == 0.0);
         assert!(km.timings.theta > 0.0);
-        let qr = solve(&p, Version::QrcpIsdf, params);
+        let qr = solve_with(&p, Version::QrcpIsdf, &opts);
         assert!(qr.timings.qrcp > 0.0);
-        let imp = solve(&p, Version::ImplicitKmeansIsdfLobpcg, params);
+        let imp = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &opts);
         assert!(imp.lobpcg_iterations.is_some());
         assert!(imp.timings.diag > 0.0);
     }
@@ -401,14 +408,24 @@ mod tests {
     #[test]
     fn n_mu_reported() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let s = solve(
-            &p,
-            Version::KmeansIsdf,
-            SolverParams { rank: IsdfRank::Fixed(3), ..Default::default() },
-        );
+        let s = solve_with(&p, Version::KmeansIsdf, &SolveOptions::new().rank(IsdfRank::Fixed(3)));
         assert_eq!(s.n_mu, 3);
-        let s = solve(&p, Version::Naive, SolverParams::default());
+        let s = solve_with(&p, Version::Naive, &SolveOptions::default());
         assert_eq!(s.n_mu, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_solve_shim_matches_solve_with() {
+        // One release of compatibility: the legacy SolverParams entry point
+        // must route through the same code path.
+        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        let params = SolverParams { rank: IsdfRank::Fixed(p.n_cv()), ..Default::default() };
+        let old = solve(&p, Version::KmeansIsdf, params);
+        let new = solve_with(&p, Version::KmeansIsdf, &params.into());
+        for (a, b) in old.energies.iter().zip(&new.energies) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
@@ -416,10 +433,10 @@ mod tests {
         // Dropping the (repulsive) Hartree term must lower the lowest
         // excitation relative to the singlet channel.
         let mut p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let params = full_rank_params(&p);
-        let singlet = solve(&p, Version::Naive, params);
+        let opts = full_rank_opts(&p);
+        let singlet = solve_with(&p, Version::Naive, &opts);
         p.kernel_kind = crate::problem::KernelKind::Triplet;
-        let triplet = solve(&p, Version::Naive, params);
+        let triplet = solve_with(&p, Version::Naive, &opts);
         assert!(
             triplet.energies[0] < singlet.energies[0],
             "triplet {} should lie below singlet {}",
@@ -427,7 +444,7 @@ mod tests {
             singlet.energies[0]
         );
         // and the ISDF path honours the channel too
-        let triplet_isdf = solve(&p, Version::ImplicitKmeansIsdfLobpcg, params);
+        let triplet_isdf = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &opts);
         let rel = (triplet_isdf.energies[0] - triplet.energies[0]).abs()
             / triplet.energies[0].abs().max(1e-12);
         assert!(rel < 1e-5, "ISDF triplet mismatch: rel {rel}");

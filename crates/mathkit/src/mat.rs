@@ -80,6 +80,13 @@ impl Mat {
         &self.data
     }
 
+    /// Consume the matrix, handing back its column-major buffer (no copy) —
+    /// the shape to use when a buffer-owning API (e.g. the nonblocking
+    /// collectives) takes over the storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Mutable raw column-major buffer.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {

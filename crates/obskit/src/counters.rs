@@ -14,6 +14,7 @@ use std::sync::Mutex;
 static FLOPS: AtomicU64 = AtomicU64::new(0);
 static BYTES_MOVED: AtomicU64 = AtomicU64::new(0);
 static FFT_CALLS: AtomicU64 = AtomicU64::new(0);
+static COMM_SEGMENTS: AtomicU64 = AtomicU64::new(0);
 static GEMM_SHAPES: Mutex<Option<HashMap<[u8; 3], u64>>> = Mutex::new(None);
 
 /// Count floating-point work (e.g. `2·m·n·k` per GEMM).
@@ -37,6 +38,16 @@ pub fn add_bytes_moved(n: u64) {
 pub fn add_fft_calls(n: u64) {
     if enabled() {
         FFT_CALLS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Count chunked-collective segment steps executed by the comm progress
+/// engine (safe to call from engine worker threads — a plain atomic, no
+/// thread-local trace stream involved).
+#[inline]
+pub fn add_comm_segments(n: u64) {
+    if enabled() {
+        COMM_SEGMENTS.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -77,6 +88,8 @@ pub struct CounterSnapshot {
     pub flops: u64,
     pub bytes_moved: u64,
     pub fft_calls: u64,
+    /// Chunked-collective segment steps run by the comm progress engine.
+    pub comm_segments: u64,
     /// GEMM shape histogram, sorted by descending call count.
     pub gemm_shapes: Vec<GemmBucket>,
 }
@@ -101,6 +114,7 @@ pub(crate) fn take_counters() -> CounterSnapshot {
         flops: FLOPS.swap(0, Ordering::Relaxed),
         bytes_moved: BYTES_MOVED.swap(0, Ordering::Relaxed),
         fft_calls: FFT_CALLS.swap(0, Ordering::Relaxed),
+        comm_segments: COMM_SEGMENTS.swap(0, Ordering::Relaxed),
         gemm_shapes: shapes,
     }
 }

@@ -43,7 +43,8 @@ pub mod span;
 pub mod trace;
 
 pub use counters::{
-    add_bytes_moved, add_flops, add_fft_calls, record_gemm_shape, CounterSnapshot,
+    add_bytes_moved, add_comm_segments, add_flops, add_fft_calls, record_gemm_shape,
+    CounterSnapshot,
 };
 pub use span::{flush_thread, instant, set_rank, span, thread_rank, Event, EventKind, Span};
 pub use trace::{take_trace, RankTrace, Trace};

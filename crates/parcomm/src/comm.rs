@@ -1,20 +1,23 @@
-//! The SPMD engine: thread ranks + staging-buffer collectives.
+//! The SPMD engine: thread ranks + request-based collectives.
 //!
-//! Every collective follows a deposit → barrier → read → barrier discipline:
-//! each rank publishes its contribution into its own slot, a barrier
-//! guarantees visibility, every rank reads what it needs, and a second
-//! barrier guarantees nobody's slot is reused before all readers are done.
-//! Slots are cleared by their owner right after the exit barrier, which is
-//! safe because only the owner writes its slot.
+//! Every collective — blocking or not — is executed by the nonblocking
+//! progress engine in [`crate::requests`]: the blocking API below is a thin
+//! *issue-then-wait* wrapper over the same chunked algorithms, so the two
+//! paths are one implementation and stay bitwise-identical by construction.
+//! Blocking calls account under the legacy op labels (`allreduce`, `reduce`,
+//! …); nonblocking calls account under their own `i*` labels, with engine
+//! segment steps tracked separately in [`SegStats`] so per-segment work is
+//! never double-counted against the aggregate fields.
 
 use crate::cost::CostModel;
-use std::cell::Cell;
+use crate::requests::{Algorithm, CommInterval, NbShared, Worker, DEFAULT_SEGMENT_WORDS};
+use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// `lock()` with poison-recovery: a panicked rank already aborts the SPMD
 /// scope, so recovering the data here never observes a torn slot.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -27,6 +30,22 @@ pub struct OpStats {
     pub seconds: f64,
 }
 
+/// Engine-side segment counters. A nonblocking collective is executed as a
+/// stream of segment steps on the progress worker; those steps are counted
+/// here and **only** here — `bytes`/`busy_seconds` below deliberately do
+/// not feed [`CommStats::bytes_sent`] / [`CommStats::measured_seconds`],
+/// which charge each collective exactly once at issue/wait on the caller's
+/// thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SegStats {
+    /// Segment steps executed by this rank's progress worker.
+    pub steps: u64,
+    /// Bytes touched by those steps (fold + copy traffic).
+    pub bytes: u64,
+    /// Seconds the progress worker was busy executing steps.
+    pub busy_seconds: f64,
+}
+
 /// Per-rank communication statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CommStats {
@@ -34,7 +53,9 @@ pub struct CommStats {
     pub bytes_sent: u64,
     /// Number of collective calls.
     pub collective_calls: u64,
-    /// Wall-clock seconds actually spent inside collectives (measured).
+    /// Wall-clock seconds actually spent inside collectives (measured):
+    /// blocked time for the blocking API, issue + `wait()` time for the
+    /// request API. Engine-thread busy time is in [`SegStats`] instead.
     pub measured_seconds: f64,
     /// Seconds the α–β model charges for the same collectives.
     pub modeled_seconds: f64,
@@ -46,12 +67,20 @@ pub struct CommStats {
     pub allgatherv: OpStats,
     pub alltoallv: OpStats,
     pub barrier: OpStats,
+    /// Nonblocking (request-based) ops.
+    pub ireduce: OpStats,
+    pub iallreduce: OpStats,
+    pub ibcast: OpStats,
+    pub iallgatherv: OpStats,
+    pub ialltoallv_nb: OpStats,
+    /// Engine segment-step counters (not part of the aggregates above).
+    pub seg: SegStats,
 }
 
 impl CommStats {
     /// The per-operation breakdown as `(label, stats)` rows, in a stable
     /// report order.
-    pub fn per_op(&self) -> [(&'static str, OpStats); 6] {
+    pub fn per_op(&self) -> [(&'static str, OpStats); 11] {
         [
             ("allreduce", self.allreduce),
             ("reduce", self.reduce),
@@ -59,13 +88,18 @@ impl CommStats {
             ("allgatherv", self.allgatherv),
             ("alltoallv", self.alltoallv),
             ("barrier", self.barrier),
+            ("ireduce", self.ireduce),
+            ("iallreduce", self.iallreduce),
+            ("ibcast", self.ibcast),
+            ("iallgatherv", self.iallgatherv),
+            ("ialltoallv", self.ialltoallv_nb),
         ]
     }
 }
 
-/// Which collective an accounting entry belongs to.
+/// Which blocking collective an accounting entry belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum CollOp {
+pub(crate) enum CollOp {
     Allreduce,
     Reduce,
     Bcast,
@@ -98,24 +132,37 @@ impl CollOp {
     }
 }
 
-struct Shared {
-    size: usize,
-    barrier: Barrier,
-    /// Flat f64 staging, one slot per rank.
-    flat: Vec<Mutex<Vec<f64>>>,
-    /// Chunked staging for all-to-all style exchanges.
-    chunked: Vec<Mutex<Vec<Vec<f64>>>>,
-    model: CostModel,
+pub(crate) struct Shared {
+    pub(crate) size: usize,
+    pub(crate) barrier: Barrier,
+    pub(crate) model: CostModel,
+    /// Cross-rank state of the nonblocking progress engine.
+    pub(crate) nb: NbShared,
 }
 
 /// Per-rank communicator handle (not shared across threads).
 pub struct Comm {
-    rank: usize,
-    shared: Arc<Shared>,
-    /// All counters live in one `Cell<CommStats>` so [`Comm::reset_stats`]
-    /// clears the aggregate and per-op fields in a single store — they can
-    /// never be observed half-reset.
-    stats: Cell<CommStats>,
+    pub(crate) rank: usize,
+    pub(crate) shared: Arc<Shared>,
+    /// Shared with this rank's progress worker (it bumps [`SegStats`]), so
+    /// a mutex rather than a `Cell`; still reset atomically as one struct.
+    pub(crate) stats: Arc<Mutex<CommStats>>,
+    /// Timestamped engine steps since the last
+    /// [`Comm::drain_comm_intervals`].
+    pub(crate) timeline: Arc<Mutex<Vec<CommInterval>>>,
+    /// Per-rank issue counter; SPMD issue order pairs op `n` here with op
+    /// `n` on every other rank.
+    pub(crate) next_op: Cell<u64>,
+    /// Lazily spawned progress worker (joined on drop).
+    pub(crate) worker: RefCell<Option<Worker>>,
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        if let Some(w) = self.worker.borrow_mut().take() {
+            w.shutdown();
+        }
+    }
 }
 
 impl Comm {
@@ -131,27 +178,28 @@ impl Comm {
 
     /// Statistics accumulated by this rank so far.
     pub fn stats(&self) -> CommStats {
-        self.stats.get()
+        *lock(&self.stats)
     }
 
     /// Reset the statistics counters (e.g. between timed phases). One store:
-    /// aggregate and per-op breakdowns clear together.
+    /// aggregate, per-op, and per-segment counters clear together.
     pub fn reset_stats(&self) {
-        self.stats.set(CommStats::default());
+        *lock(&self.stats) = CommStats::default();
     }
 
     fn account(&self, op: CollOp, bytes: usize, t0: Instant, modeled: f64, span: obskit::Span) {
         let seconds = t0.elapsed().as_secs_f64();
-        let mut s = self.stats.get();
-        s.bytes_sent += bytes as u64;
-        s.collective_calls += 1;
-        s.measured_seconds += seconds;
-        s.modeled_seconds += modeled;
-        let slot = op.slot(&mut s);
-        slot.calls += 1;
-        slot.bytes += bytes as u64;
-        slot.seconds += seconds;
-        self.stats.set(s);
+        {
+            let mut s = lock(&self.stats);
+            s.bytes_sent += bytes as u64;
+            s.collective_calls += 1;
+            s.measured_seconds += seconds;
+            s.modeled_seconds += modeled;
+            let slot = op.slot(&mut s);
+            slot.calls += 1;
+            slot.bytes += bytes as u64;
+            slot.seconds += seconds;
+        }
         obskit::add_bytes_moved(bytes as u64);
         let mut span = span;
         span.arg("bytes", bytes as f64);
@@ -168,7 +216,9 @@ impl Comm {
         self.account(op, 0, t0, m, sp);
     }
 
-    /// In-place sum-allreduce of `buf` across all ranks.
+    /// In-place sum-allreduce of `buf` across all ranks. Issue-then-wait
+    /// over the ring engine; the ascending rank-order fold keeps results
+    /// bitwise identical to the historical staging-buffer path.
     pub fn allreduce_sum(&self, buf: &mut [f64]) {
         let op = CollOp::Allreduce;
         let sp = obskit::span(obskit::Stage::Mpi, op.span_name());
@@ -178,18 +228,10 @@ impl Comm {
             self.account(op, 0, t0, 0.0, sp);
             return;
         }
-        *lock(&self.shared.flat[self.rank]) = buf.to_vec();
-        self.shared.barrier.wait();
-        buf.fill(0.0);
-        for r in 0..p {
-            let slot = lock(&self.shared.flat[r]);
-            assert_eq!(slot.len(), buf.len(), "allreduce length mismatch at rank {r}");
-            for (b, s) in buf.iter_mut().zip(slot.iter()) {
-                *b += *s;
-            }
-        }
-        self.shared.barrier.wait();
-        lock(&self.shared.flat[self.rank]).clear();
+        let out = self
+            .issue_reduce(buf.to_vec(), 0, true, false, Algorithm::Ring, None)
+            .wait();
+        buf.copy_from_slice(&out);
         let bytes = buf.len() * 8;
         let m = self.shared.model.allreduce(p, bytes);
         self.account(op, bytes, t0, m, sp);
@@ -205,17 +247,10 @@ impl Comm {
             self.account(op, 0, t0, 0.0, sp);
             return v;
         }
-        *lock(&self.shared.flat[self.rank]) = vec![v];
-        self.shared.barrier.wait();
-        let mut out = f64::NEG_INFINITY;
-        for r in 0..p {
-            out = out.max(lock(&self.shared.flat[r])[0]);
-        }
-        self.shared.barrier.wait();
-        lock(&self.shared.flat[self.rank]).clear();
+        let out = self.issue_allreduce_max(vec![v]).wait();
         let m = self.shared.model.allreduce(p, 8);
         self.account(op, 8, t0, m, sp);
-        out
+        out[0]
     }
 
     /// Sum-reduce `buf` to `root`; non-root ranks' buffers are untouched.
@@ -228,19 +263,12 @@ impl Comm {
             self.account(op, 0, t0, 0.0, sp);
             return;
         }
-        *lock(&self.shared.flat[self.rank]) = buf.to_vec();
-        self.shared.barrier.wait();
+        let out = self
+            .issue_reduce(buf.to_vec(), root, false, false, Algorithm::Ring, None)
+            .wait();
         if self.rank == root {
-            buf.fill(0.0);
-            for r in 0..p {
-                let slot = lock(&self.shared.flat[r]);
-                for (b, s) in buf.iter_mut().zip(slot.iter()) {
-                    *b += *s;
-                }
-            }
+            buf.copy_from_slice(&out);
         }
-        self.shared.barrier.wait();
-        lock(&self.shared.flat[self.rank]).clear();
         let bytes = buf.len() * 8;
         let m = self.shared.model.reduce(p, bytes);
         self.account(op, bytes, t0, m, sp);
@@ -256,19 +284,8 @@ impl Comm {
             self.account(op, 0, t0, 0.0, sp);
             return;
         }
-        if self.rank == root {
-            *lock(&self.shared.flat[root]) = buf.to_vec();
-        }
-        self.shared.barrier.wait();
-        if self.rank != root {
-            let slot = lock(&self.shared.flat[root]);
-            assert_eq!(slot.len(), buf.len(), "bcast length mismatch");
-            buf.copy_from_slice(&slot);
-        }
-        self.shared.barrier.wait();
-        if self.rank == root {
-            lock(&self.shared.flat[root]).clear();
-        }
+        let out = self.issue_bcast(buf.to_vec(), root, None).wait();
+        buf.copy_from_slice(&out);
         let bytes = buf.len() * 8;
         let m = self.shared.model.bcast(p, bytes);
         self.account(op, if self.rank == root { bytes } else { 0 }, t0, m, sp);
@@ -285,14 +302,7 @@ impl Comm {
             self.account(op, 0, t0, 0.0, sp);
             return mine.to_vec();
         }
-        *lock(&self.shared.flat[self.rank]) = mine.to_vec();
-        self.shared.barrier.wait();
-        let mut out = Vec::new();
-        for r in 0..p {
-            out.extend_from_slice(&lock(&self.shared.flat[r]));
-        }
-        self.shared.barrier.wait();
-        lock(&self.shared.flat[self.rank]).clear();
+        let out = self.issue_gather(mine.to_vec(), None).wait();
         let total = out.len() * 8;
         let m = self.shared.model.allgatherv(p, total);
         self.account(op, mine.len() * 8, t0, m, sp);
@@ -312,18 +322,63 @@ impl Comm {
             self.account(op, 0, t0, 0.0, sp);
             return send;
         }
-        *lock(&self.shared.chunked[self.rank]) = send;
-        self.shared.barrier.wait();
-        let mut recv = Vec::with_capacity(p);
-        for r in 0..p {
-            let slot = lock(&self.shared.chunked[r]);
-            recv.push(slot[self.rank].clone());
-        }
-        self.shared.barrier.wait();
-        lock(&self.shared.chunked[self.rank]).clear();
+        let recv = self.issue_alltoall(send, None).wait();
         let m = self.shared.model.alltoallv(p, sent_bytes);
         self.account(op, sent_bytes, t0, m, sp);
         recv
+    }
+
+    // ---- point-to-point-flavoured collectives (formerly collectives_ext)
+
+    /// Gather variable-length contributions at `root`. Non-root ranks get an
+    /// empty vector; `root` gets the concatenation in rank order.
+    pub fn gatherv(&self, mine: &[f64], root: usize) -> Vec<f64> {
+        let all = self.allgatherv(mine);
+        if self.rank() == root {
+            all
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Scatter per-rank chunks from `root`: `chunks` is only read on `root`
+    /// (other ranks pass anything, conventionally `&[]`). Returns my chunk.
+    pub fn scatterv(&self, chunks: &[Vec<f64>], root: usize) -> Vec<f64> {
+        let p = self.size();
+        // Route through alltoallv: root supplies the payload row, everyone
+        // else sends empties.
+        let send: Vec<Vec<f64>> = if self.rank() == root {
+            assert_eq!(chunks.len(), p, "scatterv needs one chunk per rank on root");
+            chunks.to_vec()
+        } else {
+            vec![Vec::new(); p]
+        };
+        let recv = self.alltoallv(send);
+        recv[root].clone()
+    }
+
+    /// Ring shift: send `mine` to `(rank+1) % size`, receive from the left
+    /// neighbour. The building block of systolic matrix algorithms.
+    pub fn ring_shift(&self, mine: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        let mut send: Vec<Vec<f64>> = vec![Vec::new(); p];
+        send[(self.rank() + 1) % p] = mine.to_vec();
+        let recv = self.alltoallv(send);
+        recv[(self.rank() + p - 1) % p].clone()
+    }
+
+    /// Sum a scalar across ranks.
+    pub fn allreduce_sum_scalar(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Exclusive prefix sum of a scalar (rank 0 gets 0.0) — used to compute
+    /// global offsets of variable-length local arrays.
+    pub fn exscan_sum(&self, v: f64) -> f64 {
+        let all = self.allgatherv(&[v]);
+        all[..self.rank()].iter().sum()
     }
 }
 
@@ -347,9 +402,8 @@ where
     let shared = Arc::new(Shared {
         size,
         barrier: Barrier::new(size),
-        flat: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
-        chunked: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
         model,
+        nb: NbShared::new(DEFAULT_SEGMENT_WORDS),
     });
     let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -362,9 +416,17 @@ where
                 // recorded when the rank function returns (or panics — the
                 // thread-local backstop flushes on unwind).
                 obskit::set_rank(rank);
-                let comm = Comm { rank, shared, stats: Cell::new(CommStats::default()) };
+                let comm = Comm {
+                    rank,
+                    shared,
+                    stats: Arc::new(Mutex::new(CommStats::default())),
+                    timeline: Arc::new(Mutex::new(Vec::new())),
+                    next_op: Cell::new(0),
+                    worker: RefCell::new(None),
+                };
                 let out = f(&comm);
                 obskit::flush_thread();
+                // `comm` drops here, joining the progress worker.
                 out
             }));
         }
@@ -515,7 +577,7 @@ mod tests {
             assert_eq!(s.allgatherv.calls, 1);
             assert_eq!(s.alltoallv.calls, 1);
             assert_eq!(s.barrier.calls, 1);
-            let per: [( &str, OpStats); 6] = s.per_op();
+            let per: [(&str, OpStats); 11] = s.per_op();
             let calls: u64 = per.iter().map(|(_, o)| o.calls).sum();
             let bytes: u64 = per.iter().map(|(_, o)| o.bytes).sum();
             let secs: f64 = per.iter().map(|(_, o)| o.seconds).sum();
@@ -531,6 +593,27 @@ mod tests {
     }
 
     #[test]
+    fn segment_steps_do_not_double_count_aggregates() {
+        // The bugfix this PR guards: engine segment traffic must stay out of
+        // bytes_sent / measured_seconds, which charge each op exactly once.
+        let res = spmd(2, |c| {
+            let mut buf = vec![1.0; 10_000]; // > one segment
+            c.allreduce_sum(&mut buf);
+            c.stats()
+        });
+        for s in res {
+            assert_eq!(s.collective_calls, 1);
+            assert_eq!(s.bytes_sent, 80_000);
+            assert!(s.seg.steps >= 2, "chunked algorithm must take multiple steps");
+            assert!(s.seg.bytes >= 80_000);
+            assert!(s.seg.busy_seconds >= 0.0);
+            // Aggregate bytes unchanged by segment traffic.
+            let per_sum: u64 = s.per_op().iter().map(|(_, o)| o.bytes).sum();
+            assert_eq!(per_sum, s.bytes_sent);
+        }
+    }
+
+    #[test]
     fn reset_clears_aggregate_and_per_op_together() {
         let res = spmd(2, |c| {
             let mut buf = vec![1.0; 8];
@@ -541,6 +624,20 @@ mod tests {
         });
         for s in res {
             assert_eq!(s, CommStats::default(), "reset must clear every field");
+        }
+    }
+
+    #[test]
+    fn reset_clears_segment_counters() {
+        let res = spmd(2, |c| {
+            let mut buf = vec![1.0; 9000];
+            c.allreduce_sum(&mut buf);
+            assert!(c.stats().seg.steps > 0);
+            c.reset_stats();
+            c.stats()
+        });
+        for s in res {
+            assert_eq!(s.seg, SegStats::default());
         }
     }
 
@@ -574,6 +671,75 @@ mod tests {
         let expect: f64 = (0..5).map(|r| (0..16).map(|k| (k + r) as f64).sum::<f64>()).sum();
         for v in res {
             assert_eq!(v, expect);
+        }
+    }
+
+    // ---- formerly collectives_ext tests
+
+    #[test]
+    fn gatherv_only_root_receives() {
+        let res = spmd(4, |c| {
+            let mine = vec![c.rank() as f64; c.rank() + 1];
+            c.gatherv(&mine, 2)
+        });
+        assert!(res[0].is_empty() && res[1].is_empty() && res[3].is_empty());
+        assert_eq!(res[2], vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn scatterv_routes_chunks_from_root() {
+        let res = spmd(3, |c| {
+            let chunks = if c.rank() == 1 {
+                vec![vec![10.0], vec![20.0, 21.0], vec![30.0, 31.0, 32.0]]
+            } else {
+                vec![Vec::new(); 3]
+            };
+            c.scatterv(&chunks, 1)
+        });
+        assert_eq!(res[0], vec![10.0]);
+        assert_eq!(res[1], vec![20.0, 21.0]);
+        assert_eq!(res[2], vec![30.0, 31.0, 32.0]);
+    }
+
+    #[test]
+    fn ring_shift_rotates() {
+        let res = spmd(5, |c| {
+            let mine = vec![c.rank() as f64];
+            c.ring_shift(&mine)
+        });
+        for (me, r) in res.iter().enumerate() {
+            let left = (me + 5 - 1) % 5;
+            assert_eq!(r, &vec![left as f64]);
+        }
+    }
+
+    #[test]
+    fn ring_shift_composes_to_identity() {
+        // P shifts bring the data home.
+        let p = 4;
+        let res = spmd(p, |c| {
+            let mut data = vec![c.rank() as f64 * 10.0, 1.0];
+            for _ in 0..p {
+                data = c.ring_shift(&data);
+            }
+            data
+        });
+        for (me, r) in res.iter().enumerate() {
+            assert_eq!(r, &vec![me as f64 * 10.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let res = spmd(4, |c| {
+            let sum = c.allreduce_sum_scalar(c.rank() as f64 + 1.0);
+            let offset = c.exscan_sum((c.rank() + 1) as f64);
+            (sum, offset)
+        });
+        for (me, (sum, offset)) in res.iter().enumerate() {
+            assert_eq!(*sum, 10.0);
+            let expect: f64 = (1..=me).map(|r| r as f64).sum();
+            assert_eq!(*offset, expect, "rank {me}");
         }
     }
 }

@@ -88,6 +88,41 @@ impl CostModel {
             (p as f64 - 1.0) * self.alpha + self.beta * sent_bytes as f64
         }
     }
+
+    #[inline]
+    fn segments(bytes: usize, seg_bytes: usize) -> f64 {
+        bytes.div_ceil(seg_bytes.max(1)).max(1) as f64
+    }
+
+    /// Pipelined ring allreduce over fixed-size segments: the chain fills in
+    /// `2(p−1)` steps and then streams one segment per step, so latency is
+    /// `α · (2(p−1) + s − 1)` with the usual `2n(p−1)/p` bandwidth term.
+    pub fn ring_allreduce(&self, p: usize, bytes: usize, seg_bytes: usize) -> f64 {
+        if p <= 1 {
+            0.0
+        } else {
+            let s = Self::segments(bytes, seg_bytes);
+            self.alpha * (2.0 * (p as f64 - 1.0) + s - 1.0)
+                + 2.0 * self.beta * bytes as f64 * (p as f64 - 1.0) / p as f64
+        }
+    }
+
+    /// Pipelined (segmented) binomial-tree reduce: `log₂(p)` rounds to fill,
+    /// then one segment per step; each byte crosses the wire once.
+    pub fn segmented_reduce(&self, p: usize, bytes: usize, seg_bytes: usize) -> f64 {
+        if p <= 1 {
+            0.0
+        } else {
+            let s = Self::segments(bytes, seg_bytes);
+            self.alpha * (Self::log2p(p) + s - 1.0) + self.beta * bytes as f64
+        }
+    }
+
+    /// Pipelined (segmented) binomial-tree broadcast — same shape as
+    /// [`CostModel::segmented_reduce`].
+    pub fn segmented_bcast(&self, p: usize, bytes: usize, seg_bytes: usize) -> f64 {
+        self.segmented_reduce(p, bytes, seg_bytes)
+    }
 }
 
 #[cfg(test)]

@@ -6,8 +6,12 @@
 //! * [`spmd`] launches `P` ranks as OS threads executing the same closure
 //!   (SPMD), each holding a [`Comm`] handle;
 //! * [`Comm`] provides the collectives Algorithm 1 uses — `Alltoallv`,
-//!   `Allreduce`, `Reduce`, `Bcast`, `Allgatherv`, `Barrier` — built on a
-//!   shared staging area and barriers;
+//!   `Allreduce`, `Reduce`, `Bcast`, `Allgatherv`, `Barrier` — plus their
+//!   **nonblocking request forms** (`ireduce_sum`, `iallreduce_sum`,
+//!   `ibcast`, `ialltoallv`, …) backed by a per-rank progress engine running
+//!   chunked ring / recursive-doubling algorithms ([`requests`]), so
+//!   communication proceeds while the caller computes and the measured
+//!   overlap fraction can be reported ([`overlap`]);
 //! * every collective records **bytes moved and call counts** ([`CommStats`])
 //!   and accrues modeled wall-time from an **α–β (latency–bandwidth) cost
 //!   model** ([`CostModel`]), so rank counts far beyond the host's cores can
@@ -16,13 +20,16 @@
 //!   row-block, column-block, and 2-D block-cyclic, plus the
 //!   `MPI_Alltoall`-based row↔column redistribution of wavefunction matrices.
 
-pub mod collectives_ext;
 pub mod comm;
 pub mod cost;
 pub mod layout;
+pub mod overlap;
 pub mod redist;
+pub mod requests;
 
-pub use comm::{spmd, spmd_with_model, Comm, CommStats};
+pub use comm::{spmd, spmd_with_model, Comm, CommStats, OpStats, SegStats};
 pub use cost::CostModel;
-pub use layout::{block_cyclic_owner, block_ranges, BlockCyclic2D, Layout};
+pub use layout::{block_cyclic_owner, block_ranges, segment_ranges, BlockCyclic2D, Layout};
+pub use overlap::{overlap_fraction, ComputeInterval, OverlapStats};
 pub use redist::{col_to_row_blocks, row_to_col_blocks};
+pub use requests::{wait_all, Algorithm, CommInterval, Request, DEFAULT_SEGMENT_WORDS};

@@ -1,0 +1,148 @@
+//! Compute/communication overlap measurement.
+//!
+//! The progress engine timestamps the outstanding window of every
+//! nonblocking collective ([`CommInterval`]: issue → completion of the
+//! rank's duty); callers record the intervals in which they were
+//! *computing* (e.g. the chunk-`q+1` GEMM of the pipelined Gram
+//! reduction). The overlap fraction is the share of outstanding-comm time
+//! that coincided with compute:
+//!
+//! ```text
+//! fraction = |∪ comm ∩ ∪ compute| / |∪ comm|
+//! ```
+//!
+//! A blocking schedule measures ≈ 0 (issue is followed immediately by
+//! `wait`, so no compute falls inside the window); the paper's Fig. 4/5
+//! pipelined schedule pushes this well above zero because the reduce of
+//! chunk `q` is outstanding across the GEMM of chunk `q+1`.
+
+use crate::requests::CommInterval;
+
+/// A half-open `[start, end)` caller-side compute interval, in the same
+/// epoch-relative seconds as [`CommInterval`] (see `Comm::now_secs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComputeInterval {
+    pub start: f64,
+    pub end: f64,
+}
+
+impl ComputeInterval {
+    pub fn new(start: f64, end: f64) -> Self {
+        ComputeInterval { start, end }
+    }
+}
+
+/// Summary of one overlap measurement.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Seconds with at least one collective outstanding (union length).
+    pub comm_busy: f64,
+    /// Total caller compute seconds.
+    pub compute_busy: f64,
+    /// Seconds of engine-busy time that coincided with caller compute.
+    pub overlapped: f64,
+    /// `overlapped / comm_busy` (0 when no communication happened).
+    pub fraction: f64,
+}
+
+/// Measure how much outstanding-collective time overlapped the given
+/// compute intervals. Neither input needs to be sorted; intervals within
+/// each set may also overlap each other (both are flattened to unions
+/// first, so duplicated cover never counts twice).
+pub fn overlap_fraction(segs: &[CommInterval], compute: &[ComputeInterval]) -> OverlapStats {
+    let seg_iv: Vec<(f64, f64)> = segs.iter().map(|s| (s.start, s.end)).collect();
+    let cmp_iv: Vec<(f64, f64)> = compute.iter().map(|c| (c.start, c.end)).collect();
+    let seg_u = union(seg_iv);
+    let cmp_u = union(cmp_iv);
+    let comm_busy: f64 = seg_u.iter().map(|(a, b)| b - a).sum();
+    let compute_busy: f64 = cmp_u.iter().map(|(a, b)| b - a).sum();
+    let overlapped = intersection_len(&seg_u, &cmp_u);
+    let fraction = if comm_busy > 0.0 { overlapped / comm_busy } else { 0.0 };
+    OverlapStats { comm_busy, compute_busy, overlapped, fraction }
+}
+
+/// Sort + merge a set of possibly-overlapping intervals into a disjoint
+/// union, dropping empty/negative spans.
+fn union(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|(a, b)| b > a);
+    iv.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (a, b) in iv {
+        match out.last_mut() {
+            Some((_, e)) if a <= *e => *e = e.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two disjoint sorted interval sets.
+fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j) = (0, 0);
+    let mut total = 0.0;
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(s: f64, e: f64) -> CommInterval {
+        CommInterval { start: s, end: e, bytes: 8 }
+    }
+
+    #[test]
+    fn disjoint_sets_have_zero_overlap() {
+        let st = overlap_fraction(&[seg(0.0, 1.0)], &[ComputeInterval::new(2.0, 3.0)]);
+        assert_eq!(st.overlapped, 0.0);
+        assert_eq!(st.fraction, 0.0);
+        assert_eq!(st.comm_busy, 1.0);
+        assert_eq!(st.compute_busy, 1.0);
+    }
+
+    #[test]
+    fn fully_contained_comm_overlaps_completely() {
+        let st = overlap_fraction(&[seg(1.0, 2.0)], &[ComputeInterval::new(0.0, 3.0)]);
+        assert!((st.fraction - 1.0).abs() < 1e-12);
+        assert!((st.overlapped - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_measures_the_intersection() {
+        let st = overlap_fraction(&[seg(0.0, 2.0)], &[ComputeInterval::new(1.0, 4.0)]);
+        assert!((st.overlapped - 1.0).abs() < 1e-12);
+        assert!((st.fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicated_cover_does_not_double_count() {
+        // Two identical segment steps and two overlapping compute spans:
+        // union first, so the intersection is still just one second.
+        let st = overlap_fraction(
+            &[seg(0.0, 1.0), seg(0.0, 1.0)],
+            &[ComputeInterval::new(0.0, 0.8), ComputeInterval::new(0.5, 1.0)],
+        );
+        assert!((st.comm_busy - 1.0).abs() < 1e-12);
+        assert!((st.compute_busy - 1.0).abs() < 1e-12);
+        assert!((st.overlapped - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_comm_is_zero_fraction_not_nan() {
+        let st = overlap_fraction(&[], &[ComputeInterval::new(0.0, 1.0)]);
+        assert_eq!(st.fraction, 0.0);
+        assert!(st.fraction.is_finite());
+    }
+}

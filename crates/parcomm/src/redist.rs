@@ -36,11 +36,12 @@ pub fn row_to_col_blocks(
             chunk
         })
         .collect();
-    let recv = comm.alltoallv(send);
-
-    // Reassemble: I now own all rows of my column range.
+    // Nonblocking exchange: allocate/zero the reassembly target while the
+    // tiles are in flight.
+    let rq = comm.ialltoallv(send);
     let my_cols = col_ranges[comm.rank()].len();
     let mut out = vec![0.0; n_rows * my_cols];
+    let recv = rq.wait();
     for (src, chunk) in recv.iter().enumerate() {
         let rr = &row_ranges[src];
         let rows_src = rr.len();
@@ -77,10 +78,10 @@ pub fn col_to_row_blocks(
             chunk
         })
         .collect();
-    let recv = comm.alltoallv(send);
-
+    let rq = comm.ialltoallv(send);
     let my_rows = row_ranges[comm.rank()].len();
     let mut out = vec![0.0; my_rows * n_cols];
+    let recv = rq.wait();
     for (src, chunk) in recv.iter().enumerate() {
         let cr = &col_ranges[src];
         assert_eq!(chunk.len(), my_rows * cr.len(), "tile size mismatch from {src}");

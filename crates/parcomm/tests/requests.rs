@@ -1,0 +1,232 @@
+//! Property tests for the nonblocking request API: completion-handle
+//! semantics (test/wait), engine-driven progress under out-of-order waits,
+//! uneven/empty all-to-all slabs, and the bitwise contract between the
+//! chunked ring algorithms and the legacy blocking collectives.
+
+use parcomm::{spmd, wait_all, Algorithm, Comm};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random doubles so every rank regenerates the same
+/// global picture without sharing state.
+fn fill(seed: u64, len: usize) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(0x2545f491);
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            // map to roughly [-1, 1) with full mantissa entropy
+            (s >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        })
+        .collect()
+}
+
+fn rank_data(c: &Comm, seed: u64, len: usize) -> Vec<f64> {
+    fill(seed.wrapping_add(c.rank() as u64 * 1_000_003), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `wait` after a successful `test` must hand back the same payload the
+    /// engine produced, and repeated `test` calls stay true (idempotence).
+    #[test]
+    fn wait_after_test_is_idempotent(ranks in 1usize..6, len in 1usize..600, seed in 0u64..u64::MAX) {
+        let results = spmd(ranks, |c| {
+            let mine = rank_data(c, seed, len);
+            let mut blocking = mine.clone();
+            c.allreduce_sum(&mut blocking);
+
+            let mut rq = c.iallreduce_sum(mine);
+            // Spin until the engine finishes; the barrier above every spmd
+            // exit bounds this, but completion must arrive without waiting.
+            while !rq.test() {
+                std::hint::spin_loop();
+            }
+            // test() after completion stays true and must not lose the payload
+            prop_assert!(rq.test());
+            prop_assert!(rq.test());
+            let nb = rq.wait();
+            prop_assert_eq!(nb.len(), blocking.len());
+            for (a, b) in nb.iter().zip(blocking.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            Ok(())
+        });
+        for r in results {
+            r?;
+        }
+    }
+
+    /// Several requests issued back-to-back, then waited in *reverse* issue
+    /// order: the engine drives all of them to completion regardless of the
+    /// order the caller collects payloads, so this must not deadlock and
+    /// every payload must match its blocking counterpart.
+    #[test]
+    fn out_of_order_waits_complete(ranks in 1usize..6, len in 1usize..300, seed in 0u64..u64::MAX) {
+        let n_reqs = 4usize;
+        let results = spmd(ranks, |c| {
+            let inputs: Vec<Vec<f64>> =
+                (0..n_reqs).map(|i| rank_data(c, seed.wrapping_add(i as u64), len + i)).collect();
+            let expected: Vec<Vec<f64>> = inputs
+                .iter()
+                .map(|v| {
+                    let mut b = v.clone();
+                    c.allreduce_sum(&mut b);
+                    b
+                })
+                .collect();
+
+            let mut reqs: Vec<_> =
+                inputs.into_iter().map(|v| c.iallreduce_sum(v)).collect();
+            // Collect payloads last-issued-first.
+            let mut got: Vec<(usize, Vec<f64>)> = Vec::new();
+            while let Some(rq) = reqs.pop() {
+                got.push((reqs.len(), rq.wait()));
+            }
+            for (i, nb) in got {
+                let want = &expected[i];
+                prop_assert_eq!(nb.len(), want.len());
+                for (a, b) in nb.iter().zip(want.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            Ok(())
+        });
+        for r in results {
+            r?;
+        }
+    }
+
+    /// `ialltoallv` with uneven per-destination slab lengths, including empty
+    /// slabs: rank `d` must receive exactly the slab rank `s` addressed to it,
+    /// in source-rank order.
+    #[test]
+    fn ialltoallv_uneven_and_empty_slabs(ranks in 1usize..6, seed in 0u64..u64::MAX) {
+        // Global slab-length table, same on every rank: len(s, d) in 0..7
+        // with a deterministic scatter of zeros (empty slabs).
+        let slab_len = |s: usize, d: usize| -> usize {
+            let h = seed
+                .wrapping_add(s as u64 * 293)
+                .wrapping_add(d as u64 * 7919)
+                .wrapping_mul(0x9e3779b97f4a7c15);
+            ((h >> 32) % 7) as usize // 0..7, ~1 in 7 slabs empty
+        };
+        let slab = |s: usize, d: usize| fill(seed ^ ((s * 64 + d) as u64), slab_len(s, d));
+
+        let results = spmd(ranks, |c| {
+            let me = c.rank();
+            let send: Vec<Vec<f64>> = (0..ranks).map(|d| slab(me, d)).collect();
+            let recv = c.ialltoallv(send).wait();
+            prop_assert_eq!(recv.len(), ranks);
+            for (s, got) in recv.iter().enumerate() {
+                let want = slab(s, me);
+                prop_assert_eq!(got.len(), want.len());
+                for (a, b) in got.iter().zip(want.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            Ok(())
+        });
+        for r in results {
+            r?;
+        }
+    }
+
+    /// The chunked ring reduce folds contributions in ascending rank order —
+    /// exactly the legacy blocking order — so `iallreduce_sum`/`ireduce_sum`
+    /// must agree *bitwise* with the blocking collectives for 1..=8 ranks.
+    #[test]
+    fn ring_matches_blocking_bitwise(ranks in 1usize..=8, len in 1usize..5000, seed in 0u64..u64::MAX) {
+        let results = spmd(ranks, |c| {
+            let mine = rank_data(c, seed, len);
+
+            let mut blocking_all = mine.clone();
+            c.allreduce_sum(&mut blocking_all);
+            let nb_all = c.iallreduce_sum_with(mine.clone(), Algorithm::Ring).wait();
+
+            let root = ranks - 1;
+            let mut blocking_red = mine.clone();
+            c.reduce_sum(&mut blocking_red, root);
+            let nb_red = c.ireduce_sum(mine, root).wait();
+
+            for (a, b) in nb_all.iter().zip(blocking_all.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            if c.rank() == root {
+                prop_assert_eq!(nb_red.len(), blocking_red.len());
+                for (a, b) in nb_red.iter().zip(blocking_red.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            } else {
+                prop_assert!(nb_red.is_empty());
+            }
+            Ok(())
+        });
+        for r in results {
+            r?;
+        }
+    }
+}
+
+/// Recursive doubling reassociates the sum, so it only agrees with ring to
+/// rounding; both must still be deterministic run-to-run.
+#[test]
+fn recursive_doubling_deterministic_and_close_to_ring() {
+    let ranks = 4;
+    let run = || {
+        spmd(ranks, |c| {
+            let mine = rank_data(c, 42, 2048);
+            c.iallreduce_sum_with(mine, Algorithm::RecursiveDoubling).wait()
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "recursive doubling must be deterministic");
+
+    let ring = spmd(ranks, |c| {
+        let mine = rank_data(c, 42, 2048);
+        c.iallreduce_sum_with(mine, Algorithm::Ring).wait()
+    });
+    let max_diff = a[0]
+        .iter()
+        .zip(ring[0].iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_diff < 1e-12, "reassociation error too large: {max_diff}");
+}
+
+/// Mixed op kinds interleaved on the same engine: bcast + allreduce + gather
+/// issued together, waited together via `wait_all`.
+#[test]
+fn interleaved_op_kinds_via_wait_all() {
+    let ranks = 4;
+    let results = spmd(ranks, |c| {
+        let me = c.rank();
+        let bc_in = if me == 2 { fill(7, 33) } else { vec![0.0; 33] };
+        let rq_bc = c.ibcast(bc_in, 2);
+        let rq_ar = c.iallreduce_sum(rank_data(c, 9, 100));
+        let rq_ag = c.iallgatherv(&[me as f64; 3]);
+        let out = wait_all(vec![rq_bc, rq_ar, rq_ag]);
+        (out[0].clone(), out[1].clone(), out[2].clone())
+    });
+    let want_bc = fill(7, 33);
+    let want_ar = {
+        let mut acc = vec![0.0; 100];
+        for r in 0..ranks {
+            let v = fill(9u64.wrapping_add(r as u64 * 1_000_003), 100);
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+        }
+        acc
+    };
+    for (bc, ar, ag) in &results {
+        assert_eq!(bc, &want_bc);
+        assert_eq!(ar.len(), want_ar.len());
+        assert_eq!(
+            ag,
+            &(0..ranks).flat_map(|r| [r as f64; 3]).collect::<Vec<_>>()
+        );
+    }
+}

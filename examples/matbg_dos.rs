@@ -9,7 +9,7 @@
 //! hybridization → extra spectral weight near the Fermi level) and
 //! D = 4.0 Å (decoupled layers).
 
-use lrtddft::{solve, CasidaProblem, SolverParams, Version};
+use lrtddft::{solve_with, CasidaProblem, SolveOptions, Version};
 use pwdft::{bilayer_graphene, gaussian_dos, scf, Grid, ScfOptions};
 
 fn sparkline(values: &[f64]) -> String {
@@ -53,10 +53,10 @@ fn main() {
         // Excited-state DOS (paper Fig. 9b) via the implicit solver.
         let problem = CasidaProblem::from_ground_state(&grid, &gs);
         let k = 6.min(problem.n_cv());
-        let sol = solve(
+        let sol = solve_with(
             &problem,
             Version::ImplicitKmeansIsdfLobpcg,
-            SolverParams { n_states: k, ..Default::default() },
+            &SolveOptions::new().n_states(k),
         );
         println!(
             "lowest excitations (Ha): {}",

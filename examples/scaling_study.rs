@@ -6,7 +6,8 @@
 //! cargo run --release --example scaling_study
 //! ```
 
-use lrtddft::parallel::{distributed_dense_hamiltonian, distributed_isdf_hamiltonian};
+use lrtddft::parallel::{distributed_dense_hamiltonian_with, distributed_isdf_hamiltonian_with};
+use lrtddft::{IsdfRank, SolveOptions};
 use lrtddft::problem::silicon_like_problem;
 use parcomm::spmd;
 
@@ -25,11 +26,11 @@ fn main() {
     println!("{:>5} | {:>10} | {:>10} | {:>10} | {:>12}", "ranks", "face+theta", "fft (s)", "gemm (s)", "comm calls");
     for ranks in [1usize, 2, 4] {
         let naive = spmd(ranks, |c| {
-            let (_, t) = distributed_dense_hamiltonian(c, &problem, true);
+            let (_, t) = distributed_dense_hamiltonian_with(c, &problem, &SolveOptions::new().pipelined(true));
             (t, c.stats())
         });
         let isdf = spmd(ranks, |c| {
-            let (_, t) = distributed_isdf_hamiltonian(c, &problem, n_mu);
+            let (_, t) = distributed_isdf_hamiltonian_with(c, &problem, &SolveOptions::new().rank(IsdfRank::Fixed(n_mu)));
             (t, c.stats())
         });
         let (tn, sn) = &naive[0];
@@ -66,7 +67,8 @@ fn bench_calibration(
     n_mu: usize,
 ) -> bench::scaling::ScalingStudy {
     use bench::scaling::{CommPattern, ScalingStudy, Stage};
-    let t = spmd(1, |c| distributed_isdf_hamiltonian(c, problem, n_mu).1)
+    let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu));
+    let t = spmd(1, |c| distributed_isdf_hamiltonian_with(c, problem, &opts).1)
         .pop()
         .unwrap();
     ScalingStudy::new(

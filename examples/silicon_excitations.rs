@@ -9,8 +9,8 @@
 //! from pseudopotentials to the Casida solve happens in this workspace.
 
 use lrtddft::{
-    analyze_states, describe_state, oscillator_strengths, solve, CasidaProblem, IsdfRank,
-    SolverParams, Version,
+    analyze_states, describe_state, oscillator_strengths, solve_with, CasidaProblem, IsdfRank,
+    SolveOptions, Version,
 };
 use pwdft::{scf, silicon_supercell, total_energy, Grid, ScfOptions};
 
@@ -51,18 +51,16 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let naive = solve(&problem, Version::Naive, SolverParams { n_states: 5, ..Default::default() });
+    let naive = solve_with(&problem, Version::Naive, &SolveOptions::new().n_states(5));
     let t_naive = t0.elapsed().as_secs_f64();
 
     let t0 = std::time::Instant::now();
-    let fast = solve(
+    let fast = solve_with(
         &problem,
         Version::ImplicitKmeansIsdfLobpcg,
-        SolverParams {
-            n_states: 5,
-            rank: IsdfRank::Fixed((problem.n_cv() * 3 / 4).max(8)),
-            ..Default::default()
-        },
+        &SolveOptions::new()
+            .n_states(5)
+            .rank(IsdfRank::Fixed((problem.n_cv() * 3 / 4).max(8))),
     );
     let t_fast = t0.elapsed().as_secs_f64();
 

@@ -3,7 +3,8 @@
 //! strategies — the correctness contract behind the paper's Figs. 3–5.
 
 use lrtddft::naive::build_dense_hamiltonian;
-use lrtddft::parallel::{distributed_dense_hamiltonian, distributed_isdf_hamiltonian};
+use lrtddft::parallel::{distributed_dense_hamiltonian_with, distributed_isdf_hamiltonian_with};
+use lrtddft::{IsdfRank, SolveOptions};
 use lrtddft::problem::silicon_like_problem;
 use lrtddft::versions::{build_isdf_hamiltonian, PointSelector};
 use lrtddft::StageTimings;
@@ -16,7 +17,7 @@ fn distributed_naive_invariant_across_rank_counts() {
     let mut t = StageTimings::default();
     let serial = build_dense_hamiltonian(&p, &mut t);
     for ranks in [1usize, 2, 3, 5, 8] {
-        let res = spmd(ranks, |c| distributed_dense_hamiltonian(c, &p, false).0);
+        let res = spmd(ranks, |c| distributed_dense_hamiltonian_with(c, &p, &SolveOptions::new()).0);
         for h in &res {
             assert!(
                 h.max_abs_diff(&serial) < 1e-8,
@@ -31,8 +32,8 @@ fn distributed_naive_invariant_across_rank_counts() {
 fn pipelined_and_monolithic_reductions_agree() {
     let p = silicon_like_problem(1, 8, 2);
     for ranks in [2usize, 4] {
-        let mono = spmd(ranks, |c| distributed_dense_hamiltonian(c, &p, false).0);
-        let pipe = spmd(ranks, |c| distributed_dense_hamiltonian(c, &p, true).0);
+        let mono = spmd(ranks, |c| distributed_dense_hamiltonian_with(c, &p, &SolveOptions::new()).0);
+        let pipe = spmd(ranks, |c| distributed_dense_hamiltonian_with(c, &p, &SolveOptions::new().pipelined(true)).0);
         assert!(mono[0].max_abs_diff(&pipe[0]) < 1e-9);
     }
 }
@@ -41,10 +42,10 @@ fn pipelined_and_monolithic_reductions_agree() {
 fn distributed_isdf_spectrum_stable_across_ranks() {
     let p = silicon_like_problem(1, 8, 2);
     let n_mu = p.n_cv(); // full rank: spectrum pinned by the exact fit
-    let baseline = spmd(1, |c| distributed_isdf_hamiltonian(c, &p, n_mu).0.to_dense());
+    let baseline = spmd(1, |c| distributed_isdf_hamiltonian_with(c, &p, &SolveOptions::new().rank(IsdfRank::Fixed(n_mu))).0.to_dense());
     let base_eig = syev(&baseline[0]);
     for ranks in [2usize, 4] {
-        let res = spmd(ranks, |c| distributed_isdf_hamiltonian(c, &p, n_mu).0.to_dense());
+        let res = spmd(ranks, |c| distributed_isdf_hamiltonian_with(c, &p, &SolveOptions::new().rank(IsdfRank::Fixed(n_mu))).0.to_dense());
         let eig = syev(&res[0]);
         for i in 0..4 {
             let rel =
@@ -64,7 +65,7 @@ fn distributed_isdf_matches_serial_isdf_spectrum() {
     let mut t = StageTimings::default();
     let serial = build_isdf_hamiltonian(&p, PointSelector::Qrcp, n_mu, &mut t).to_dense();
     let serial_eig = syev(&serial);
-    let dist = spmd(3, |c| distributed_isdf_hamiltonian(c, &p, n_mu).0.to_dense());
+    let dist = spmd(3, |c| distributed_isdf_hamiltonian_with(c, &p, &SolveOptions::new().rank(IsdfRank::Fixed(n_mu))).0.to_dense());
     let dist_eig = syev(&dist[0]);
     for i in 0..4 {
         let rel = (dist_eig.values[i] - serial_eig.values[i]).abs()
@@ -78,12 +79,12 @@ fn comm_cost_model_does_not_change_results() {
     // The α-β model only affects *charged* time, never data.
     let p = silicon_like_problem(1, 8, 2);
     let free = spmd_with_model(2, CostModel::free(), |c| {
-        distributed_dense_hamiltonian(c, &p, false).0
+        distributed_dense_hamiltonian_with(c, &p, &SolveOptions::new()).0
     });
     let expensive = spmd_with_model(
         2,
         CostModel { alpha: 1.0, beta: 1e-3 },
-        |c| distributed_dense_hamiltonian(c, &p, false).0,
+        |c| distributed_dense_hamiltonian_with(c, &p, &SolveOptions::new()).0,
     );
     assert!(free[0].max_abs_diff(&expensive[0]) < 1e-14);
 }
@@ -92,7 +93,7 @@ fn comm_cost_model_does_not_change_results() {
 fn rank_timings_report_comm_share() {
     let p = silicon_like_problem(1, 8, 2);
     let res = spmd(4, |c| {
-        let (_, t) = distributed_dense_hamiltonian(c, &p, false);
+        let (_, t) = distributed_dense_hamiltonian_with(c, &p, &SolveOptions::new());
         (t, c.stats())
     });
     for (t, stats) in res {

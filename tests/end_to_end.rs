@@ -1,7 +1,7 @@
 //! Cross-crate integration: SCF ground state → Casida problem → all five
 //! solver versions, on a real (small) first-principles system.
 
-use lrtddft::{solve, CasidaProblem, IsdfRank, SolverParams, Version};
+use lrtddft::{solve_with, CasidaProblem, IsdfRank, SolveOptions, Version};
 use pwdft::{scf, silicon_supercell, water_in_box, Grid, ScfOptions};
 
 fn si8_problem() -> CasidaProblem {
@@ -24,12 +24,8 @@ fn si8_problem() -> CasidaProblem {
 #[test]
 fn si8_five_versions_agree_at_full_rank() {
     let p = si8_problem();
-    let params = SolverParams {
-        n_states: 3,
-        rank: IsdfRank::Fixed(p.n_cv()),
-        ..Default::default()
-    };
-    let reference = solve(&p, Version::Naive, params);
+    let opts = SolveOptions::new().n_states(3).rank(IsdfRank::Fixed(p.n_cv()));
+    let reference = solve_with(&p, Version::Naive, &opts);
     assert!(reference.energies[0] > 0.0, "excitations must be positive for a gapped system");
     for v in [
         Version::QrcpIsdf,
@@ -37,7 +33,7 @@ fn si8_five_versions_agree_at_full_rank() {
         Version::KmeansIsdfLobpcg,
         Version::ImplicitKmeansIsdfLobpcg,
     ] {
-        let s = solve(&p, v, params);
+        let s = solve_with(&p, v, &opts);
         for i in 0..3 {
             let rel =
                 (s.energies[i] - reference.energies[i]).abs() / reference.energies[i].abs();
@@ -55,19 +51,11 @@ fn si8_five_versions_agree_at_full_rank() {
 #[test]
 fn si8_reduced_rank_error_is_small_paper_table5_shape() {
     let p = si8_problem();
-    let reference = solve(
-        &p,
-        Version::Naive,
-        SolverParams { n_states: 3, ..Default::default() },
-    );
-    let reduced = solve(
+    let reference = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(3));
+    let reduced = solve_with(
         &p,
         Version::ImplicitKmeansIsdfLobpcg,
-        SolverParams {
-            n_states: 3,
-            rank: IsdfRank::Fixed((p.n_cv() * 7 / 8).max(8)),
-            ..Default::default()
-        },
+        &SolveOptions::new().n_states(3).rank(IsdfRank::Fixed((p.n_cv() * 7 / 8).max(8))),
     );
     // Paper Table 5 reports sub-percent errors on production systems. On
     // this scaled-down Si8 fixture the reduced-rank error depends on which
@@ -102,11 +90,7 @@ fn water_end_to_end_runs() {
     );
     let p = CasidaProblem::from_ground_state(&grid, &gs);
     assert_eq!(p.n_v(), 4);
-    let sol = solve(
-        &p,
-        Version::ImplicitKmeansIsdfLobpcg,
-        SolverParams { n_states: 2, ..Default::default() },
-    );
+    let sol = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &SolveOptions::new().n_states(2));
     assert_eq!(sol.energies.len(), 2);
     assert!(sol.energies[0] > 0.0);
     assert!(sol.energies[0] <= sol.energies[1]);
@@ -123,11 +107,7 @@ fn excitations_exceed_none_of_bare_gap_bounds() {
         .diag_d()
         .into_iter()
         .fold(f64::INFINITY, f64::min);
-    let sol = solve(
-        &p,
-        Version::Naive,
-        SolverParams { n_states: 1, ..Default::default() },
-    );
+    let sol = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(1));
     let e0 = sol.energies[0];
     assert!(e0 > 0.2 * bare_min, "excitation collapsed: {e0} vs bare {bare_min}");
     assert!(e0 < 5.0 * bare_min.max(1e-3), "excitation blew up: {e0} vs bare {bare_min}");

@@ -3,7 +3,7 @@
 //! module-level unit tests don't reach.
 
 use fftkit::{Complex, Fft3};
-use lrtddft::{solve, IsdfRank, SolverParams, Version};
+use lrtddft::{solve_with, IsdfRank, SolveOptions, Version};
 use mathkit::Mat;
 use parcomm::CostModel;
 use pwdft::{erfc, gaussian_dos, Cell, Grid, Species};
@@ -94,10 +94,10 @@ fn solver_with_single_state_and_minimal_rank() {
     let p = lrtddft::problem::synthetic_problem([4, 4, 4], 5.0, 2, 2);
     // k = 1, N_mu = 1: extreme truncation must still run and stay finite,
     // bounded below by something positive for this gapped problem.
-    let s = solve(
+    let s = solve_with(
         &p,
         Version::ImplicitKmeansIsdfLobpcg,
-        SolverParams { n_states: 1, rank: IsdfRank::Fixed(1), ..Default::default() },
+        &SolveOptions::new().n_states(1).rank(IsdfRank::Fixed(1)),
     );
     assert_eq!(s.energies.len(), 1);
     assert!(s.energies[0].is_finite());
@@ -128,7 +128,7 @@ fn rank_factor_extremes() {
 fn version_solutions_share_problem_dimensions() {
     let p = lrtddft::problem::synthetic_problem([4, 4, 4], 5.0, 2, 2);
     for v in Version::all() {
-        let s = solve(&p, v, SolverParams { n_states: 2, ..Default::default() });
+        let s = solve_with(&p, v, &SolveOptions::new().n_states(2));
         assert_eq!(s.coefficients.nrows(), p.n_cv(), "{:?}", v);
         assert_eq!(s.coefficients.ncols(), 2);
         assert_eq!(s.complexity.version_label, v.label());

@@ -3,7 +3,8 @@
 //! bution layer holds under randomized shapes.
 
 use bench::scaling::{CommPattern, ScalingStudy, Stage};
-use lrtddft::parallel::distributed_isdf_hamiltonian;
+use lrtddft::parallel::distributed_isdf_hamiltonian_with;
+use lrtddft::{IsdfRank, SolveOptions};
 use lrtddft::problem::silicon_like_problem;
 use parcomm::{block_ranges, spmd, CostModel};
 use proptest::prelude::*;
@@ -14,7 +15,8 @@ fn calibrated_isdf_study_has_paper_shape() {
     // monotone efficiency decay, compute share shrinking with ranks.
     let p = silicon_like_problem(1, 12, 4);
     let n_mu = 40.min(p.n_cv());
-    let t = spmd(1, |c| distributed_isdf_hamiltonian(c, &p, n_mu).1).pop().unwrap();
+    let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu));
+    let t = spmd(1, |c| distributed_isdf_hamiltonian_with(c, &p, &opts).1).pop().unwrap();
     let study = ScalingStudy::new(
         vec![
             Stage::new(
