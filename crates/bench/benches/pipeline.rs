@@ -27,7 +27,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 spmd(ranks, |comm| {
                     let rr = block_ranges(nr, ranks)[comm.rank()].clone();
                     let al = a.row_block(rr.start, rr.end);
-                    gram_pipelined_reduce(comm, &al, &al, 1.0).local.norm_fro()
+                    gram_pipelined_reduce(comm, &al, &al, 1.0).expect("pipelined reduce").local.norm_fro()
                 })
             });
         });

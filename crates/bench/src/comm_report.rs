@@ -128,7 +128,7 @@ fn bench_case(p: usize, sh: &Shape) -> CaseResult {
         // One clean, stats-isolated run for overlap + per-op counters and
         // the bitwise comparison against the blocking result.
         c.reset_stats();
-        let pipe = gram_pipelined_reduce(c, &al, &bl, 1.0);
+        let pipe = gram_pipelined_reduce(c, &al, &bl, 1.0).expect("pipelined reduce");
         let stats = c.stats();
         let mut bitwise = true;
         for (jl, j) in pipe.col_range.clone().enumerate() {

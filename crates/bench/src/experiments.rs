@@ -314,7 +314,7 @@ pub fn fig5(scale: Scale) -> ExperimentRecord {
             let t_mono = t0.elapsed().as_secs_f64();
             c.barrier();
             let t0 = Instant::now();
-            let pipe = gram_pipelined_reduce(c, &al, &al, 1.0);
+            let pipe = gram_pipelined_reduce(c, &al, &al, 1.0).expect("pipelined reduce");
             let t_pipe = t0.elapsed().as_secs_f64();
             (t_mono, t_pipe, mono.peak_words, pipe.peak_words, c.stats())
         });
@@ -692,7 +692,8 @@ pub fn ablation(scale: Scale) -> ExperimentRecord {
     let x0 = initial_guess(&ham.diag_d, k, 3);
     let opts = LobpcgOptions { max_iter: 400, tol: 1e-8 };
     let t0 = Instant::now();
-    let lob = lobpcg(|x| ham.apply(x), casida_preconditioner(&ham.diag_d, 1e-3), &x0, opts);
+    let lob = lobpcg(|x| ham.apply(x), casida_preconditioner(&ham.diag_d, 1e-3), &x0, opts)
+        .expect("lobpcg breakdown on clean benchmark input");
     let t_lob = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let dav = davidson(

@@ -12,6 +12,7 @@
 
 pub mod comm_report;
 pub mod experiments;
+pub mod fault_report;
 pub mod fft_report;
 pub mod gemm_report;
 pub mod report;

@@ -38,6 +38,7 @@ pub mod parallel_eig;
 pub mod pipeline;
 pub mod problem;
 pub mod rank;
+pub mod recover;
 pub mod spectrum;
 pub mod timers;
 pub mod versions;
@@ -49,8 +50,15 @@ pub use naive::{build_dense_hamiltonian, solve_naive};
 pub use problem::{silicon_like_problem, synthetic_problem, CasidaProblem, KernelKind};
 pub use options::{Eig, SolveOptions};
 pub use rank::IsdfRank;
-pub use spectrum::{absorption_spectrum, oscillator_strengths, transition_dipoles};
+pub use spectrum::{
+    absorption_spectrum, oscillator_strengths, transition_dipoles, try_absorption_spectrum,
+    try_oscillator_strengths,
+};
 pub use timers::StageTimings;
-pub use versions::{solve_with, PointSelector, Solution, Version};
+pub use versions::{
+    build_isdf_hamiltonian, solve_with, try_build_isdf_hamiltonian, IsdfHamiltonian,
+    PointSelector, Solution, Version, FIT_RESIDUAL_GUARD,
+};
+pub use faultkit::{CommError, NumericalError, SolveError};
 #[allow(deprecated)]
 pub use versions::{solve, SolverParams};

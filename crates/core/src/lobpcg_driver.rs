@@ -6,6 +6,7 @@
 //! * the diagonal preconditioner `K_i = ε_{i_c} − ε_{i_v} − θ` (Eq. 17),
 //!   applied as `W = K⁻¹(HX − XΘ)` (Eq. 16) with a safeguard floor.
 
+use faultkit::SolveError;
 use mathkit::lobpcg::{lobpcg, LobpcgOptions, LobpcgResult};
 use mathkit::Mat;
 use rand::rngs::StdRng;
@@ -47,13 +48,17 @@ pub fn casida_preconditioner(diag_d: &[f64], guard: f64) -> impl Fn(&Mat, &[f64]
 
 /// Solve the lowest `k` eigenpairs of the (possibly implicit) Casida
 /// Hamiltonian `apply`, with the paper's guess and preconditioner.
+///
+/// `Ok` with `converged == false` reports honest non-convergence; `Err` is an
+/// iteration breakdown (non-finite quantities, lost subspace) — the caller's
+/// recovery ladder decides whether to resume, restart or fall back.
 pub fn solve_casida_lobpcg<FA>(
     apply: FA,
     diag_d: &[f64],
     k: usize,
     opts: LobpcgOptions,
     seed: u64,
-) -> LobpcgResult
+) -> Result<LobpcgResult, SolveError>
 where
     FA: Fn(&Mat) -> Mat,
 {
@@ -119,7 +124,8 @@ mod tests {
             3,
             LobpcgOptions { max_iter: 300, tol: 1e-9 },
             42,
-        );
+        )
+        .expect("lobpcg");
         assert!(res.converged, "residual {}", res.residual);
         for i in 0..3 {
             assert!(
@@ -144,8 +150,8 @@ mod tests {
         h.symmetrize();
         let opts = LobpcgOptions { max_iter: 200, tol: 1e-8 };
         let x0 = initial_guess(&d, 2, 7);
-        let plain = lobpcg(|x| matmul(&h, x), mathkit::no_precond, &x0, opts);
-        let pre = solve_casida_lobpcg(|x| matmul(&h, x), &d, 2, opts, 7);
+        let plain = lobpcg(|x| matmul(&h, x), mathkit::no_precond, &x0, opts).expect("lobpcg");
+        let pre = solve_casida_lobpcg(|x| matmul(&h, x), &d, 2, opts, 7).expect("lobpcg");
         assert!(pre.converged);
         assert!(pre.iterations <= plain.iterations + 2);
     }

@@ -14,17 +14,19 @@
 
 use crate::kernel::HxcKernel;
 use crate::options::{Eig, SolveOptions};
+use crate::parallel_eig::DistributedEigResult;
 use crate::problem::CasidaProblem;
 use crate::rank::IsdfRank;
 use crate::timers::StageTimings;
 use crate::versions::IsdfHamiltonian;
+use faultkit::NumericalError;
 use isdf::face_splitting_product;
 use mathkit::chol::solve_spd;
 use mathkit::gemm::{gemm, Transpose};
 use mathkit::{syev, Mat};
 use parcomm::layout::block_ranges;
 use parcomm::redist::{col_to_row_blocks, row_to_col_blocks};
-use parcomm::Comm;
+use parcomm::{Comm, RetryPolicy};
 use std::time::Instant;
 
 /// Charge the communication time accrued since `mark` to `timings.mpi`.
@@ -32,6 +34,18 @@ fn charge_mpi(comm: &Comm, mark: &mut f64, timings: &mut StageTimings) {
     let now = comm.stats().measured_seconds;
     timings.mpi += now - *mark;
     *mark = now;
+}
+
+/// Blocking `iallreduce` with deadline settle and drop re-issue. The payload
+/// is retained for re-issue only while a fault plan is armed (drops cannot
+/// occur otherwise), so the fault-free path pays no copy. Exhausted retries
+/// abort with the typed error — these SPMD helpers have no `Result` channel,
+/// and a rank that cannot reduce cannot continue the collective schedule.
+fn resilient_allreduce(comm: &Comm, data: Vec<f64>, what: &str) -> Vec<f64> {
+    let keep = if faultkit::is_armed() { data.clone() } else { Vec::new() };
+    let rq = comm.iallreduce_sum(data);
+    comm.settle(rq, &RetryPolicy::default(), |c| c.iallreduce_sum(keep.clone()))
+        .unwrap_or_else(|e| panic!("{what}: {e}"))
 }
 
 /// Apply `f_Hxc` to a row-block-distributed field batch: redistribute to
@@ -104,7 +118,8 @@ pub fn distributed_dense_hamiltonian_with(
         // gemm), so the two views diverge on this branch by design.
         let sp = obskit::span(obskit::Stage::Gemm, "v_hxc.pipelined_reduce");
         let t0 = Instant::now();
-        let res = crate::pipeline::gram_pipelined_reduce(comm, &z_loc, &fz_loc, 2.0 * dv);
+        let res = crate::pipeline::gram_pipelined_reduce(comm, &z_loc, &fz_loc, 2.0 * dv)
+            .unwrap_or_else(|e| panic!("v_hxc pipelined reduce: {e}"));
         timings.gemm += t0.elapsed().as_secs_f64();
         drop(sp);
         // Re-assemble the replicated matrix for the (replicated) eigensolve.
@@ -175,7 +190,14 @@ pub fn distributed_kmeans(
     // Deterministic weight-guided init (identical on every rank).
     let mut order: Vec<usize> = (0..nr).filter(|&i| w_all[i] > cutoff).collect();
     order.sort_by(|&a, &b| w_all[b].partial_cmp(&w_all[a]).unwrap());
-    assert!(order.len() >= n_mu, "pruning left fewer points than N_μ");
+    if order.is_empty() {
+        panic!("{}", NumericalError::AllZeroWeights);
+    }
+    // Degrade rather than die: if pruning leaves fewer candidates than N_μ,
+    // proceed at the reduced rank. The weights are replicated, so every rank
+    // clamps identically and the collective schedule stays aligned;
+    // downstream consumes `points.len()` as the effective rank.
+    let n_mu = n_mu.min(order.len());
     let vol: f64 = problem.grid.cell.volume();
     let mut dmin = 0.5 * (vol / n_mu as f64).powf(1.0 / 3.0);
     let mut centroids: Vec<[f64; 3]> = Vec::new();
@@ -223,7 +245,7 @@ pub fn distributed_kmeans(
         }
         timings.kmeans += t0.elapsed().as_secs_f64();
         drop(sp);
-        let buf = comm.iallreduce_sum(buf).wait();
+        let buf = resilient_allreduce(comm, buf, "kmeans cluster reduction");
         charge_mpi(comm, &mut mark, timings);
 
         let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.update");
@@ -333,11 +355,25 @@ pub fn distributed_isdf_hamiltonian_with(
     timings.theta += t0.elapsed().as_secs_f64();
     drop(sp);
     // Both sampled-row reductions stream on the progress engine at once
-    // instead of serializing two blocking allreduces.
-    let rq_psi = comm.iallreduce_sum(psi_hat.into_vec());
-    let rq_phi = comm.iallreduce_sum(phi_hat.into_vec());
-    let psi_hat = Mat::from_vec(n_mu_eff, n_v, rq_psi.wait());
-    let phi_hat = Mat::from_vec(n_mu_eff, n_c, rq_phi.wait());
+    // instead of serializing two blocking allreduces. Payloads are retained
+    // for drop re-issue only while a fault plan is armed.
+    let (psi_vec, phi_vec) = (psi_hat.into_vec(), phi_hat.into_vec());
+    let (keep_psi, keep_phi) = if faultkit::is_armed() {
+        (psi_vec.clone(), phi_vec.clone())
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let rq_psi = comm.iallreduce_sum(psi_vec);
+    let rq_phi = comm.iallreduce_sum(phi_vec);
+    let policy = RetryPolicy::default();
+    let psi_data = comm
+        .settle(rq_psi, &policy, |c| c.iallreduce_sum(keep_psi.clone()))
+        .unwrap_or_else(|e| panic!("sampled-row reduction (psi): {e}"));
+    let phi_data = comm
+        .settle(rq_phi, &policy, |c| c.iallreduce_sum(keep_phi.clone()))
+        .unwrap_or_else(|e| panic!("sampled-row reduction (phi): {e}"));
+    let psi_hat = Mat::from_vec(n_mu_eff, n_v, psi_data);
+    let phi_hat = Mat::from_vec(n_mu_eff, n_c, phi_data);
     charge_mpi(comm, &mut mark, &mut timings);
 
     // 3. Θ rows on my slab: (ZCᵀ)_loc ∘-factored, solved against CCᵀ.
@@ -352,7 +388,34 @@ pub fn distributed_isdf_hamiltonian_with(
     for i in 0..n_mu_eff {
         cc_t[(i, i)] += 1e-12 * (trace / n_mu_eff.max(1) as f64).max(1e-300);
     }
-    let theta_loc_t = solve_spd(&cc_t, &pair.zc_t.transpose()).expect("CCᵀ SPD");
+    // CCᵀ can lose positive definiteness to roundoff (or injected faults);
+    // escalate the Tikhonov floor a few times before giving up. The matrix is
+    // replicated, so every rank escalates through the identical ladder.
+    let mut floor = 1e-12 * (trace / n_mu_eff.max(1) as f64).max(1e-300);
+    let mut theta_loc_t = None;
+    let mut last_pivot = 0;
+    for _ in 0..3 {
+        match solve_spd(&cc_t, &pair.zc_t.transpose()) {
+            Ok(t) => {
+                theta_loc_t = Some(t);
+                break;
+            }
+            Err(pivot) => {
+                last_pivot = pivot;
+                let bump = floor * 1e3 - floor;
+                for i in 0..n_mu_eff {
+                    cc_t[(i, i)] += bump;
+                }
+                floor *= 1e3;
+            }
+        }
+    }
+    let theta_loc_t = theta_loc_t.unwrap_or_else(|| {
+        panic!(
+            "{}",
+            NumericalError::GramNotSpd { stage: "theta.cc_t", pivot: last_pivot, floor }
+        )
+    });
     let theta_loc = theta_loc_t.transpose();
     timings.theta += t0.elapsed().as_secs_f64();
     drop(sp);
@@ -367,7 +430,8 @@ pub fn distributed_isdf_hamiltonian_with(
     let mut v_tilde = if opts.pipelined {
         let sp = obskit::span(obskit::Stage::Gemm, "v_tilde.pipelined_reduce");
         let t0 = Instant::now();
-        let res = crate::pipeline::gram_pipelined_reduce(comm, &theta_loc, &f_theta_loc, dv);
+        let res = crate::pipeline::gram_pipelined_reduce(comm, &theta_loc, &f_theta_loc, dv)
+            .unwrap_or_else(|e| panic!("v_tilde pipelined reduce: {e}"));
         timings.gemm += t0.elapsed().as_secs_f64();
         drop(sp);
         let gathered = comm.allgatherv(res.local.as_slice());
@@ -427,8 +491,23 @@ pub fn distributed_solve_with(
                 opts.lobpcg,
                 opts.seed,
                 &mut timings,
-            );
-            (res.values, timings)
+            )
+            .and_then(DistributedEigResult::into_converged);
+            match res {
+                Ok(r) => (r.values, timings),
+                Err(_) => {
+                    // Every breakdown/convergence guard in the distributed
+                    // solver tests replicated quantities, so all ranks land
+                    // here together — fall back to the replicated dense
+                    // solve rather than abort the whole calculation.
+                    let sp = obskit::span(obskit::Stage::Diag, "diag.syev.fallback");
+                    let t0 = Instant::now();
+                    let eig = syev(&ham.to_dense());
+                    timings.diag += t0.elapsed().as_secs_f64();
+                    drop(sp);
+                    (eig.values[..k].to_vec(), timings)
+                }
+            }
         }
         Eig::Syev => {
             // The factored H is replicated, so every rank runs the same
@@ -634,6 +713,23 @@ mod tests {
             for (x, y) in d.iter().zip(l) {
                 let rel = (x - y).abs() / x.abs().max(1e-12);
                 assert!(rel < 1e-6, "syev {x} vs lobpcg {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn lobpcg_fallback_to_dense_on_nonconvergence() {
+        // One iteration at an impossible tolerance cannot converge, so the
+        // Lobpcg arm must fall back to the replicated dense solve — which is
+        // exactly what the Syev arm runs, hence bitwise equality.
+        let p = synthetic_problem([8, 8, 8], 6.0, 3, 2);
+        let base = SolveOptions::new().n_states(3).rank(IsdfRank::Fixed(p.n_cv()));
+        let starved = base.lobpcg(mathkit::LobpcgOptions { max_iter: 1, tol: 1e-14 });
+        let fell_back = spmd(2, |c| distributed_solve_with(c, &p, &starved).0);
+        let dense = spmd(2, |c| distributed_solve_with(c, &p, &base.eigensolver(Eig::Syev)).0);
+        for (f, d) in fell_back.iter().zip(&dense) {
+            for (x, y) in f.iter().zip(d) {
+                assert_eq!(x.to_bits(), y.to_bits(), "fallback {x:e} vs syev {y:e}");
             }
         }
     }

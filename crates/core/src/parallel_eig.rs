@@ -17,12 +17,13 @@
 use crate::lobpcg_driver::initial_guess;
 use crate::timers::StageTimings;
 use crate::versions::IsdfHamiltonian;
+use faultkit::SolveError;
 use mathkit::chol::{cholesky, solve_right_lower_transpose, solve_spd};
 use mathkit::gemm::{gemm, gemm_tn, syrk_tn, Transpose};
 use mathkit::lobpcg::LobpcgOptions;
 use mathkit::{syev, Mat};
 use parcomm::layout::block_ranges;
-use parcomm::Comm;
+use parcomm::{Comm, RetryPolicy};
 use std::time::Instant;
 
 /// Result of the distributed eigensolve.
@@ -35,6 +36,22 @@ pub struct DistributedEigResult {
     pub converged: bool,
 }
 
+impl DistributedEigResult {
+    /// Convert honest non-convergence into the typed error, for callers that
+    /// require a converged result.
+    pub fn into_converged(self) -> Result<Self, SolveError> {
+        if self.converged {
+            Ok(self)
+        } else {
+            Err(SolveError::NotConverged {
+                stage: "dist_lobpcg",
+                residual: self.residual,
+                iterations: self.iterations,
+            })
+        }
+    }
+}
+
 /// Apply the implicit Hamiltonian to a row-distributed block:
 /// `out_loc = D_loc ∘ X_loc + 2 C_locᵀ (Ṽ (ΣC_loc X_loc))`.
 fn apply_distributed(
@@ -42,7 +59,7 @@ fn apply_distributed(
     ham: &IsdfHamiltonian,
     rows: &std::ops::Range<usize>,
     x_loc: &Mat,
-) -> Mat {
+) -> Result<Mat, SolveError> {
     let n_mu = ham.c.nrows();
     let m = x_loc.ncols();
     // C restricted to my pair columns.
@@ -50,8 +67,11 @@ fn apply_distributed(
     let mut cx = Mat::zeros(n_mu, m);
     gemm(1.0, &c_loc, Transpose::No, x_loc, Transpose::No, 0.0, &mut cx);
     // The CX reduction streams on the progress engine while the diagonal
-    // term (independent of CX) is computed.
-    let rq = comm.iallreduce_sum(cx.into_vec());
+    // term (independent of CX) is computed. The partial product is retained
+    // so a dropped request can be re-issued (drop faults fire symmetrically
+    // across ranks, so the re-issue stays collective).
+    let cx_vec = cx.into_vec();
+    let rq = comm.iallreduce_sum(cx_vec.clone());
     let mut diag_term = Mat::zeros(rows.len(), m);
     for j in 0..m {
         let xc = x_loc.col(j);
@@ -60,7 +80,8 @@ fn apply_distributed(
             dc[il] = ham.diag_d[i] * xc[il];
         }
     }
-    let cx = Mat::from_vec(n_mu, m, rq.wait());
+    let data = comm.settle(rq, &RetryPolicy::default(), |c| c.iallreduce_sum(cx_vec.clone()))?;
+    let cx = Mat::from_vec(n_mu, m, data);
     let mut vcx = Mat::zeros(n_mu, m);
     gemm(1.0, &ham.v_tilde, Transpose::No, &cx, Transpose::No, 0.0, &mut vcx);
     let mut out = Mat::zeros(rows.len(), m);
@@ -72,7 +93,7 @@ fn apply_distributed(
             *o += d;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Distributed Gram matrix `AᵀB` of row-distributed blocks (replicated result).
@@ -98,6 +119,12 @@ fn dist_cholesky_qr(comm: &Comm, s_loc: &Mat) -> Option<Mat> {
 /// Distributed implicit LOBPCG for the lowest `k` eigenpairs of the
 /// (replicated) factored Hamiltonian. SPMD-collective; every rank gets the
 /// same eigenvalues and its own row block of eigenvectors.
+///
+/// `Ok` with `converged == false` is honest non-convergence (see
+/// [`DistributedEigResult::into_converged`]); `Err` is an iteration breakdown
+/// or an exhausted communication retry. Breakdown guards test replicated
+/// quantities (allreduced norms and Gram matrices), so every rank takes the
+/// same branch and the SPMD collective order never diverges.
 pub fn distributed_casida_lobpcg(
     comm: &Comm,
     ham: &IsdfHamiltonian,
@@ -105,7 +132,7 @@ pub fn distributed_casida_lobpcg(
     opts: LobpcgOptions,
     seed: u64,
     timings: &mut StageTimings,
-) -> DistributedEigResult {
+) -> Result<DistributedEigResult, SolveError> {
     let ncv = ham.diag_d.len();
     let k = k.min(ncv);
     let rows = block_ranges(ncv, comm.size())[comm.rank()].clone();
@@ -122,7 +149,7 @@ pub fn distributed_casida_lobpcg(
     if let Some(q) = dist_cholesky_qr(comm, &x) {
         x = q;
     }
-    let mut ax = apply_distributed(comm, ham, &rows, &x);
+    let mut ax = apply_distributed(comm, ham, &rows, &x)?;
     let mut p: Option<Mat> = None;
     let mut theta = vec![0.0; k];
     let mut best_residual = f64::INFINITY;
@@ -151,6 +178,15 @@ pub fn distributed_casida_lobpcg(
             .zip(theta.iter())
             .map(|(n2, th)| n2.sqrt() / th.abs().max(1.0))
             .fold(0.0f64, f64::max);
+        // Replicated (allreduced) quantity: every rank sees the same value
+        // and errors out together.
+        if !resid.is_finite() {
+            return Err(SolveError::Breakdown {
+                stage: "dist_lobpcg",
+                iteration: iterations,
+                reason: "non-finite residual norm".to_string(),
+            });
+        }
         best_residual = best_residual.min(resid);
         obskit::instant(
             obskit::Stage::Diag,
@@ -204,9 +240,18 @@ pub fn distributed_casida_lobpcg(
         };
 
         // Rayleigh–Ritz.
-        let a_s = apply_distributed(comm, ham, &rows, &s_orth);
+        let a_s = apply_distributed(comm, ham, &rows, &s_orth)?;
         let mut hs = dist_gram(comm, &s_orth, &a_s);
         hs.symmetrize();
+        // Also replicated — a poisoned subspace Gram would send syev into
+        // NaN soup on every rank simultaneously; fail typed instead.
+        if hs.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(SolveError::Breakdown {
+                stage: "dist_lobpcg",
+                iteration: iterations,
+                reason: "non-finite subspace Gram matrix".to_string(),
+            });
+        }
         let eig = syev(&hs);
         let cols: Vec<usize> = (0..k).collect();
         let coef = eig.vectors.select_cols(&cols);
@@ -239,13 +284,13 @@ pub fn distributed_casida_lobpcg(
     timings.diag += (t_start.elapsed().as_secs_f64() - comm_spent).max(0.0);
     drop(sp);
 
-    DistributedEigResult {
+    Ok(DistributedEigResult {
         values,
         local_vectors,
         iterations,
         residual: best_residual,
         converged,
-    }
+    })
 }
 
 /// Distributed SPD solve helper kept for parity with ScaLAPACK-style flows
@@ -278,22 +323,27 @@ mod tests {
             k,
             LobpcgOptions { max_iter: 300, tol: 1e-9 },
             42,
-        );
+        )
+        .expect("serial solve");
         for ranks in [1usize, 2, 4] {
             let res = spmd(ranks, |c| {
                 let mut t = StageTimings::default();
-                let r = distributed_casida_lobpcg(
+                distributed_casida_lobpcg(
                     c,
                     &ham,
                     k,
                     LobpcgOptions { max_iter: 300, tol: 1e-9 },
                     42,
                     &mut t,
-                );
-                (r.values, r.converged)
+                )
+                .and_then(DistributedEigResult::into_converged)
+                .map(|r| r.values)
             });
-            for (vals, conv) in &res {
-                assert!(*conv, "ranks={ranks} did not converge");
+            for r in &res {
+                let vals = match r {
+                    Ok(vals) => vals,
+                    Err(e) => panic!("ranks={ranks}: {e}"),
+                };
                 for (i, v) in vals.iter().enumerate().take(k) {
                     let rel =
                         (v - serial.values[i]).abs() / serial.values[i].abs().max(1e-12);
@@ -323,7 +373,8 @@ mod tests {
                 LobpcgOptions { max_iter: 300, tol: 1e-8 },
                 7,
                 &mut t,
-            );
+            )
+            .expect("distributed solve");
             (c.rank(), r.local_vectors)
         });
         let mut full = Mat::zeros(ncv, k);

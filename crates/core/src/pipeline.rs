@@ -13,10 +13,13 @@
 //! peak-memory property, and the engine's per-segment timestamps yield a
 //! measured compute/communication [`OverlapStats`] for the schedule.
 
+use faultkit::CommError;
 use mathkit::gemm::{gemm, syrk_tn_scaled, Transpose};
 use mathkit::Mat;
 use parcomm::layout::block_ranges;
-use parcomm::{overlap_fraction, Comm, CommInterval, ComputeInterval, OverlapStats, Request};
+use parcomm::{
+    overlap_fraction, Comm, CommInterval, ComputeInterval, OverlapStats, Request, RetryPolicy,
+};
 
 /// Result of a distributed Gram-matrix build.
 pub struct GramResult {
@@ -68,12 +71,18 @@ pub fn gram_allreduce(comm: &Comm, a_local: &Mat, b_local: &Mat, scale: f64) -> 
 /// Pipelined path: per-destination column chunks, each GEMMed and then
 /// `ireduce`d to its owner while the *next* chunk's GEMM runs (Fig. 5).
 /// Rank `r` returns only columns `block_ranges(n, P)[r]`.
+///
+/// Each in-flight reduce is settled with a deadline/backoff wait; a request
+/// dropped by fault injection is re-issued from the retained chunk (drop
+/// decisions fire symmetrically across ranks, so the re-issue stays
+/// collective). An exhausted retry budget surfaces [`CommError::Stalled`]
+/// or [`CommError::Dropped`].
 pub fn gram_pipelined_reduce(
     comm: &Comm,
     a_local: &Mat,
     b_local: &Mat,
     scale: f64,
-) -> GramResult {
+) -> Result<GramResult, CommError> {
     let p = comm.size();
     let (m, n) = (a_local.ncols(), b_local.ncols());
     let ranges = block_ranges(n, p);
@@ -84,18 +93,24 @@ pub fn gram_pipelined_reduce(
     let mut compute: Vec<ComputeInterval> = Vec::with_capacity(p);
     let mut mine = Mat::zeros(m, my_range.len());
     let mut peak_words = 0usize;
+    let policy = RetryPolicy::default();
     // Window-2 pipeline: at most one chunk's reduce in flight while the
     // next chunk is GEMMed. Bounding the window keeps peak memory at
-    // ~2 chunks + my piece, still `O(1/P)` of the full matrix.
-    let mut in_flight: Option<(usize, usize, Request)> = None;
-    let settle = |slot: Option<(usize, usize, Request)>, mine: &mut Mat| {
-        if let Some((owner, len, rq)) = slot {
-            let out = rq.wait();
-            if owner == comm.rank() {
-                *mine = Mat::from_vec(m, len, out);
+    // ~2 chunks + my piece, still `O(1/P)` of the full matrix. The tuple
+    // retains the chunk data for drop re-issue — only while a fault plan is
+    // armed (drops cannot occur otherwise), so the fault-free hot path pays
+    // no copy.
+    let mut in_flight: Option<(usize, usize, Vec<f64>, Request)> = None;
+    let settle =
+        |slot: Option<(usize, usize, Vec<f64>, Request)>, mine: &mut Mat| -> Result<(), CommError> {
+            if let Some((owner, cols, chunk, rq)) = slot {
+                let out = comm.settle(rq, &policy, |c| c.ireduce_sum(chunk.clone(), owner))?;
+                if owner == comm.rank() {
+                    *mine = Mat::from_vec(m, cols, out);
+                }
             }
-        }
-    };
+            Ok(())
+        };
     for (owner, range) in ranges.iter().enumerate() {
         // GEMM only this chunk of output columns (overlaps the in-flight
         // reduce of the previous chunk on the progress engine).
@@ -110,22 +125,23 @@ pub fn gram_pipelined_reduce(
             v.into_vec()
         };
         compute.push(ComputeInterval::new(t0, comm.now_secs()));
-        let prev_words = in_flight.as_ref().map_or(0, |(_, len, _)| m * *len);
+        let prev_words = in_flight.as_ref().map_or(0, |(_, len, _, _)| m * *len);
         peak_words = peak_words.max(v_chunk.len() + prev_words + mine.as_slice().len());
-        settle(in_flight.take(), &mut mine);
-        in_flight = Some((owner, range.len(), comm.ireduce_sum(v_chunk, owner)));
+        settle(in_flight.take(), &mut mine)?;
+        let retained = if faultkit::is_armed() { v_chunk.clone() } else { Vec::new() };
+        in_flight = Some((owner, range.len(), retained, comm.ireduce_sum(v_chunk, owner)));
     }
-    settle(in_flight.take(), &mut mine);
+    settle(in_flight.take(), &mut mine)?;
     let segs = comm.drain_comm_intervals();
     let overlap = Some(overlap_fraction(&segs, &compute));
-    GramResult {
+    Ok(GramResult {
         local: mine,
         col_range: my_range,
         peak_words,
         overlap,
         comm_intervals: segs,
         compute_intervals: compute,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -170,7 +186,7 @@ mod tests {
             let rr = block_ranges(nr, p)[c.rank()].clone();
             let al = a.row_block(rr.start, rr.end);
             let bl = b.row_block(rr.start, rr.end);
-            gram_pipelined_reduce(c, &al, &bl, 1.0)
+            gram_pipelined_reduce(c, &al, &bl, 1.0).expect("pipelined reduce")
         });
         for (rank, r) in res.iter().enumerate() {
             let cr = block_ranges(n, p)[rank].clone();
@@ -194,7 +210,7 @@ mod tests {
             let al = a.row_block(rr.start, rr.end);
             let bl = b.row_block(rr.start, rr.end);
             let mono = gram_allreduce(c, &al, &bl, 1.5);
-            let pipe = gram_pipelined_reduce(c, &al, &bl, 1.5);
+            let pipe = gram_pipelined_reduce(c, &al, &bl, 1.5).expect("pipelined reduce");
             (mono, pipe)
         });
         for (rank, (mono, pipe)) in res.iter().enumerate() {
@@ -221,7 +237,7 @@ mod tests {
             let al = a.row_block(rr.start, rr.end);
             let bl = b.row_block(rr.start, rr.end);
             let mono = gram_allreduce(c, &al, &bl, 1.0);
-            let pipe = gram_pipelined_reduce(c, &al, &bl, 1.0);
+            let pipe = gram_pipelined_reduce(c, &al, &bl, 1.0).expect("pipelined reduce");
             (mono.peak_words, pipe.peak_words)
         });
         for (mono, pipe) in res {
@@ -237,7 +253,7 @@ mod tests {
             let rr = block_ranges(nr, p)[c.rank()].clone();
             let al = a.row_block(rr.start, rr.end);
             let bl = b.row_block(rr.start, rr.end);
-            gram_pipelined_reduce(c, &al, &bl, 1.0).overlap
+            gram_pipelined_reduce(c, &al, &bl, 1.0).expect("pipelined reduce").overlap
         });
         for ov in res {
             let ov = ov.expect("pipelined path must measure overlap");
@@ -257,7 +273,7 @@ mod tests {
             let rr = block_ranges(nr, p)[c.rank()].clone();
             let al = a.row_block(rr.start, rr.end);
             let bl = b.row_block(rr.start, rr.end);
-            gram_pipelined_reduce(c, &al, &bl, 1.0)
+            gram_pipelined_reduce(c, &al, &bl, 1.0).expect("pipelined reduce")
         });
         // ranks 2..5 own nothing; ranks 0,1 own one column each
         let mut recovered = Mat::zeros(m, n);
@@ -270,5 +286,39 @@ mod tests {
             }
         }
         assert!(recovered.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn dropped_reduce_heals_by_reissue_bitwise() {
+        // Every rank arms the same plan, so the injected drop fires
+        // symmetrically and the re-issue stays a collective. The healed run
+        // must match the clean run bit-for-bit (same ring fold order).
+        let (nr, m, n, p) = (24, 4, 6, 3);
+        let (a, b) = global_ab(nr, m, n);
+        let run = |with_fault: bool| {
+            spmd(p, |c| {
+                let campaign = with_fault.then(|| {
+                    faultkit::arm(
+                        faultkit::FaultPlan::new(17)
+                            .with("comm.ireduce", 1, faultkit::FaultKind::CommDrop),
+                    )
+                });
+                let rr = block_ranges(nr, p)[c.rank()].clone();
+                let al = a.row_block(rr.start, rr.end);
+                let bl = b.row_block(rr.start, rr.end);
+                let r = gram_pipelined_reduce(c, &al, &bl, 1.0).expect("drop must heal");
+                if let Some(campaign) = campaign {
+                    assert_eq!(campaign.fired(), 1, "rank {} drop did not fire", c.rank());
+                }
+                r.local
+            })
+        };
+        let clean = run(false);
+        let healed = run(true);
+        for (c, h) in clean.iter().zip(&healed) {
+            for (x, y) in c.as_slice().iter().zip(h.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

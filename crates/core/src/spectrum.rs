@@ -14,6 +14,7 @@
 //! paper).
 
 use crate::problem::CasidaProblem;
+use faultkit::NumericalError;
 use mathkit::Mat;
 
 /// Dipole matrix elements `μ(vc, α) = ∫ ψ_v(r) r_α ψ_c(r) dr`
@@ -47,16 +48,37 @@ pub fn transition_dipoles(problem: &CasidaProblem) -> Mat {
 
 /// Oscillator strengths of the excitations in `(energies, coefficients)`
 /// (as returned by [`crate::solve`]); `coefficients` is `N_cv × k`.
+///
+/// Panicking wrapper over [`try_oscillator_strengths`] for callers that
+/// treat a shape mismatch as a programming error.
 pub fn oscillator_strengths(
     problem: &CasidaProblem,
     energies: &[f64],
     coefficients: &Mat,
 ) -> Vec<f64> {
-    assert_eq!(coefficients.ncols(), energies.len());
-    assert_eq!(coefficients.nrows(), problem.n_cv());
+    match try_oscillator_strengths(problem, energies, coefficients) {
+        Ok(f) => f,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`oscillator_strengths`]: dimension bookkeeping errors
+/// surface as [`NumericalError::ShapeMismatch`] instead of a panic, so
+/// post-processing pipelines fed by an external solver can reject a bad
+/// solution and continue.
+pub fn try_oscillator_strengths(
+    problem: &CasidaProblem,
+    energies: &[f64],
+    coefficients: &Mat,
+) -> Result<Vec<f64>, NumericalError> {
+    let expected = (problem.n_cv(), energies.len());
+    let got = coefficients.shape();
+    if got != expected {
+        return Err(NumericalError::ShapeMismatch { stage: "spectrum.strengths", expected, got });
+    }
     let mu = transition_dipoles(problem);
     let sqrt2 = std::f64::consts::SQRT_2; // closed-shell singlet normalization
-    energies
+    Ok(energies
         .iter()
         .enumerate()
         .map(|(n, &omega)| {
@@ -71,11 +93,13 @@ pub fn oscillator_strengths(
             }
             (2.0 / 3.0) * omega * d2
         })
-        .collect()
+        .collect())
 }
 
 /// Gaussian-broadened absorption spectrum `σ(ω) = Σ_n f_n g(ω − ω_n)`,
 /// returned as `(ω, σ)` pairs.
+///
+/// Panicking wrapper over [`try_absorption_spectrum`].
 pub fn absorption_spectrum(
     energies: &[f64],
     strengths: &[f64],
@@ -84,10 +108,34 @@ pub fn absorption_spectrum(
     omega_max: f64,
     npts: usize,
 ) -> Vec<(f64, f64)> {
-    assert_eq!(energies.len(), strengths.len());
+    match try_absorption_spectrum(energies, strengths, sigma, omega_min, omega_max, npts) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`absorption_spectrum`]: mismatched energy/strength
+/// lengths surface as [`NumericalError::ShapeMismatch`]. Grid-parameter
+/// misuse (`sigma <= 0`, fewer than two points, inverted window) is still a
+/// plain panic — those are caller bugs, not data-dependent failures.
+pub fn try_absorption_spectrum(
+    energies: &[f64],
+    strengths: &[f64],
+    sigma: f64,
+    omega_min: f64,
+    omega_max: f64,
+    npts: usize,
+) -> Result<Vec<(f64, f64)>, NumericalError> {
+    if energies.len() != strengths.len() {
+        return Err(NumericalError::ShapeMismatch {
+            stage: "spectrum.broaden",
+            expected: (energies.len(), 1),
+            got: (strengths.len(), 1),
+        });
+    }
     assert!(sigma > 0.0 && npts >= 2 && omega_max > omega_min);
     let norm = 1.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
-    (0..npts)
+    Ok((0..npts)
         .map(|i| {
             let w = omega_min + (omega_max - omega_min) * i as f64 / (npts - 1) as f64;
             let mut s = 0.0;
@@ -97,7 +145,7 @@ pub fn absorption_spectrum(
             }
             (w, s)
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -168,5 +216,18 @@ mod tests {
         let xm = Mat::from_vec(4, 1, x);
         let f = oscillator_strengths(&p, &[0.4], &xm);
         assert!(f[0].abs() < 1e-20, "dark state has f = {}", f[0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed_not_a_panic() {
+        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        // 4 pair rows expected; hand a 3-row coefficient block instead.
+        let bad = Mat::zeros(3, 1);
+        let err = try_oscillator_strengths(&p, &[0.4], &bad).expect_err("shape mismatch");
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+
+        let err = try_absorption_spectrum(&[0.1, 0.2], &[1.0], 0.02, 0.0, 1.0, 10)
+            .expect_err("length mismatch");
+        assert!(matches!(err, NumericalError::ShapeMismatch { stage: "spectrum.broaden", .. }));
     }
 }

@@ -1,17 +1,18 @@
 //! The five solver versions of paper Table 4, behind one entry point.
 
 use crate::kernel::HxcKernel;
-use crate::lobpcg_driver::solve_casida_lobpcg;
 use crate::metrics::ComplexityEstimate;
-use crate::naive::solve_naive;
 use crate::options::SolveOptions;
 use crate::problem::CasidaProblem;
 use crate::rank::IsdfRank;
 use crate::timers::StageTimings;
-use isdf::{kmeans_points, pair_weights, qrcp_points, IsdfDecomposition, KmeansOptions};
+use faultkit::{NumericalError, SolveError};
+use isdf::{
+    kmeans_points_checked, pair_weights, qrcp_points, IsdfDecomposition, KmeansOptions,
+};
 use mathkit::gemm::{gemm, Transpose};
 use mathkit::lobpcg::LobpcgOptions;
-use mathkit::{syev, Mat};
+use mathkit::Mat;
 use std::time::Instant;
 
 /// Interpolation-point selector for the ISDF versions.
@@ -109,6 +110,9 @@ pub struct Solution {
     pub lobpcg_iterations: Option<usize>,
     /// Analytic complexity estimate at these dimensions (paper Table 4).
     pub complexity: ComplexityEstimate,
+    /// Recovery-ladder rungs taken during this solve, in order — empty on a
+    /// clean run. Each entry names what failed and how it was healed.
+    pub recovery: Vec<String>,
 }
 
 /// The factored ISDF Hamiltonian pieces: `H = D + 2 Cᵀ Ṽ C`.
@@ -162,25 +166,47 @@ impl IsdfHamiltonian {
     }
 }
 
+/// Fit-residual guard for [`try_build_isdf_hamiltonian`]: a sampled relative
+/// fit residual at or above this means the low-rank basis carries essentially
+/// no signal (healthy fits — even aggressively rank-reduced ones — sit orders
+/// of magnitude below it), so the build escalates the rank and retries.
+pub const FIT_RESIDUAL_GUARD: f64 = 1.0;
+
 /// Run the ISDF pipeline up to the factored Hamiltonian.
+///
+/// Panics if the build fails even after its internal recovery (rank
+/// escalation, point re-selection); see [`try_build_isdf_hamiltonian`].
 pub fn build_isdf_hamiltonian(
     problem: &CasidaProblem,
     selector: PointSelector,
     n_mu: usize,
     timings: &mut StageTimings,
 ) -> IsdfHamiltonian {
-    problem.validate();
-    let dv = problem.grid.dv();
+    let mut recovery = Vec::new();
+    match try_build_isdf_hamiltonian(problem, selector, n_mu, timings, &mut recovery) {
+        Ok(ham) => ham,
+        Err(e) => panic!("{e}"),
+    }
+}
 
-    // Interpolation points.
-    let points = match selector {
+/// Interpolation points per the selector, with the K-Means degenerate-start
+/// recovery: a run that had to reseed empty clusters is retried once cleanly
+/// (injected seeding faults are one-shot, so the retry is pristine).
+fn select_isdf_points(
+    problem: &CasidaProblem,
+    selector: PointSelector,
+    n_mu: usize,
+    timings: &mut StageTimings,
+    recovery: &mut Vec<String>,
+) -> Result<Vec<usize>, SolveError> {
+    match selector {
         PointSelector::Qrcp => {
             let sp = obskit::span(obskit::Stage::Qrcp, "isdf.qrcp_points");
             let t0 = Instant::now();
             let pts = qrcp_points(&problem.psi_v, &problem.psi_c, n_mu);
             timings.qrcp += t0.elapsed().as_secs_f64();
             drop(sp);
-            pts
+            Ok(pts)
         }
         PointSelector::Kmeans(opts) => {
             let sp = obskit::span(obskit::Stage::Kmeans, "isdf.kmeans_points");
@@ -188,19 +214,83 @@ pub fn build_isdf_hamiltonian(
             let w = pair_weights(&problem.psi_v, &problem.psi_c);
             let coords: Vec<[f64; 3]> =
                 (0..problem.n_r()).map(|i| problem.grid.coords(i)).collect();
-            let out = kmeans_points(&coords, &w, n_mu, opts);
+            let mut out = kmeans_points_checked(&coords, &w, n_mu, opts)?;
+            if out.reseeded > 0 {
+                recovery.push(format!(
+                    "kmeans: {} empty cluster(s) reseeded — degenerate start, clean retry",
+                    out.reseeded
+                ));
+                out = kmeans_points_checked(&coords, &w, n_mu, opts)?;
+            }
             timings.kmeans += t0.elapsed().as_secs_f64();
             drop(sp);
-            out.points
+            Ok(out.points)
         }
-    };
+    }
+}
 
-    // Interpolation vectors Θ (Galerkin LS with separable Gram matrices).
+/// Θ fit for a point set (Galerkin LS with separable Gram matrices).
+fn fit_isdf(
+    problem: &CasidaProblem,
+    points: &[usize],
+    timings: &mut StageTimings,
+) -> Result<IsdfDecomposition, SolveError> {
     let sp = obskit::span(obskit::Stage::Theta, "isdf.theta");
     let t0 = Instant::now();
-    let isdf = IsdfDecomposition::build(&problem.psi_v, &problem.psi_c, &points);
+    let isdf = IsdfDecomposition::try_build(&problem.psi_v, &problem.psi_c, points)?;
     timings.theta += t0.elapsed().as_secs_f64();
     drop(sp);
+    Ok(isdf)
+}
+
+/// [`build_isdf_hamiltonian`] with typed failure reporting and built-in
+/// recovery: point-starvation re-selection, a sampled fit-residual guard
+/// with one rank-escalation retry, and finiteness guards on the assembled
+/// `C` / `Ṽ` factors. Rungs taken are appended to `recovery`.
+pub fn try_build_isdf_hamiltonian(
+    problem: &CasidaProblem,
+    selector: PointSelector,
+    n_mu: usize,
+    timings: &mut StageTimings,
+    recovery: &mut Vec<String>,
+) -> Result<IsdfHamiltonian, SolveError> {
+    problem.validate();
+    let dv = problem.grid.dv();
+
+    // Interpolation points, with the rank-starvation guard: a selector that
+    // comes back short (here, only via injection — natural K-Means dedup
+    // shrinkage is accepted downstream as n_mu_eff) is re-run at the
+    // requested rank.
+    let mut points = select_isdf_points(problem, selector, n_mu, timings, recovery)?;
+    if faultkit::starve_points("isdf.points", &mut points) {
+        recovery.push(format!(
+            "isdf.points: starved to {} of {n_mu}, re-selecting",
+            points.len()
+        ));
+        points = select_isdf_points(problem, selector, n_mu, timings, recovery)?;
+    }
+
+    // Interpolation vectors Θ, guarded by the sampled fit residual with one
+    // rank-escalation retry.
+    let mut isdf = fit_isdf(problem, &points, timings)?;
+    // NaN residuals must trip the guard too, hence the is_nan arm.
+    let fit_res = isdf.sampled_relative_error(&problem.psi_v, &problem.psi_c);
+    if fit_res.is_nan() || fit_res >= FIT_RESIDUAL_GUARD {
+        let n_esc = (n_mu + n_mu.div_ceil(2)).min(problem.n_cv());
+        recovery.push(format!(
+            "isdf.fit: residual {fit_res:.3e} breaches guard, escalating rank {n_mu} -> {n_esc}"
+        ));
+        let points_esc = select_isdf_points(problem, selector, n_esc, timings, recovery)?;
+        isdf = fit_isdf(problem, &points_esc, timings)?;
+        let second = isdf.sampled_relative_error(&problem.psi_v, &problem.psi_c);
+        if second.is_nan() || second >= FIT_RESIDUAL_GUARD {
+            return Err(NumericalError::FitResidual {
+                residual: second,
+                tolerance: FIT_RESIDUAL_GUARD,
+            }
+            .into());
+        }
+    }
 
     // Ṽ_Hxc = ΔV · Θᵀ (f_Hxc Θ) (paper Eq. 7).
     let sp = obskit::span(obskit::Stage::Fft, "kernel.apply");
@@ -215,11 +305,23 @@ pub fn build_isdf_hamiltonian(
     let mut v_tilde = Mat::zeros(isdf.theta.ncols(), f_theta.ncols());
     gemm(dv, &isdf.theta, Transpose::Yes, &f_theta, Transpose::No, 0.0, &mut v_tilde);
     v_tilde.symmetrize();
-    let c = isdf.coefficients();
+    let mut c = isdf.coefficients();
     timings.gemm += t0.elapsed().as_secs_f64();
     drop(sp);
 
-    IsdfHamiltonian { diag_d: problem.diag_d(), c, v_tilde }
+    // Fault-injection hooks on the assembled factors, backed by real
+    // finiteness guards — corruption here (from whatever source) must become
+    // a typed error, not NaN excitation energies.
+    faultkit::inject_slice("ham.v_tilde", v_tilde.as_mut_slice());
+    faultkit::inject_slice("ham.c", c.as_mut_slice());
+    if let Some(bad) = v_tilde.as_slice().iter().position(|v| !v.is_finite()) {
+        return Err(NumericalError::NonFinite { site: "ham.v_tilde".into(), index: bad }.into());
+    }
+    if let Some(bad) = c.as_slice().iter().position(|v| !v.is_finite()) {
+        return Err(NumericalError::NonFinite { site: "ham.c".into(), index: bad }.into());
+    }
+
+    Ok(IsdfHamiltonian { diag_d: problem.diag_d(), c, v_tilde })
 }
 
 /// Solve `problem` with the requested `version`.
@@ -229,88 +331,9 @@ pub fn build_isdf_hamiltonian(
 /// points — here the version already fixes the eigensolver and nothing is
 /// distributed.
 pub fn solve_with(problem: &CasidaProblem, version: Version, opts: &SolveOptions) -> Solution {
-    let mut timings = StageTimings::default();
-    let k = opts.n_states.min(problem.n_cv());
-    let n_mu = opts.rank.resolve(problem.n_r(), problem.n_v(), problem.n_c());
-    let complexity = ComplexityEstimate::for_version(
-        version,
-        problem.n_r(),
-        n_mu,
-        problem.n_v(),
-        problem.n_c(),
-        k,
-    );
-
-    match version {
-        Version::Naive => {
-            let (energies, coefficients) = solve_naive(problem, k, &mut timings);
-            Solution {
-                energies,
-                coefficients,
-                timings,
-                n_mu: 0,
-                lobpcg_iterations: None,
-                complexity,
-            }
-        }
-        Version::QrcpIsdf | Version::KmeansIsdf => {
-            let selector = if version == Version::QrcpIsdf {
-                PointSelector::Qrcp
-            } else {
-                PointSelector::Kmeans(KmeansOptions { seed: opts.seed, ..Default::default() })
-            };
-            let ham = build_isdf_hamiltonian(problem, selector, n_mu, &mut timings);
-            let sp = obskit::span(obskit::Stage::Diag, "diag.syev");
-            let t0 = Instant::now();
-            let h = ham.to_dense();
-            let eig = syev(&h);
-            timings.diag += t0.elapsed().as_secs_f64();
-            drop(sp);
-            let cols: Vec<usize> = (0..k).collect();
-            Solution {
-                energies: eig.values[..k].to_vec(),
-                coefficients: eig.vectors.select_cols(&cols),
-                timings,
-                n_mu,
-                lobpcg_iterations: None,
-                complexity,
-            }
-        }
-        Version::KmeansIsdfLobpcg | Version::ImplicitKmeansIsdfLobpcg => {
-            let selector =
-                PointSelector::Kmeans(KmeansOptions { seed: opts.seed, ..Default::default() });
-            let ham = build_isdf_hamiltonian(problem, selector, n_mu, &mut timings);
-            let sp = obskit::span(obskit::Stage::Diag, "diag.lobpcg");
-            let t0 = Instant::now();
-            let res = if version == Version::KmeansIsdfLobpcg {
-                // Explicit H, iterative eigensolve (Table 4 row 4).
-                let h = ham.to_dense();
-                solve_casida_lobpcg(
-                    |x| {
-                        let mut y = Mat::zeros(h.nrows(), x.ncols());
-                        gemm(1.0, &h, Transpose::No, x, Transpose::No, 0.0, &mut y);
-                        y
-                    },
-                    &ham.diag_d,
-                    k,
-                    opts.lobpcg,
-                    opts.seed,
-                )
-            } else {
-                // Matrix-free (Table 4 row 5): H never materialized.
-                solve_casida_lobpcg(|x| ham.apply(x), &ham.diag_d, k, opts.lobpcg, opts.seed)
-            };
-            timings.diag += t0.elapsed().as_secs_f64();
-            drop(sp);
-            Solution {
-                energies: res.values,
-                coefficients: res.vectors,
-                timings,
-                n_mu,
-                lobpcg_iterations: Some(res.iterations),
-                complexity,
-            }
-        }
+    match opts.run(problem, version) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
     }
 }
 

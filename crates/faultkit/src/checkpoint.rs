@@ -1,0 +1,78 @@
+//! Lightweight in-memory checkpoint/restart for iterative state.
+//!
+//! Solvers deposit their last-good iterate under a string key each
+//! iteration; recovery ladders take it back and resume instead of
+//! recomputing from scratch. Checkpoints are thread-local (each SPMD rank
+//! keeps its own) and only recorded **while a fault plan is armed** — the
+//! fault-free hot path pays one thread-local branch and no copies.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// One saved iterate: a flat buffer plus its matrix dims and the iteration
+/// it was taken at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    pub iteration: usize,
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+thread_local! {
+    static STORE: RefCell<HashMap<String, Checkpoint>> = RefCell::new(HashMap::new());
+}
+
+/// Save `cp` under `key`. No-op unless a fault plan is armed on this thread.
+pub fn checkpoint_save(key: &str, cp: Checkpoint) {
+    if !crate::is_armed() {
+        return;
+    }
+    STORE.with(|s| {
+        s.borrow_mut().insert(key.to_string(), cp);
+    });
+}
+
+/// Remove and return the checkpoint under `key`, if any.
+pub fn checkpoint_take(key: &str) -> Option<Checkpoint> {
+    STORE.with(|s| s.borrow_mut().remove(key))
+}
+
+/// Peek at the checkpoint under `key` without consuming it.
+pub fn checkpoint_peek(key: &str) -> Option<Checkpoint> {
+    STORE.with(|s| s.borrow().get(key).cloned())
+}
+
+/// Drop every checkpoint on this thread (start of a fresh campaign case).
+pub fn checkpoint_clear() {
+    STORE.with(|s| s.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arm, FaultPlan};
+
+    #[test]
+    fn save_requires_armed_plan() {
+        checkpoint_clear();
+        checkpoint_save("k", Checkpoint { iteration: 1, rows: 1, cols: 1, data: vec![1.0] });
+        assert!(checkpoint_take("k").is_none());
+
+        let _c = arm(FaultPlan::new(0));
+        checkpoint_save("k", Checkpoint { iteration: 2, rows: 1, cols: 2, data: vec![1.0, 2.0] });
+        let cp = checkpoint_peek("k").expect("saved while armed");
+        assert_eq!(cp.iteration, 2);
+        let cp = checkpoint_take("k").expect("take consumes");
+        assert_eq!(cp.data, vec![1.0, 2.0]);
+        assert!(checkpoint_take("k").is_none());
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let _c = arm(FaultPlan::new(0));
+        checkpoint_save("a", Checkpoint { iteration: 0, rows: 1, cols: 1, data: vec![0.0] });
+        checkpoint_clear();
+        assert!(checkpoint_peek("a").is_none());
+    }
+}

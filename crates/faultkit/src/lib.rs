@@ -1,0 +1,37 @@
+//! # faultkit — typed errors, deterministic fault injection, checkpoints
+//!
+//! Robustness backbone for the LR-TDDFT reproduction. The paper's iterative
+//! low-rank machinery (K-Means ISDF + implicit LOBPCG) fails in ways a dense
+//! SYEVD never does — LOBPCG basis breakdown, K-Means empty clusters, ISDF
+//! fits whose residual blows up, progress-engine requests that stall. This
+//! crate supplies the three pieces every other crate threads through:
+//!
+//! * **Error taxonomy** ([`error`]) — [`NumericalError`], [`CommError`],
+//!   [`SolveError`] with stage/iteration/residual context, so hot failure
+//!   paths return `Result` instead of panicking and recovery ladders can
+//!   dispatch on *why* a stage failed.
+//! * **Seeded fault injection** ([`plan`]) — a [`FaultPlan`] fires typed
+//!   faults (NaN/Inf poison of named buffers, ISDF rank starvation, K-Means
+//!   degenerate seeding, comm delay/stall/drop) at exact hook-site
+//!   occurrences, one-shot per rank, with all randomness derived from the
+//!   plan seed. Identical plans ⇒ identical fault sequences, so recovery
+//!   campaigns are reproducible and CI-able.
+//! * **Checkpoint/restart** ([`checkpoint`]) — thread-local last-good-iterate
+//!   stores that LOBPCG and SCF use to resume after a mid-run fault instead
+//!   of recomputing.
+//!
+//! Hook calls are no-ops (one thread-local read) when no plan is armed; the
+//! fault-free hot path is unaffected.
+
+pub mod checkpoint;
+pub mod error;
+pub mod plan;
+
+pub use checkpoint::{
+    checkpoint_clear, checkpoint_peek, checkpoint_save, checkpoint_take, Checkpoint,
+};
+pub use error::{CommError, NumericalError, SolveError};
+pub use plan::{
+    arm, comm_fault, degenerate_seeding, handle, inject_slice, install, is_armed, set_rank,
+    starve_points, Campaign, CommFault, FaultEvent, FaultKind, FaultPlan, FaultSpec, Handle,
+};

@@ -1,8 +1,9 @@
 //! The assembled ISDF decomposition and the face-splitting product.
 
+use faultkit::NumericalError;
 use mathkit::Mat;
 
-use crate::interp::interpolation_vectors;
+use crate::interp::try_interpolation_vectors;
 
 /// Transposed block face-splitting product (column-wise Khatri–Rao):
 /// `Z[r, i·n_phi + j] = ψ_i(r) · φ_j(r)` — the paper's `P_vc` with pair
@@ -39,11 +40,24 @@ pub struct IsdfDecomposition {
 
 impl IsdfDecomposition {
     /// Build from orbitals and chosen interpolation points.
+    ///
+    /// Panics on a failed Galerkin fit; see [`IsdfDecomposition::try_build`]
+    /// for the `Result`-returning variant used on recoverable paths.
     pub fn build(psi: &Mat, phi: &Mat, points: &[usize]) -> Self {
+        match Self::try_build(psi, phi, points) {
+            Ok(isdf) => isdf,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`IsdfDecomposition::build`] with fit failures (non-finite Gram
+    /// entries, non-SPD `CCᵀ` after floor escalation) reported as typed
+    /// errors so callers can ladder (rank escalation, point re-selection).
+    pub fn try_build(psi: &Mat, phi: &Mat, points: &[usize]) -> Result<Self, NumericalError> {
         let psi_hat = psi.select_rows(points);
         let phi_hat = phi.select_rows(points);
-        let theta = interpolation_vectors(psi, phi, &psi_hat, &phi_hat);
-        IsdfDecomposition { points: points.to_vec(), theta, psi_hat, phi_hat }
+        let theta = try_interpolation_vectors(psi, phi, &psi_hat, &phi_hat)?;
+        Ok(IsdfDecomposition { points: points.to_vec(), theta, psi_hat, phi_hat })
     }
 
     /// Rank of the fit.
@@ -71,6 +85,42 @@ impl IsdfDecomposition {
         }
         let _ = n;
         out
+    }
+
+    /// Cheap deterministic estimate of the relative fit residual
+    /// `‖Z − ΘC‖ / ‖Z‖` over a strided sample of grid rows and orbital
+    /// pairs — the guard the rank-escalation ladder checks after a build.
+    /// Unlike [`IsdfDecomposition::relative_error`] it never materializes
+    /// `Z`: cost is `O(samples · N_μ)`.
+    pub fn sampled_relative_error(&self, psi: &Mat, phi: &Mat) -> f64 {
+        let nr = self.theta.nrows();
+        let (m, n) = (self.psi_hat.ncols(), self.phi_hat.ncols());
+        let n_pairs = m * n;
+        if nr == 0 || n_pairs == 0 {
+            return 0.0;
+        }
+        let row_step = nr.div_ceil(16).max(1);
+        let pair_step = n_pairs.div_ceil(32).max(1);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for r in (0..nr).step_by(row_step) {
+            for p in (0..n_pairs).step_by(pair_step) {
+                let (i, j) = (p / n, p % n);
+                let z = psi[(r, i)] * phi[(r, j)];
+                let mut approx = 0.0;
+                for mu in 0..self.n_mu() {
+                    approx +=
+                        self.theta[(r, mu)] * self.psi_hat[(mu, i)] * self.phi_hat[(mu, j)];
+                }
+                num += (z - approx) * (z - approx);
+                den += z * z;
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            (num / den).sqrt()
+        }
     }
 
     /// Relative Frobenius reconstruction error `‖Z − ΘC‖_F / ‖Z‖_F`,
@@ -171,6 +221,32 @@ mod tests {
             IsdfDecomposition::build(&psi, &phi, &k_out.points).relative_error(&psi, &phi);
         assert!(q_err < 1e-4, "qrcp err {q_err}");
         assert!(k_err < 20.0 * q_err.max(1e-8), "kmeans err {k_err} vs qrcp {q_err}");
+    }
+
+    #[test]
+    fn sampled_residual_tracks_full_residual() {
+        let (nr, nb) = (80, 3);
+        let psi = smooth_orbitals(nr, nb, 0.1);
+        let phi = smooth_orbitals(nr, nb, 0.6);
+        // Accurate fit: both estimates tiny.
+        let good = IsdfDecomposition::build(&psi, &phi, &qrcp_points(&psi, &phi, 9));
+        assert!(good.sampled_relative_error(&psi, &phi) < 1e-6);
+        // Starved fit: sampled estimate must flag it as bad too.
+        let bad = IsdfDecomposition::build(&psi, &phi, &qrcp_points(&psi, &phi, 2));
+        let full = bad.relative_error(&psi, &phi);
+        let sampled = bad.sampled_relative_error(&psi, &phi);
+        assert!(full > 1e-3, "starved fit should be inaccurate: {full}");
+        assert!(sampled > 0.1 * full, "sampled {sampled} vs full {full}");
+    }
+
+    #[test]
+    fn try_build_surfaces_poisoned_orbitals() {
+        let (nr, nb) = (40, 2);
+        let mut psi = smooth_orbitals(nr, nb, 0.2);
+        let phi = smooth_orbitals(nr, nb, 0.9);
+        let pts = qrcp_points(&psi, &phi, 4);
+        psi[(pts[0], 0)] = f64::INFINITY;
+        assert!(IsdfDecomposition::try_build(&psi, &phi, &pts).is_err());
     }
 
     #[test]

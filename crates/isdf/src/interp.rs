@@ -18,6 +18,7 @@
 //! `O(N_r · N_e · N_μ)` GEMMs — part of why ISDF construction reaches the
 //! `O(N_r N_μ²)`-class costs in the paper's Table 4.
 
+use faultkit::NumericalError;
 use mathkit::chol::solve_spd;
 use mathkit::gemm::{gemm, syrk_nt, Transpose};
 use mathkit::Mat;
@@ -53,18 +54,54 @@ pub fn gram_pair(psi: &Mat, phi: &Mat, psi_hat: &Mat, phi_hat: &Mat) -> GramPair
 /// Solve for the interpolation vectors `Θ` (`N_r × N_μ`). The Gram matrix is
 /// Tikhonov-floored before the Cholesky solve, since near-duplicate
 /// interpolation points make `CCᵀ` semi-definite.
+///
+/// Panics if the system stays non-SPD after floor escalation; see
+/// [`try_interpolation_vectors`] for the `Result`-returning variant.
 pub fn interpolation_vectors(psi: &Mat, phi: &Mat, psi_hat: &Mat, phi_hat: &Mat) -> Mat {
-    let GramPair { zc_t, mut cc_t } = gram_pair(psi, phi, psi_hat, phi_hat);
+    match try_interpolation_vectors(psi, phi, psi_hat, phi_hat) {
+        Ok(theta) => theta,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`interpolation_vectors`] with typed failure reporting: a non-finite Gram
+/// entry (poisoned orbitals) surfaces as [`NumericalError::NonFinite`], and a
+/// Cholesky failure is retried with the Tikhonov floor escalated ×10³ per
+/// attempt (3 attempts) before surfacing [`NumericalError::GramNotSpd`].
+pub fn try_interpolation_vectors(
+    psi: &Mat,
+    phi: &Mat,
+    psi_hat: &Mat,
+    phi_hat: &Mat,
+) -> Result<Mat, NumericalError> {
+    let GramPair { zc_t, cc_t } = gram_pair(psi, phi, psi_hat, phi_hat);
+    if let Some(bad) = cc_t.as_slice().iter().position(|v| !v.is_finite()) {
+        return Err(NumericalError::NonFinite { site: "isdf.cc_t".into(), index: bad });
+    }
+    if let Some(bad) = zc_t.as_slice().iter().position(|v| !v.is_finite()) {
+        return Err(NumericalError::NonFinite { site: "isdf.zc_t".into(), index: bad });
+    }
     let n_mu = cc_t.nrows();
     let trace: f64 = (0..n_mu).map(|i| cc_t[(i, i)]).sum();
-    let floor = 1e-12 * (trace / n_mu.max(1) as f64).max(1e-300);
-    for i in 0..n_mu {
-        cc_t[(i, i)] += floor;
-    }
+    let base = 1e-12 * (trace / n_mu.max(1) as f64).max(1e-300);
     // Θᵀ solves (CCᵀ) Θᵀ = (ZCᵀ)ᵀ.
     let rhs = zc_t.transpose();
-    let theta_t = solve_spd(&cc_t, &rhs).expect("regularized CCᵀ must be SPD");
-    theta_t.transpose()
+    let mut floor = base;
+    let mut last_pivot = 0usize;
+    for _ in 0..3 {
+        let mut reg = cc_t.clone();
+        for i in 0..n_mu {
+            reg[(i, i)] += floor;
+        }
+        match solve_spd(&reg, &rhs) {
+            Ok(theta_t) => return Ok(theta_t.transpose()),
+            Err(pivot) => {
+                last_pivot = pivot;
+                floor *= 1e3;
+            }
+        }
+    }
+    Err(NumericalError::GramNotSpd { stage: "isdf.fit", pivot: last_pivot, floor: floor / 1e3 })
 }
 
 #[cfg(test)]
@@ -127,6 +164,21 @@ mod tests {
                 *v += 1e-4 * ((s as f64 / u64::MAX as f64) - 0.5);
             }
             assert!(resid(&perturbed) >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisoned_orbitals_surface_typed_nonfinite() {
+        let mut psi = smooth(25, 2, 0.0);
+        let phi = smooth(25, 2, 0.3);
+        psi[(7, 1)] = f64::NAN;
+        let pts = vec![2usize, 7, 19];
+        let psi_hat = psi.select_rows(&pts);
+        let phi_hat = phi.select_rows(&pts);
+        let err = try_interpolation_vectors(&psi, &phi, &psi_hat, &phi_hat).unwrap_err();
+        match err {
+            NumericalError::NonFinite { site, .. } => assert!(site.starts_with("isdf.")),
+            other => panic!("expected NonFinite, got {other:?}"),
         }
     }
 

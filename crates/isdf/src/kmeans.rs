@@ -13,6 +13,7 @@
 //!    each classify their own grid slab in the paper),
 //! 5. return, per cluster, the member grid point closest to the centroid.
 
+use faultkit::NumericalError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -82,29 +83,60 @@ pub struct KmeansOutcome {
     pub active_points: usize,
     /// Final weighted within-cluster sum of squares (the Eq. 11 objective).
     pub objective: f64,
+    /// Empty clusters re-seeded during Lloyd iterations. Nonzero signals a
+    /// degenerate start (e.g. injected via `kmeans.init`); callers that need
+    /// a pristine run can retry with a different seed.
+    pub reseeded: usize,
 }
 
 /// Select `n_mu` interpolation points from grid `coords` (one `[x,y,z]` per
 /// point) with weights `w` (Eq. 14 values).
+///
+/// Panics on degenerate inputs; see [`kmeans_points_checked`] for the
+/// `Result`-returning variant used on recoverable paths.
 pub fn kmeans_points(
     coords: &[[f64; 3]],
     w: &[f64],
     n_mu: usize,
     opts: KmeansOptions,
 ) -> KmeansOutcome {
-    assert_eq!(coords.len(), w.len());
+    match kmeans_points_checked(coords, w, n_mu, opts) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`kmeans_points`] with degenerate inputs reported as typed errors instead
+/// of panics: all-zero weights, a coords/weights length mismatch, or pruning
+/// that leaves fewer than `n_mu` candidate points.
+pub fn kmeans_points_checked(
+    coords: &[[f64; 3]],
+    w: &[f64],
+    n_mu: usize,
+    opts: KmeansOptions,
+) -> Result<KmeansOutcome, NumericalError> {
     assert!(n_mu >= 1);
+    if coords.len() != w.len() {
+        return Err(NumericalError::ShapeMismatch {
+            stage: "kmeans",
+            expected: (coords.len(), 1),
+            got: (w.len(), 1),
+        });
+    }
+    // `f64::max` against the 0.0 seed discards NaN entries, so a weight
+    // vector of all NaNs also lands here rather than seeding centroids.
     let wmax = w.iter().cloned().fold(0.0f64, f64::max);
-    assert!(wmax > 0.0, "all-zero weights");
+    if wmax <= 0.0 {
+        return Err(NumericalError::AllZeroWeights);
+    }
 
     // Step 2: prune.
     let cutoff = opts.prune_rel * wmax;
     let active: Vec<usize> = (0..coords.len()).filter(|&i| w[i] > cutoff).collect();
     let n_active = active.len();
-    assert!(
-        n_active >= n_mu,
-        "pruning left {n_active} points, need at least {n_mu}"
-    );
+    if n_active < n_mu {
+        return Err(NumericalError::RankDeficient { requested: n_mu, got: n_active });
+    }
 
     // Step 3: initialize centroids.
     let mut centroids = initialize(coords, w, &active, n_mu, opts);
@@ -112,6 +144,10 @@ pub fn kmeans_points(
     // Step 4: Lloyd iterations.
     let mut assign = vec![0usize; n_active];
     let mut iterations = 0;
+    let mut reseeded = 0usize;
+    // Weight-descending candidate order for empty-cluster reseeding,
+    // computed lazily on the first empty cluster.
+    let mut weight_order: Option<Vec<usize>> = None;
     for it in 0..opts.max_iter {
         iterations = it + 1;
         // Classification (parallel over active points).
@@ -131,13 +167,27 @@ pub fn kmeans_points(
             wsum[*a] += wi;
         }
         let mut movement = 0.0;
-        let mut rng = StdRng::seed_from_u64(opts.seed ^ (it as u64 + 1));
         for k in 0..n_mu {
             let new = if wsum[k] > 0.0 {
                 [sums[k][0] / wsum[k], sums[k][1] / wsum[k], sums[k][2] / wsum[k]]
             } else {
-                // Empty cluster: re-seed at a random heavy point.
-                coords[active[rng.gen_range(0..n_active)]]
+                // Empty cluster: re-seed deterministically at the
+                // highest-weight active point no other centroid sits on, so
+                // the cluster lands where the orbital-pair density actually
+                // is (and identical inputs reproduce identical selections).
+                reseeded += 1;
+                let order = weight_order.get_or_insert_with(|| {
+                    let mut o = active.clone();
+                    o.sort_by(|&a, &b| w[b].total_cmp(&w[a]).then(a.cmp(&b)));
+                    o
+                });
+                let pick = order.iter().copied().find(|&gi| {
+                    centroids
+                        .iter()
+                        .enumerate()
+                        .all(|(j, &c)| j == k || c != coords[gi])
+                });
+                coords[pick.unwrap_or(order[0])]
             };
             movement += dist2(centroids[k], new);
             centroids[k] = new;
@@ -161,17 +211,23 @@ pub fn kmeans_points(
     }
     let mut points: Vec<usize> = Vec::with_capacity(n_mu);
     for (k, (_, p)) in best.iter().enumerate() {
-        let idx = p.unwrap_or_else(|| {
-            // Global nearest active point to this centroid.
-            *active
-                .iter()
-                .min_by(|&&a, &&b| {
-                    dist2(centroids[k], coords[a])
-                        .partial_cmp(&dist2(centroids[k], coords[b]))
-                        .unwrap()
-                })
-                .unwrap()
-        });
+        let idx = match p {
+            Some(gi) => *gi,
+            None => {
+                // Global nearest active point to this centroid (`active` is
+                // non-empty — checked above — so this cannot fail).
+                let mut best_gi = active[0];
+                let mut best_d = f64::INFINITY;
+                for &a in &active {
+                    let d = dist2(centroids[k], coords[a]);
+                    if d < best_d {
+                        best_d = d;
+                        best_gi = a;
+                    }
+                }
+                best_gi
+            }
+        };
         points.push(idx);
     }
     points.sort_unstable();
@@ -184,7 +240,7 @@ pub fn kmeans_points(
         .map(|(a, &gi)| w[gi] * dist2(centroids[*a], coords[gi]))
         .sum();
 
-    KmeansOutcome { points, iterations, active_points: n_active, objective }
+    Ok(KmeansOutcome { points, iterations, active_points: n_active, objective, reseeded })
 }
 
 fn initialize(
@@ -194,6 +250,12 @@ fn initialize(
     n_mu: usize,
     opts: KmeansOptions,
 ) -> Vec<[f64; 3]> {
+    if faultkit::degenerate_seeding("kmeans.init") {
+        // Injected degenerate start: every centroid on the same point — the
+        // pathological initialization the paper warns "may yield a terrible
+        // convergence problem". Recovery is the empty-cluster reseed path.
+        return vec![coords[active[0]]; n_mu];
+    }
     let mut rng = StdRng::seed_from_u64(opts.seed);
     match opts.init {
         KmeansInit::Random => {
@@ -444,5 +506,68 @@ mod tests {
         let coords = vec![[0.0, 0.0, 0.0]; 3];
         let w = vec![0.0; 3];
         kmeans_points(&coords, &w, 1, KmeansOptions::default());
+    }
+
+    #[test]
+    fn checked_variant_reports_typed_errors() {
+        use faultkit::NumericalError;
+        let coords = vec![[0.0, 0.0, 0.0]; 3];
+        assert_eq!(
+            kmeans_points_checked(&coords, &[0.0; 3], 1, KmeansOptions::default()).unwrap_err(),
+            NumericalError::AllZeroWeights
+        );
+        assert_eq!(
+            kmeans_points_checked(&coords, &[1.0; 2], 1, KmeansOptions::default()).unwrap_err(),
+            NumericalError::ShapeMismatch { stage: "kmeans", expected: (3, 1), got: (2, 1) }
+        );
+        // One heavy point drowns the rest below the prune cutoff.
+        let mut w = vec![1e-12; 3];
+        w[0] = 1.0;
+        assert_eq!(
+            kmeans_points_checked(&coords, &w, 2, KmeansOptions::default()).unwrap_err(),
+            NumericalError::RankDeficient { requested: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn degenerate_seeding_reseeds_from_heaviest_unclaimed() {
+        use faultkit::{FaultKind, FaultPlan};
+        let (coords, w) = two_blob_fixture();
+        let run = || {
+            let campaign = faultkit::arm(
+                FaultPlan::new(7).with("kmeans.init", 0, FaultKind::DegenerateSeeding),
+            );
+            let out = kmeans_points(&coords, &w, 2, KmeansOptions::default());
+            assert_eq!(campaign.fired(), 1, "the seeding fault must trigger");
+            out
+        };
+        let a = run();
+        let b = run();
+        assert!(a.reseeded > 0, "degenerate start must exercise the reseed path");
+        assert_eq!(a.points, b.points, "reseeding must be deterministic");
+        // The reseed steers the empty cluster onto the heaviest blob, so the
+        // fit still resolves both blobs.
+        assert_eq!(a.points.len(), 2);
+        let near = |p: [f64; 3], c: [f64; 3]| dist2(p, c) < 0.5;
+        let p0 = coords[a.points[0]];
+        let p1 = coords[a.points[1]];
+        assert!(
+            (near(p0, [1.05, 1.0, 1.0]) && near(p1, [5.05, 5.0, 5.0]))
+                || (near(p1, [1.05, 1.0, 1.0]) && near(p0, [5.05, 5.0, 5.0])),
+            "{p0:?} {p1:?}"
+        );
+    }
+
+    #[test]
+    fn coincident_points_reseed_without_panic() {
+        // Pathological distribution: every surviving point at the same
+        // coordinate. Initialization degenerates, clusters empty out, and
+        // the deterministic reseed must neither panic nor loop.
+        let coords = vec![[0.0, 0.0, 0.0]; 3];
+        let w = vec![1.0, 2.0, 3.0];
+        let out = kmeans_points(&coords, &w, 2, KmeansOptions::default());
+        assert!(out.reseeded >= 1, "coincident points must trigger a reseed");
+        assert!(!out.points.is_empty());
+        assert!(out.points.iter().all(|&p| p < 3));
     }
 }

@@ -29,6 +29,8 @@ pub mod kmeans;
 pub mod points;
 
 pub use decomposition::{face_splitting_product, IsdfDecomposition};
-pub use interp::{interpolation_vectors, GramPair};
-pub use kmeans::{kmeans_points, KmeansInit, KmeansOptions, KmeansOutcome, SnapRule};
+pub use interp::{interpolation_vectors, try_interpolation_vectors, GramPair};
+pub use kmeans::{
+    kmeans_points, kmeans_points_checked, KmeansInit, KmeansOptions, KmeansOutcome, SnapRule,
+};
 pub use points::{pair_weights, qrcp_points, randomized_qrcp_points};

@@ -31,7 +31,7 @@ pub mod qr;
 
 pub use chol::{cholesky, solve_lower, solve_lower_transpose, solve_spd};
 pub use davidson::{davidson, DavidsonOptions};
-pub use lobpcg::{lobpcg, no_precond, LobpcgOptions, LobpcgResult};
+pub use lobpcg::{lobpcg, no_precond, LobpcgOptions, LobpcgResult, LOBPCG_CHECKPOINT};
 pub use eigen::{syev, Eigen};
 pub use gemm::{
     gemm, gemm_tn, gemv, matmul, syrk_nt, syrk_nt_scaled, syrk_tn, syrk_tn_scaled, Transpose,

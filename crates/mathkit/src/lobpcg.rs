@@ -16,6 +16,12 @@ use crate::eigen::syev;
 use crate::gemm::{gemm, gemm_tn, Transpose};
 use crate::mat::Mat;
 use crate::ortho::{cholesky_qr, modified_gram_schmidt};
+use faultkit::{Checkpoint, SolveError};
+
+/// Checkpoint key under which the iterate block `X` is saved each outer
+/// iteration (only while a fault plan is armed); recovery ladders resume
+/// from it via [`faultkit::checkpoint_take`].
+pub const LOBPCG_CHECKPOINT: &str = "lobpcg.x";
 
 /// Options controlling the iteration.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +40,7 @@ impl Default for LobpcgOptions {
 }
 
 /// Result of a LOBPCG run.
+#[derive(Debug)]
 pub struct LobpcgResult {
     /// The `k` lowest eigenvalue approximations, ascending.
     pub values: Vec<f64>,
@@ -53,12 +60,18 @@ pub struct LobpcgResult {
 /// `precond` maps a residual block to a preconditioned block (the paper uses
 /// the diagonal `K⁻¹ = (ε_c − ε_v − θ)⁻¹`, Eq. 17); pass the identity when no
 /// preconditioner exists.
+///
+/// Honest non-convergence (iteration budget exhausted, subspace collapse) is
+/// `Ok` with `converged == false` — the caller decides whether to ladder.
+/// `Err` means the iteration *broke down*: the initial block was
+/// rank-deficient or a non-finite quantity entered the recurrence, so
+/// continuing would only propagate garbage.
 pub fn lobpcg<FA, FP>(
     apply: FA,
     precond: FP,
     x0: &Mat,
     opts: LobpcgOptions,
-) -> LobpcgResult
+) -> Result<LobpcgResult, SolveError>
 where
     FA: Fn(&Mat) -> Mat,
     FP: Fn(&Mat, &[f64]) -> Mat,
@@ -72,7 +85,13 @@ where
         Ok(q) => q,
         Err(_) => {
             let q = modified_gram_schmidt(x0, 1e-12);
-            assert_eq!(q.ncols(), k, "initial block is rank-deficient");
+            if q.ncols() < k {
+                return Err(SolveError::Breakdown {
+                    stage: "lobpcg",
+                    iteration: 0,
+                    reason: format!("initial block rank-deficient: {} of {k} columns", q.ncols()),
+                });
+            }
             q
         }
     };
@@ -103,6 +122,21 @@ where
                 rn / theta[j].abs().max(1.0)
             })
             .fold(0.0f64, f64::max);
+        if !resid.is_finite() {
+            return Err(SolveError::Breakdown {
+                stage: "lobpcg",
+                iteration: iterations,
+                reason: "non-finite residual norm".to_string(),
+            });
+        }
+        // X and Θ are finite here; deposit them as the last-good iterate for
+        // checkpoint-resume (no-op unless a fault plan is armed).
+        if faultkit::is_armed() {
+            faultkit::checkpoint_save(
+                LOBPCG_CHECKPOINT,
+                Checkpoint { iteration: it, rows: n, cols: k, data: x.as_slice().to_vec() },
+            );
+        }
         best_residual = best_residual.min(resid);
         obskit::instant(
             obskit::Stage::Diag,
@@ -112,17 +146,29 @@ where
         if resid < opts.tol {
             let mut vals = theta.clone();
             sort_ritz(&mut vals, &mut x);
-            return LobpcgResult {
+            return Ok(LobpcgResult {
                 values: vals,
                 vectors: x,
                 iterations,
                 residual: resid,
                 converged: true,
-            };
+            });
         }
 
-        // Preconditioned residuals.
-        let w = precond(&r, &theta);
+        // Preconditioned residuals (fault hook: the W block is the named
+        // poison target for LOBPCG soft-lock campaigns).
+        let mut w = precond(&r, &theta);
+        faultkit::inject_slice("lobpcg.w", w.as_mut_slice());
+        // A preconditioner hitting a zero gap produces NaN/Inf here; the MGS
+        // fallback below would silently drop such a column, so surface it as
+        // a breakdown instead of degrading the search space undetected.
+        if let Some(bad) = w.as_slice().iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::Breakdown {
+                stage: "lobpcg",
+                iteration: iterations,
+                reason: format!("non-finite preconditioned residual entry {bad}"),
+            });
+        }
 
         // Assemble the trial subspace S = [X, W, P].
         let ncols_s = k + w.ncols() + p.as_ref().map_or(0, |pm| pm.ncols());
@@ -148,19 +194,28 @@ where
             // Subspace collapsed — return the best we have.
             let mut vals = theta.clone();
             sort_ritz(&mut vals, &mut x);
-            return LobpcgResult {
+            return Ok(LobpcgResult {
                 values: vals,
                 vectors: x,
                 iterations,
                 residual: resid,
                 converged: false,
-            };
+            });
         }
 
         // Rayleigh–Ritz in the subspace.
         let a_s = apply(&s_orth);
         let mut hs = gemm_tn(&s_orth, &a_s);
         hs.symmetrize();
+        // Guard the dense solve: QL on a non-finite matrix would spin, so a
+        // poisoned W (or operator output) is surfaced as a breakdown here.
+        if let Some(bad) = hs.as_slice().iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::Breakdown {
+                stage: "lobpcg",
+                iteration: iterations,
+                reason: format!("non-finite subspace Gram entry {bad}"),
+            });
+        }
         let eig = syev(&hs);
         // Lowest-k Ritz coefficients.
         let c: Vec<usize> = (0..k).collect();
@@ -190,13 +245,13 @@ where
     }
     let mut vals = theta.clone();
     sort_ritz(&mut vals, &mut x);
-    LobpcgResult {
+    Ok(LobpcgResult {
         values: vals,
         vectors: x,
         iterations,
         residual: best_residual,
         converged: false,
-    }
+    })
 }
 
 fn sort_ritz(vals: &mut [f64], vecs: &mut Mat) {
@@ -236,7 +291,7 @@ mod tests {
         let d: Vec<f64> = (0..n).map(|i| (i as f64) * 0.7 + 1.0).collect();
         let mut rng = rand::thread_rng();
         let x0 = Mat::random(n, 4, &mut rng);
-        let res = lobpcg(diag_op(&d), no_precond, &x0, LobpcgOptions::default());
+        let res = lobpcg(diag_op(&d), no_precond, &x0, LobpcgOptions::default()).expect("lobpcg");
         assert!(res.converged, "residual {}", res.residual);
         for (i, v) in res.values.iter().enumerate() {
             assert!((v - d[i]).abs() < 1e-6, "λ_{i} = {v}, want {}", d[i]);
@@ -256,7 +311,8 @@ mod tests {
             no_precond,
             &x0,
             LobpcgOptions { max_iter: 500, tol: 1e-9 },
-        );
+        )
+        .expect("lobpcg");
         assert!(res.converged);
         for i in 0..3 {
             assert!(
@@ -304,8 +360,8 @@ mod tests {
         let mut rng = rand::thread_rng();
         let x0 = Mat::random(n, 2, &mut rng);
         let opts = LobpcgOptions { max_iter: 300, tol: 1e-7 };
-        let plain = lobpcg(apply, no_precond, &x0, opts);
-        let pre = lobpcg(apply, precond, &x0, opts);
+        let plain = lobpcg(apply, no_precond, &x0, opts).expect("lobpcg");
+        let pre = lobpcg(apply, precond, &x0, opts).expect("lobpcg");
         let exact0 = 2.0 - 2.0 * (std::f64::consts::PI / (n + 1) as f64).cos();
         assert!((pre.values[0] - exact0).abs() < 1e-5);
         assert!(pre.iterations <= plain.iterations);
@@ -317,8 +373,41 @@ mod tests {
         let d: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
         let mut rng = rand::thread_rng();
         let x0 = Mat::random(n, 1, &mut rng);
-        let res = lobpcg(diag_op(&d), no_precond, &x0, LobpcgOptions::default());
+        let res = lobpcg(diag_op(&d), no_precond, &x0, LobpcgOptions::default()).expect("lobpcg");
         assert!((res.values[0] + (n as f64 - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poisoned_w_breaks_down_with_checkpoint() {
+        let n = 40;
+        let d: Vec<f64> = (0..n).map(|i| (i as f64) * 0.9 + 1.0).collect();
+        let mut rng = rand::thread_rng();
+        let x0 = Mat::random(n, 3, &mut rng);
+        faultkit::checkpoint_clear();
+        let campaign = faultkit::arm(
+            faultkit::FaultPlan::new(21).with("lobpcg.w", 2, faultkit::FaultKind::NanPoison),
+        );
+        let err = lobpcg(diag_op(&d), no_precond, &x0, LobpcgOptions::default())
+            .expect_err("poisoned W must surface a breakdown");
+        match &err {
+            SolveError::Breakdown { stage, iteration, .. } => {
+                assert_eq!(*stage, "lobpcg");
+                assert!(*iteration >= 3, "poison at occurrence 2 detected at iter {iteration}");
+            }
+            other => panic!("expected Breakdown, got {other:?}"),
+        }
+        assert_eq!(campaign.fired(), 1);
+        // The last-good iterate was checkpointed; resuming from it (fault
+        // consumed) converges to the same eigenvalues.
+        let cp = faultkit::checkpoint_take(LOBPCG_CHECKPOINT).expect("checkpoint saved");
+        assert_eq!((cp.rows, cp.cols), (n, 3));
+        let x1 = Mat::from_vec(cp.rows, cp.cols, cp.data);
+        let res = lobpcg(diag_op(&d), no_precond, &x1, LobpcgOptions::default())
+            .expect("resume runs clean");
+        assert!(res.converged);
+        for (i, v) in res.values.iter().enumerate() {
+            assert!((v - d[i]).abs() < 1e-6, "resumed λ_{i} = {v}");
+        }
     }
 
     #[test]
@@ -327,7 +416,7 @@ mod tests {
         let d: Vec<f64> = (0..n).map(|i| (i * i) as f64 * 0.01 + 0.5).collect();
         let mut rng = rand::thread_rng();
         let x0 = Mat::random(n, 5, &mut rng);
-        let res = lobpcg(diag_op(&d), no_precond, &x0, LobpcgOptions::default());
+        let res = lobpcg(diag_op(&d), no_precond, &x0, LobpcgOptions::default()).expect("lobpcg");
         let g = gemm_tn(&res.vectors, &res.vectors);
         assert!(g.max_abs_diff(&Mat::eye(5)) < 1e-7);
     }

@@ -32,4 +32,6 @@ pub use cost::CostModel;
 pub use layout::{block_cyclic_owner, block_ranges, segment_ranges, BlockCyclic2D, Layout};
 pub use overlap::{overlap_fraction, ComputeInterval, OverlapStats};
 pub use redist::{col_to_row_blocks, row_to_col_blocks};
-pub use requests::{wait_all, Algorithm, CommInterval, Request, DEFAULT_SEGMENT_WORDS};
+pub use requests::{
+    wait_all, Algorithm, CommInterval, Request, RetryPolicy, DEFAULT_SEGMENT_WORDS,
+};

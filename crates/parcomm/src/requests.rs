@@ -44,12 +44,13 @@
 
 use crate::comm::{lock, Comm, CommStats, OpStats};
 use crate::layout::segment_ranges;
+use faultkit::{CommError, CommFault};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Words (f64) per segment step: 4096 words = 32 KiB, small enough that a
 /// multi-chunk reduction streams, large enough that per-step bookkeeping is
@@ -121,6 +122,30 @@ impl<T> Slot<T> {
             }
         }
     }
+
+    /// Blocking take with a deadline; `None` when the deadline expires with
+    /// the slot still empty.
+    fn take_timeout(&self, d: Duration) -> Option<T> {
+        let deadline = Instant::now() + d;
+        let mut g = lock(&self.m);
+        loop {
+            if let Some(v) = g.take() {
+                return Some(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (ng, timeout) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            g = ng;
+            if timeout.timed_out() {
+                return g.take();
+            }
+        }
+    }
 }
 
 /// Which nonblocking op a request accounts against.
@@ -153,6 +178,57 @@ impl NbOp {
             NbOp::Ialltoallv => "mpi:ialltoallv",
         }
     }
+
+    /// Fault-hook site for this op. Blocking wrappers issue with no `NbOp`
+    /// accounting and hook under `comm.blocking`, so a `FaultPlan` can
+    /// target the request API without perturbing blocking call sites (whose
+    /// plain `wait` has no drop recovery).
+    fn fault_site(op: Option<NbOp>) -> &'static str {
+        match op {
+            Some(NbOp::Ireduce) => "comm.ireduce",
+            Some(NbOp::Iallreduce) => "comm.iallreduce",
+            Some(NbOp::Ibcast) => "comm.ibcast",
+            Some(NbOp::Iallgatherv) => "comm.iallgatherv",
+            Some(NbOp::Ialltoallv) => "comm.ialltoallv",
+            None => "comm.blocking",
+        }
+    }
+
+    fn op_label(op: Option<NbOp>) -> &'static str {
+        match op {
+            Some(NbOp::Ireduce) => "ireduce",
+            Some(NbOp::Iallreduce) => "iallreduce",
+            Some(NbOp::Ibcast) => "ibcast",
+            Some(NbOp::Iallgatherv) => "iallgatherv",
+            Some(NbOp::Ialltoallv) => "ialltoallv",
+            None => "blocking",
+        }
+    }
+}
+
+/// Deadline/backoff budget for [`Request::wait_deadline`] and
+/// [`Comm::settle`]: attempt `k` waits `deadline + k·backoff`, and a request
+/// that never completes surfaces [`CommError::Stalled`] after
+/// `max_attempts` waits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    pub deadline: Duration,
+    pub max_attempts: u32,
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Engine completions are sub-millisecond; 60 ms + linear backoff
+        // tolerates CI scheduling hiccups while a genuinely stalled engine
+        // (or an injected `CommStall` larger than the whole budget) is
+        // surfaced within ~1 s.
+        RetryPolicy {
+            deadline: Duration::from_millis(60),
+            max_attempts: 5,
+            backoff: Duration::from_millis(60),
+        }
+    }
 }
 
 struct ReqAcct {
@@ -172,15 +248,37 @@ pub struct Request<T = Vec<f64>> {
     slot: Arc<Slot<T>>,
     taken: Option<T>,
     acct: Option<ReqAcct>,
+    /// Fault injection dropped this request before submission; the payload
+    /// will never arrive and the issuing rank must re-issue
+    /// ([`Comm::settle`] does).
+    dropped: bool,
+    op: &'static str,
 }
 
 impl<T> Request<T> {
-    fn pending(slot: Arc<Slot<T>>, acct: Option<ReqAcct>) -> Self {
-        Request { slot, taken: None, acct }
+    fn pending(slot: Arc<Slot<T>>, acct: Option<ReqAcct>, op: &'static str) -> Self {
+        Request { slot, taken: None, acct, dropped: false, op }
     }
 
     fn ready(v: T) -> Self {
-        Request { slot: Arc::new(Slot::ready(v)), taken: None, acct: None }
+        Request {
+            slot: Arc::new(Slot::ready(v)),
+            taken: None,
+            acct: None,
+            dropped: false,
+            op: "local",
+        }
+    }
+
+    fn make_dropped(op: &'static str) -> Self {
+        Request { slot: Arc::new(Slot::new()), taken: None, acct: None, dropped: true, op }
+    }
+
+    /// Whether fault injection dropped this request at issue. A dropped
+    /// request never completes; re-issue it (symmetrically on every rank —
+    /// the injection decision is) or hand it to [`Comm::settle`].
+    pub fn is_dropped(&self) -> bool {
+        self.dropped
     }
 
     /// Nonblocking completion poll. Returns `true` once the collective has
@@ -205,17 +303,59 @@ impl<T> Request<T> {
         if let Some(v) = self.taken.take() {
             return v;
         }
+        assert!(
+            !self.dropped,
+            "wait() on a request dropped by fault injection (op `{}`); \
+             use wait_deadline/Comm::settle on fault-injected paths",
+            self.op
+        );
         let span = self.acct.as_ref().map(|_| obskit::span(obskit::Stage::Mpi, "mpi:wait"));
         let t0 = Instant::now();
         let v = self.slot.take_blocking();
+        self.charge_wait(t0);
+        drop(span);
+        v
+    }
+
+    fn charge_wait(&self, t0: Instant) {
         if let Some(a) = &self.acct {
             let dt = t0.elapsed().as_secs_f64();
             let mut s = lock(&a.stats);
             s.measured_seconds += dt;
             a.op.slot(&mut s).seconds += dt;
         }
-        drop(span);
-        v
+    }
+
+    /// Wait with a deadline/backoff budget. Attempt `k` blocks for
+    /// `deadline + k·backoff`; once the budget is exhausted the request is
+    /// abandoned and [`CommError::Stalled`] surfaces. A request dropped by
+    /// fault injection returns [`CommError::Dropped`] immediately.
+    ///
+    /// Expired deadlines re-wait on the **same** request — they never
+    /// re-issue, because a locally-timed re-issue would desynchronize the
+    /// SPMD op-id matching across ranks. Only symmetrically-dropped requests
+    /// are re-issued ([`Comm::settle`]).
+    pub fn wait_deadline(mut self, policy: &RetryPolicy) -> Result<T, CommError> {
+        if let Some(v) = self.taken.take() {
+            return Ok(v);
+        }
+        if self.dropped {
+            return Err(CommError::Dropped { op: self.op });
+        }
+        let span = self.acct.as_ref().map(|_| obskit::span(obskit::Stage::Mpi, "mpi:wait"));
+        let t0 = Instant::now();
+        let mut waited = Duration::ZERO;
+        for attempt in 0..policy.max_attempts.max(1) {
+            let d = policy.deadline + policy.backoff * attempt;
+            if let Some(v) = self.slot.take_timeout(d) {
+                self.charge_wait(t0);
+                drop(span);
+                return Ok(v);
+            }
+            waited += d;
+        }
+        self.charge_wait(t0);
+        Err(CommError::Stalled { op: self.op, waited, attempts: policy.max_attempts.max(1) })
     }
 }
 
@@ -790,14 +930,22 @@ impl Comm {
             // Identity: the single contribution is the result, bitwise.
             return Request::ready(data);
         }
+        let delay = match faultkit::comm_fault(NbOp::fault_site(acct)) {
+            Some(CommFault::Drop) => return Request::make_dropped(NbOp::op_label(acct)),
+            Some(CommFault::Delay(d)) => Some(d),
+            None => None,
+        };
         let id = self.next_op_id();
         let cell = self.reduce_cell(id, data.len(), root, all, max_op, alg);
         let slot = Arc::new(Slot::new());
-        let req = Request::pending(Arc::clone(&slot), self.acct_for(acct));
+        let req = Request::pending(Arc::clone(&slot), self.acct_for(acct), NbOp::op_label(acct));
         let ctx = self.ctx(id);
         let issued_at = self.now_secs();
         let bytes = (data.len() * 8) as u64;
         self.submit(Box::new(move || {
+            if let Some(d) = delay {
+                std::thread::sleep(d);
+            }
             let out = cell.run(&ctx, data);
             ctx.record_window(issued_at, bytes);
             slot.put(out);
@@ -872,6 +1020,11 @@ impl Comm {
         if self.shared.size == 1 {
             return Request::ready(data);
         }
+        let delay = match faultkit::comm_fault(NbOp::fault_site(acct)) {
+            Some(CommFault::Drop) => return Request::make_dropped(NbOp::op_label(acct)),
+            Some(CommFault::Delay(d)) => Some(d),
+            None => None,
+        };
         let id = self.next_op_id();
         let nb = &self.shared.nb;
         let cell = {
@@ -895,11 +1048,14 @@ impl Comm {
             }
         };
         let slot = Arc::new(Slot::new());
-        let req = Request::pending(Arc::clone(&slot), self.acct_for(acct));
+        let req = Request::pending(Arc::clone(&slot), self.acct_for(acct), NbOp::op_label(acct));
         let ctx = self.ctx(id);
         let issued_at = self.now_secs();
         let bytes = (data.len() * 8) as u64;
         self.submit(Box::new(move || {
+            if let Some(d) = delay {
+                std::thread::sleep(d);
+            }
             let out = cell.run(&ctx, data);
             ctx.record_window(issued_at, bytes);
             slot.put(out);
@@ -925,6 +1081,11 @@ impl Comm {
         if self.shared.size == 1 {
             return Request::ready(mine);
         }
+        let delay = match faultkit::comm_fault(NbOp::fault_site(acct)) {
+            Some(CommFault::Drop) => return Request::make_dropped(NbOp::op_label(acct)),
+            Some(CommFault::Delay(d)) => Some(d),
+            None => None,
+        };
         let id = self.next_op_id();
         let p = self.shared.size;
         let cell = {
@@ -936,11 +1097,14 @@ impl Comm {
             }
         };
         let slot = Arc::new(Slot::new());
-        let req = Request::pending(Arc::clone(&slot), self.acct_for(acct));
+        let req = Request::pending(Arc::clone(&slot), self.acct_for(acct), NbOp::op_label(acct));
         let ctx = self.ctx(id);
         let issued_at = self.now_secs();
         let bytes = (mine.len() * 8) as u64;
         self.submit(Box::new(move || {
+            if let Some(d) = delay {
+                std::thread::sleep(d);
+            }
             let out = cell.run(&ctx, mine);
             ctx.record_window(issued_at, bytes);
             slot.put(out);
@@ -966,6 +1130,11 @@ impl Comm {
         if p == 1 {
             return Request::ready(send);
         }
+        let delay = match faultkit::comm_fault(NbOp::fault_site(acct)) {
+            Some(CommFault::Drop) => return Request::make_dropped(NbOp::op_label(acct)),
+            Some(CommFault::Delay(d)) => Some(d),
+            None => None,
+        };
         let id = self.next_op_id();
         let cell = {
             let mut ops = lock(&self.shared.nb.ops);
@@ -976,11 +1145,14 @@ impl Comm {
             }
         };
         let slot = Arc::new(Slot::new());
-        let req = Request::pending(Arc::clone(&slot), self.acct_for(acct));
+        let req = Request::pending(Arc::clone(&slot), self.acct_for(acct), NbOp::op_label(acct));
         let ctx = self.ctx(id);
         let issued_at = self.now_secs();
         let bytes: u64 = send.iter().map(|c| (c.len() * 8) as u64).sum();
         self.submit(Box::new(move || {
+            if let Some(d) = delay {
+                std::thread::sleep(d);
+            }
             let out = cell.run(&ctx, send);
             ctx.record_window(issued_at, bytes);
             slot.put(out);
@@ -993,6 +1165,49 @@ impl Comm {
     /// consumes the same op-id sequence.
     pub fn ireduce_sum_empty(&self, root: usize) -> Request {
         self.ireduce_sum(Vec::new(), root)
+    }
+
+    /// Settle an already-issued request with bounded recovery: a request
+    /// dropped by fault injection is re-issued via `reissue` (safe because
+    /// the injection decision fired symmetrically on every rank, so every
+    /// rank re-issues and op ids stay matched), and completion is awaited
+    /// under `policy`'s deadline/backoff budget before
+    /// [`CommError::Stalled`] surfaces.
+    ///
+    /// Taking the first request as an argument (rather than issuing it
+    /// here) lets callers keep their issue-then-compute overlap window: the
+    /// recovery path only engages after the overlapped compute is done.
+    pub fn settle<T>(
+        &self,
+        first: Request<T>,
+        policy: &RetryPolicy,
+        mut reissue: impl FnMut(&Comm) -> Request<T>,
+    ) -> Result<T, CommError> {
+        let mut rq = first;
+        let mut reissues = 0u32;
+        loop {
+            if rq.is_dropped() {
+                let op = rq.op;
+                if reissues >= policy.max_attempts.max(1) {
+                    return Err(CommError::Dropped { op });
+                }
+                reissues += 1;
+                rq = reissue(self);
+                continue;
+            }
+            return rq.wait_deadline(policy);
+        }
+    }
+
+    /// Issue-and-settle in one call: `issue` runs once up front and again on
+    /// every (symmetric) drop re-issue.
+    pub fn resilient<T>(
+        &self,
+        policy: &RetryPolicy,
+        mut issue: impl FnMut(&Comm) -> Request<T>,
+    ) -> Result<T, CommError> {
+        let first = issue(self);
+        self.settle(first, policy, issue)
     }
 
     /// Per-rank monotone op id; SPMD issue order matches op `n` here with

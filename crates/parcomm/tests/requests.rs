@@ -230,3 +230,119 @@ fn interleaved_op_kinds_via_wait_all() {
         );
     }
 }
+
+// ------------------------------------------------- fault-injection recovery
+
+mod faults {
+    use super::*;
+    use faultkit::{FaultKind, FaultPlan};
+    use parcomm::RetryPolicy;
+    use std::time::{Duration, Instant};
+
+    /// An injected engine stall longer than the first deadline: the
+    /// wait-with-deadline must fire at least once, the backoff retries must
+    /// then pick the payload up, and the sum must match the blocking path
+    /// bitwise.
+    #[test]
+    fn stall_fires_deadline_then_recovers() {
+        let stall_ms = 150u64;
+        let policy = RetryPolicy {
+            deadline: Duration::from_millis(40),
+            max_attempts: 8,
+            backoff: Duration::from_millis(40),
+        };
+        let campaign = faultkit::arm(
+            FaultPlan::new(11).with("comm.iallreduce", 0, FaultKind::CommStall {
+                micros: stall_ms * 1000,
+            }),
+        );
+        let t0 = Instant::now();
+        let results = spmd(2, |c| {
+            let mine = rank_data(c, 77, 300);
+            let mut expect = mine.clone();
+            c.allreduce_sum(&mut expect);
+            let rq = c.iallreduce_sum(mine.clone());
+            let got = c
+                .settle(rq, &policy, |c| c.iallreduce_sum(mine.clone()))
+                .expect("stall within budget must recover");
+            (expect, got)
+        });
+        // The engine slept through at least one 40 ms deadline on each rank.
+        assert!(t0.elapsed() >= Duration::from_millis(stall_ms));
+        for (expect, got) in results {
+            assert_eq!(expect, got, "recovered sum must match blocking path bitwise");
+        }
+        let events = campaign.events();
+        assert_eq!(events.len(), 2, "stall fires once per rank: {events:?}");
+        assert!(events.iter().all(|e| e.site == "comm.iallreduce"));
+    }
+
+    /// A stall larger than the entire deadline/backoff budget must surface
+    /// `CommError::Stalled` (with the attempt count) instead of hanging.
+    #[test]
+    fn stall_beyond_budget_surfaces_stalled() {
+        let policy = RetryPolicy {
+            deadline: Duration::from_millis(5),
+            max_attempts: 3,
+            backoff: Duration::from_millis(5),
+        };
+        let _campaign = faultkit::arm(
+            FaultPlan::new(12).with("comm.iallreduce", 0, FaultKind::CommStall {
+                micros: 400_000,
+            }),
+        );
+        let results = spmd(2, |c| {
+            let rq = c.iallreduce_sum(vec![c.rank() as f64; 16]);
+            rq.wait_deadline(&policy)
+        });
+        for r in results {
+            match r {
+                Err(faultkit::CommError::Stalled { op, attempts, .. }) => {
+                    assert_eq!(op, "iallreduce");
+                    assert_eq!(attempts, 3);
+                }
+                other => panic!("expected Stalled, got {other:?}"),
+            }
+        }
+    }
+
+    /// A dropped request is re-issued symmetrically on every rank and the
+    /// retry completes with the exact blocking-path sum.
+    #[test]
+    fn dropped_request_reissues_and_recovers() {
+        let campaign = faultkit::arm(
+            FaultPlan::new(13).with("comm.iallreduce", 0, FaultKind::CommDrop),
+        );
+        let results = spmd(4, |c| {
+            let mine = rank_data(c, 5, 120);
+            let mut expect = mine.clone();
+            c.allreduce_sum(&mut expect);
+            let got = c
+                .resilient(&RetryPolicy::default(), |c| c.iallreduce_sum(mine.clone()))
+                .expect("drop must recover by re-issue");
+            (expect, got)
+        });
+        for (expect, got) in results {
+            assert_eq!(expect, got);
+        }
+        let events = campaign.events();
+        assert_eq!(events.len(), 4, "drop decision must fire on all 4 ranks: {events:?}");
+        assert!(events.iter().all(|e| e.kind == FaultKind::CommDrop));
+    }
+
+    /// Blocking collectives hook under a separate site, so request-API fault
+    /// plans leave them untouched.
+    #[test]
+    fn blocking_site_is_isolated_from_request_site() {
+        let campaign = faultkit::arm(
+            FaultPlan::new(14).with("comm.iallreduce", 0, FaultKind::CommDrop),
+        );
+        let results = spmd(2, |c| {
+            let mut buf = vec![1.0; 8];
+            c.allreduce_sum(&mut buf); // must not see the drop
+            buf[0]
+        });
+        assert_eq!(results, vec![2.0, 2.0]);
+        assert_eq!(campaign.fired(), 0);
+    }
+}

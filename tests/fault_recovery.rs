@@ -1,0 +1,106 @@
+//! Determinism and recovery properties of the fault-injection subsystem:
+//! identical `FaultPlan` seeds must produce identical fault-event sequences
+//! AND bitwise-identical recovered outputs, for arbitrary seeds and any of
+//! the named injection sites; the recovered eigenvalues must always agree
+//! with a fault-free run to 1e-8 (the ladder acceptance tolerance).
+
+use faultkit::{arm, FaultKind, FaultPlan};
+use lrtddft::problem::{synthetic_problem, CasidaProblem};
+use lrtddft::{IsdfRank, SolveOptions, Version};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Campaign problem, built once (proptest re-enters the closure per case).
+fn problem() -> &'static CasidaProblem {
+    static P: OnceLock<CasidaProblem> = OnceLock::new();
+    P.get_or_init(|| synthetic_problem([8, 8, 8], 6.0, 2, 2))
+}
+
+fn opts(p: &CasidaProblem) -> SolveOptions {
+    SolveOptions::new().rank(IsdfRank::Fixed(p.n_cv())).n_states(3).seed(7)
+}
+
+/// The serial injection sites, each with the fault kind that makes sense
+/// there and the pipeline version that reaches the site.
+const SITES: [(&str, FaultKind, Version); 5] = [
+    ("ham.c", FaultKind::NanPoison, Version::KmeansIsdf),
+    ("ham.v_tilde", FaultKind::InfPoison, Version::KmeansIsdf),
+    ("lobpcg.w", FaultKind::NanPoison, Version::ImplicitKmeansIsdfLobpcg),
+    ("isdf.points", FaultKind::RankStarvation, Version::KmeansIsdf),
+    ("kmeans.init", FaultKind::DegenerateSeeding, Version::KmeansIsdf),
+];
+
+/// Fault-free eigenvalues per version, computed once.
+fn baseline(version: Version) -> Vec<f64> {
+    static IMPLICIT: OnceLock<Vec<f64>> = OnceLock::new();
+    static KMEANS: OnceLock<Vec<f64>> = OnceLock::new();
+    let solve = move || {
+        let p = problem();
+        opts(p).run(p, version).expect("fault-free baseline").energies
+    };
+    match version {
+        Version::ImplicitKmeansIsdfLobpcg => IMPLICIT.get_or_init(solve).clone(),
+        _ => KMEANS.get_or_init(solve).clone(),
+    }
+}
+
+/// One armed run: recovered energies, recovery log, rendered fault events.
+fn armed_run(
+    plan: &FaultPlan,
+    version: Version,
+) -> (Vec<f64>, Vec<String>, Vec<String>) {
+    let p = problem();
+    let campaign = arm(plan.clone());
+    let sol = opts(p).run(p, version).expect("single injected fault must heal");
+    let events = campaign.events().iter().map(|e| e.render()).collect();
+    (sol.energies, sol.recovery, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed ⇒ same fault sequence ⇒ same bits out; and the healed
+    /// result stays within the acceptance tolerance of the fault-free run.
+    #[test]
+    fn same_seed_campaigns_are_bit_reproducible(
+        seed in 0u64..u64::MAX,
+        site_ix in 0usize..SITES.len(),
+        occurrence in 0u64..2,
+    ) {
+        let (site, kind, version) = SITES[site_ix];
+        let plan = FaultPlan::new(seed).with(site, occurrence, kind);
+
+        let (e1, r1, ev1) = armed_run(&plan, version);
+        let (e2, r2, ev2) = armed_run(&plan, version);
+
+        prop_assert_eq!(&ev1, &ev2, "fault-event sequences diverged");
+        prop_assert_eq!(&r1, &r2, "recovery logs diverged");
+        prop_assert_eq!(e1.len(), e2.len());
+        for (a, b) in e1.iter().zip(&e2) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "recovered output not bitwise stable");
+        }
+
+        let base = baseline(version);
+        prop_assert_eq!(e1.len(), base.len());
+        for (a, b) in base.iter().zip(&e1) {
+            prop_assert!(
+                (a - b).abs() < 1e-8,
+                "healed eigenvalue {} vs fault-free {} (events {:?})", b, a, ev1
+            );
+        }
+    }
+
+    /// Different seeds may pick different poison elements, but the event
+    /// *sites* are plan-driven, hence identical across seeds.
+    #[test]
+    fn event_sites_are_plan_driven(seed_a in 0u64..u64::MAX, seed_b in 0u64..u64::MAX) {
+        let (site, kind, version) = SITES[0];
+        let pa = FaultPlan::new(seed_a).with(site, 0, kind);
+        let pb = FaultPlan::new(seed_b).with(site, 0, kind);
+        let (_, _, ev_a) = armed_run(&pa, version);
+        let (_, _, ev_b) = armed_run(&pb, version);
+        prop_assert_eq!(ev_a.len(), 1);
+        prop_assert_eq!(ev_b.len(), 1);
+        prop_assert!(ev_a[0].contains("ham.c") && ev_b[0].contains("ham.c"));
+    }
+}
