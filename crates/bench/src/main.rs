@@ -35,6 +35,10 @@ fn main() {
             run_fault_report_cli(&args[1..]);
             return;
         }
+        Some("gemm-report") => {
+            run_gemm_report_cli(&args[1..]);
+            return;
+        }
         _ => {}
     }
     let mut experiment = None;
@@ -61,18 +65,11 @@ fn main() {
     }
     let experiment = experiment.unwrap_or_else(|| {
         eprintln!(
-            "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|gemm-report|all> [--quick|--full] [--out DIR]\n       repro trace [--version LABEL] [--ranks N] [--trace PATH] [--quick]\n       repro trace-report <PATH> [--check]\n       repro fft-report [--quick|--full] [--out DIR] [--check]\n       repro comm-report [--quick|--full] [--out DIR] [--check]\n       repro fault-report [--quick|--full] [--out DIR] [--check]"
+            "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|all> [--quick|--full] [--out DIR]\n       repro trace [--version LABEL] [--ranks N] [--trace PATH] [--quick]\n       repro trace-report <PATH> [--check]\n       repro fft-report [--quick|--full] [--out DIR] [--check]\n       repro comm-report [--quick|--full] [--out DIR] [--check]\n       repro fault-report [--quick|--full] [--out DIR] [--check]\n       repro gemm-report [--quick|--full] [--out DIR] [--check]"
         );
         std::process::exit(2);
     });
 
-    if experiment == "gemm-report" {
-        // Default to the working directory so `BENCH_gemm.json` lands at the
-        // repo root when run as `cargo run -p bench -- gemm-report`.
-        let dir = out.unwrap_or_else(|| PathBuf::from("."));
-        bench::gemm_report::run(&dir, matches!(scale, Scale::Quick)).expect("write gemm report");
-        return;
-    }
     let out = out.unwrap_or_else(|| PathBuf::from("results"));
 
     let run = |name: &str, scale: Scale| -> ExperimentRecord {
@@ -196,6 +193,37 @@ fn run_fault_report_cli(args: &[String]) {
     }
     if let Err(e) = bench::fault_report::run(&out, quick, check) {
         eprintln!("fault-report failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_gemm_report_cli(args: &[String]) {
+    let mut quick = false;
+    let mut check = false;
+    // Default to the working directory so `BENCH_gemm.json` lands at the
+    // repo root when run as `cargo run -p bench -- gemm-report`.
+    let mut out = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown gemm-report argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = bench::gemm_report::run(&out, quick, check) {
+        eprintln!("gemm-report failed: {e}");
         std::process::exit(1);
     }
 }

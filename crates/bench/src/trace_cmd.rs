@@ -215,6 +215,17 @@ fn print_counters(trace: &obskit::Trace) {
         println!("== GEMM shape histogram (log2 buckets, top {}) ==", rows.len());
         print_table(&headers, &rows);
     }
+    if !c.kernel_dispatch.is_empty() {
+        let headers = ["kernel path", "calls"];
+        let rows: Vec<Vec<String>> = c
+            .kernel_dispatch
+            .iter()
+            .take(12)
+            .map(|(label, calls)| vec![label.clone(), calls.to_string()])
+            .collect();
+        println!("== kernel dispatch (top {}) ==", rows.len());
+        print_table(&headers, &rows);
+    }
 }
 
 /// `BENCH_trace.json`: flat machine-readable rollup of one traced run.
@@ -230,6 +241,13 @@ fn bench_trace_json(
     let _ = writeln!(out, "  \"flops\": {},", trace.counters.flops);
     let _ = writeln!(out, "  \"bytes_moved\": {},", trace.counters.bytes_moved);
     let _ = writeln!(out, "  \"fft_calls\": {},", trace.counters.fft_calls);
+    let disp: Vec<String> = trace
+        .counters
+        .kernel_dispatch
+        .iter()
+        .map(|(label, calls)| format!("{}: {calls}", json::string(label)))
+        .collect();
+    let _ = writeln!(out, "  \"kernel_dispatch\": {{{}}},", disp.join(", "));
     out.push_str("  \"stage_seconds_by_rank\": [\n");
     for (rank, _) in per_rank.iter().enumerate() {
         let derived = StageTimings::from_trace(trace, rank);

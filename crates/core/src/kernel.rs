@@ -52,10 +52,9 @@ impl HxcKernel {
         assert_eq!(nr, self.fxc.len());
         assert_eq!(out.shape(), fields.shape(), "apply_into shape mismatch");
         out.par_cols_mut().enumerate().for_each(|(j, out_col)| {
-            let col = fields.col(j);
-            for ((o, &f), &x) in out_col.iter_mut().zip(col.iter()).zip(self.fxc.iter()) {
-                *o = f * x;
-            }
+            // `out = f_xc ∘ x`: elementwise product through the dispatched
+            // SIMD kernel (bitwise identical to the scalar loop).
+            mathkit::simd::pointwise_mul(out_col, self.fxc.as_slice(), fields.col(j));
         });
         if self.with_hartree {
             self.poisson.hartree_many(fields.as_slice(), out.as_mut_slice(), true);

@@ -48,7 +48,7 @@ pub use kernel::HxcKernel;
 pub use metrics::ComplexityEstimate;
 pub use naive::{build_dense_hamiltonian, solve_naive};
 pub use problem::{silicon_like_problem, synthetic_problem, CasidaProblem, KernelKind};
-pub use options::{Eig, SolveOptions};
+pub use options::{Eig, Precision, SolveOptions};
 pub use rank::IsdfRank;
 pub use spectrum::{
     absorption_spectrum, oscillator_strengths, transition_dipoles, try_absorption_spectrum,
@@ -57,7 +57,7 @@ pub use spectrum::{
 pub use timers::StageTimings;
 pub use versions::{
     build_isdf_hamiltonian, solve_with, try_build_isdf_hamiltonian, IsdfHamiltonian,
-    PointSelector, Solution, Version, FIT_RESIDUAL_GUARD,
+    MixedIsdfHamiltonian, PointSelector, Solution, Version, FIT_RESIDUAL_GUARD,
 };
 pub use faultkit::{CommError, NumericalError, SolveError};
 #[allow(deprecated)]

@@ -31,6 +31,21 @@ pub enum Eig {
     Lobpcg,
 }
 
+/// Arithmetic precision of the LOBPCG solve path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// Everything in f64 — bitwise identical to the historical solver.
+    #[default]
+    Full,
+    /// Iterative refinement: inner LOBPCG iterations apply an f32-storage
+    /// copy of the ISDF factors (f64-accumulating mixed GEMMs), then a short
+    /// full-f64 polish drives the residual to `opts.tol`. Falls back to the
+    /// full-precision recovery ladder if refinement breaks down or fails to
+    /// converge. Only affects the LOBPCG versions; dense-SYEV versions
+    /// ignore it.
+    MixedRefined,
+}
+
 /// Every knob of a serial or distributed LR-TDDFT solve, with a consuming
 /// builder. `Default` reproduces the legacy `SolverParams::default()`
 /// behavior: 3 states, `IsdfRank::default()` rank policy, 400-iteration
@@ -52,6 +67,10 @@ pub struct SolveOptions {
     pub pipelined: bool,
     /// Final eigensolver for the distributed solve.
     pub eigensolver: Eig,
+    /// Arithmetic precision of the LOBPCG solve path. `Full` (the default)
+    /// is bitwise identical to the historical solver; `MixedRefined` runs
+    /// f32-storage inner iterations with an f64 polish.
+    pub precision: Precision,
 }
 
 impl Default for SolveOptions {
@@ -63,6 +82,7 @@ impl Default for SolveOptions {
             seed: 0xcafe,
             pipelined: false,
             eigensolver: Eig::Lobpcg,
+            precision: Precision::Full,
         }
     }
 }
@@ -108,6 +128,12 @@ impl SolveOptions {
         self.eigensolver = eig;
         self
     }
+
+    /// Arithmetic precision of the LOBPCG solve path.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
 }
 
 #[allow(deprecated)]
@@ -135,13 +161,23 @@ mod tests {
             .lobpcg(LobpcgOptions { max_iter: 10, tol: 1e-3 })
             .seed(42)
             .pipelined(true)
-            .eigensolver(Eig::Syev);
+            .eigensolver(Eig::Syev)
+            .precision(Precision::MixedRefined);
         assert_eq!(o.n_states, 7);
         assert!(matches!(o.rank, IsdfRank::Fixed(12)));
         assert_eq!(o.lobpcg.max_iter, 10);
         assert_eq!(o.seed, 42);
         assert!(o.pipelined);
         assert_eq!(o.eigensolver, Eig::Syev);
+        assert_eq!(o.precision, Precision::MixedRefined);
+    }
+
+    #[test]
+    fn default_precision_is_full() {
+        // Full precision must stay the default: the fault-free f64 path is
+        // contractually bitwise identical to the historical solver.
+        assert_eq!(SolveOptions::default().precision, Precision::Full);
+        assert_eq!(Precision::default(), Precision::Full);
     }
 
     #[test]

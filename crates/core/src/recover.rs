@@ -25,7 +25,7 @@
 use crate::lobpcg_driver::{casida_preconditioner, initial_guess, solve_casida_lobpcg};
 use crate::metrics::ComplexityEstimate;
 use crate::naive::solve_naive;
-use crate::options::SolveOptions;
+use crate::options::{Precision, SolveOptions};
 use crate::problem::CasidaProblem;
 use crate::timers::StageTimings;
 use crate::versions::{
@@ -34,9 +34,16 @@ use crate::versions::{
 use faultkit::SolveError;
 use mathkit::davidson::{davidson, DavidsonOptions};
 use mathkit::gemm::{gemm, Transpose};
-use mathkit::lobpcg::{lobpcg, LobpcgOptions, LobpcgResult, LOBPCG_CHECKPOINT};
+use mathkit::lobpcg::{
+    lobpcg, lobpcg_refined, LobpcgOptions, LobpcgResult, LOBPCG_CHECKPOINT,
+};
 use mathkit::{syev, Mat};
 use std::time::Instant;
+
+/// Inner tolerance of the mixed-precision refined solve: loose enough that
+/// f32 storage (~1e-7 relative operator error) can reach it, tight enough
+/// that the f64 polish only needs a few iterations.
+const MIXED_INNER_TOL: f64 = 1e-6;
 
 impl SolveOptions {
     /// Solve `problem` with the requested `version`, healing transient
@@ -112,31 +119,49 @@ impl SolveOptions {
                 let res = if version == Version::KmeansIsdfLobpcg {
                     // Explicit H, iterative eigensolve (Table 4 row 4).
                     let h = ham.to_dense();
-                    eig_ladder(
-                        |x| {
-                            let mut y = Mat::zeros(h.nrows(), x.ncols());
-                            gemm(1.0, &h, Transpose::No, x, Transpose::No, 0.0, &mut y);
-                            y
-                        },
-                        || h.clone(),
-                        &ham.diag_d,
-                        k,
-                        self.lobpcg,
-                        self.seed,
-                        &mut recovery,
-                    )
+                    let apply = |x: &Mat| {
+                        let mut y = Mat::zeros(h.nrows(), x.ncols());
+                        gemm(1.0, &h, Transpose::No, x, Transpose::No, 0.0, &mut y);
+                        y
+                    };
+                    let mixed = if self.precision == Precision::MixedRefined {
+                        mixed_refined(&ham, apply, k, self.lobpcg, self.seed, &mut recovery)
+                    } else {
+                        None
+                    };
+                    match mixed {
+                        Some(res) => res,
+                        None => eig_ladder(
+                            apply,
+                            || h.clone(),
+                            &ham.diag_d,
+                            k,
+                            self.lobpcg,
+                            self.seed,
+                            &mut recovery,
+                        ),
+                    }
                 } else {
                     // Matrix-free (Table 4 row 5): H never materialized
                     // unless the ladder bottoms out at the dense floor.
-                    eig_ladder(
-                        |x| ham.apply(x),
-                        || ham.to_dense(),
-                        &ham.diag_d,
-                        k,
-                        self.lobpcg,
-                        self.seed,
-                        &mut recovery,
-                    )
+                    let apply = |x: &Mat| ham.apply(x);
+                    let mixed = if self.precision == Precision::MixedRefined {
+                        mixed_refined(&ham, apply, k, self.lobpcg, self.seed, &mut recovery)
+                    } else {
+                        None
+                    };
+                    match mixed {
+                        Some(res) => res,
+                        None => eig_ladder(
+                            apply,
+                            || ham.to_dense(),
+                            &ham.diag_d,
+                            k,
+                            self.lobpcg,
+                            self.seed,
+                            &mut recovery,
+                        ),
+                    }
                 };
                 timings.diag += t0.elapsed().as_secs_f64();
                 drop(sp);
@@ -175,6 +200,45 @@ fn build_ladder(
             stage: "isdf.build",
             attempts: vec![first.to_string(), second.to_string()],
         }),
+    }
+}
+
+/// Mixed-precision refined solve (`Precision::MixedRefined`): inner LOBPCG
+/// iterations apply the f32-storage [`crate::versions::MixedIsdfHamiltonian`]
+/// (f64-accumulating GEMMs) down to [`MIXED_INNER_TOL`], then a full-f64
+/// polish continues from the inner eigenvectors to `opts.tol`.
+///
+/// Returns `None` — with the failure recorded in `recovery` — when
+/// refinement breaks down or the polish does not converge; the caller then
+/// falls back to the full-precision [`eig_ladder`], so `MixedRefined` never
+/// sacrifices robustness, only (on the happy path) f64 inner iterations.
+fn mixed_refined<FA>(
+    ham: &IsdfHamiltonian,
+    apply: FA,
+    k: usize,
+    opts: LobpcgOptions,
+    seed: u64,
+    recovery: &mut Vec<String>,
+) -> Option<LobpcgResult>
+where
+    FA: Fn(&Mat) -> Mat,
+{
+    let low = ham.to_mixed();
+    let x0 = initial_guess(&ham.diag_d, k, seed);
+    let pre = casida_preconditioner(&ham.diag_d, 1e-3);
+    match lobpcg_refined(|x| low.apply(x), &apply, pre, &x0, MIXED_INNER_TOL, opts) {
+        Ok(r) if r.result.converged => Some(r.result),
+        Ok(r) => {
+            recovery.push(format!(
+                "mixed: refined solve unconverged (residual {:.3e}); falling back to full precision",
+                r.result.residual
+            ));
+            None
+        }
+        Err(e) => {
+            recovery.push(format!("mixed: {e}; falling back to full precision"));
+            None
+        }
     }
 }
 
@@ -312,6 +376,68 @@ mod tests {
             for (x, y) in a.energies.iter().zip(&b.energies) {
                 assert_eq!(x.to_bits(), y.to_bits(), "{v:?}");
             }
+        }
+    }
+
+    #[test]
+    fn mixed_refined_matches_full_precision_eigenvalues() {
+        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        let o = opts(&p);
+        for v in [Version::KmeansIsdfLobpcg, Version::ImplicitKmeansIsdfLobpcg] {
+            let full = o.run(&p, v).expect("full precision");
+            let mixed = o
+                .precision(crate::options::Precision::MixedRefined)
+                .run(&p, v)
+                .expect("mixed refined");
+            assert!(
+                mixed.recovery.is_empty(),
+                "{v:?}: clean mixed solve must not take recovery rungs: {:?}",
+                mixed.recovery
+            );
+            for (a, b) in full.energies.iter().zip(&mixed.energies) {
+                assert!(
+                    (a - b).abs() <= 1e-8,
+                    "{v:?}: mixed {b} vs full {a} differ by {:.3e}",
+                    (a - b).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_refined_breakdown_falls_back_to_full_ladder() {
+        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        let o = opts(&p).precision(crate::options::Precision::MixedRefined);
+        let baseline = opts(&p).run(&p, Version::ImplicitKmeansIsdfLobpcg).expect("baseline");
+        // Poison the first LOBPCG search direction: the mixed inner solve
+        // breaks down, the fallback runs the full-f64 ladder (the fault is
+        // one-shot, so rung 1 of the ladder is clean).
+        let campaign = arm(FaultPlan::new(21).with("lobpcg.w", 0, FaultKind::NanPoison));
+        let healed = o.run(&p, Version::ImplicitKmeansIsdfLobpcg).expect("fallback heals");
+        assert_eq!(campaign.fired(), 1);
+        assert!(
+            healed.recovery.iter().any(|r| r.contains("falling back to full precision")),
+            "recovery log: {:?}",
+            healed.recovery
+        );
+        for (a, b) in baseline.energies.iter().zip(&healed.energies) {
+            assert!((a - b).abs() < 1e-8, "recovered {b} vs baseline {a}");
+        }
+    }
+
+    #[test]
+    fn full_precision_path_unchanged_by_precision_knob_default() {
+        // Guard the contract: a default-options run must be bitwise identical
+        // whether or not the Precision field exists — i.e. Full is untouched.
+        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        let o = opts(&p);
+        let a = o.run(&p, Version::ImplicitKmeansIsdfLobpcg).expect("run a");
+        let b = o
+            .precision(crate::options::Precision::Full)
+            .run(&p, Version::ImplicitKmeansIsdfLobpcg)
+            .expect("run b");
+        for (x, y) in a.energies.iter().zip(&b.energies) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

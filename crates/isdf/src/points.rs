@@ -16,19 +16,13 @@ pub fn pair_weights(psi: &Mat, phi: &Mat) -> Vec<f64> {
     let mut w = vec![0.0; nr];
     let mut psi2 = vec![0.0; nr];
     for j in 0..psi.ncols() {
-        for (acc, &v) in psi2.iter_mut().zip(psi.col(j).iter()) {
-            *acc += v * v;
-        }
+        mathkit::simd::add_squares(&mut psi2, psi.col(j));
     }
     let mut phi2 = vec![0.0; nr];
     for j in 0..phi.ncols() {
-        for (acc, &v) in phi2.iter_mut().zip(phi.col(j).iter()) {
-            *acc += v * v;
-        }
+        mathkit::simd::add_squares(&mut phi2, phi.col(j));
     }
-    for i in 0..nr {
-        w[i] = psi2[i] * phi2[i];
-    }
+    mathkit::simd::pointwise_mul(&mut w, &psi2, &phi2);
     w
 }
 

@@ -19,17 +19,28 @@
 //! ```
 //!
 //! Packing absorbs all four transpose cases up front, so the microkernel
-//! always sees two contiguous, aligned streams regardless of `op(A)`/`op(B)`
-//! — and the `MR × NR` accumulator block lives in registers for the whole
-//! KC-strip, which is what lets rustc/LLVM auto-vectorize the inner loop
-//! (AVX-512: one zmm per accumulator row). The pc/ic/jc loops are flattened
-//! into a Rayon parallel iterator over disjoint `MC × NC` tiles of `C`, so
-//! both the M and N dimensions are partitioned (not just single columns).
+//! always sees two contiguous streams regardless of `op(A)`/`op(B)` — and
+//! the register tile is computed by the explicit AVX2 microkernels in
+//! [`crate::simd`] (8×4 and a wider 8×8 variant, selected by output width),
+//! with a bit-compatible scalar fallback chosen by one-time runtime CPU
+//! dispatch. The pc/ic/jc loops are flattened into a Rayon parallel iterator
+//! over disjoint `MC × NC` tiles of `C`, so both the M and N dimensions are
+//! partitioned (not just single columns).
+//!
+//! Skinny outputs (`n ≤ MR`, the implicit-Hamiltonian `H·X` shape with a
+//! handful of excitation states) take a dedicated strip-tiled path: the C
+//! strip rides in registers over the *full* shared dimension, `op(B)` is
+//! staged into one small `k × n` buffer, and `op(A)` is either read in
+//! place (untransposed — panel-blocked so the strided strip reads stay
+//! cache-resident) or packed once into MR-row strips (transposed), so every
+//! A element is read exactly once from DRAM and the fold per output element
+//! stays single-pass — bitwise identical to the serial kernels.
 //!
 //! Tiny inputs (Rayleigh–Ritz blocks, 3×3 cell algebra) skip packing
 //! entirely through a serial small-size fast path.
 
 use crate::mat::Mat;
+use crate::simd::{self, Kernel};
 use rayon::prelude::*;
 
 /// Whether an operand is used as-is or transposed.
@@ -39,15 +50,24 @@ pub enum Transpose {
     Yes,
 }
 
-/// Microkernel register tile: MR rows × NR columns of C.
+/// Microkernel register tile: MR rows × NR columns of C. NR8 is the wider
+/// 8×8 tile used when the output has enough columns to fill it.
 const MR: usize = 8;
 const NR: usize = 4;
+const NR8: usize = 8;
 /// Cache blocking: op(A) panels are MC×KC (L2-resident), op(B) panels KC×NC.
 const MC: usize = 128;
 const NC: usize = 256;
 const KC: usize = 512;
 /// Flop count (2·m·n·k) below which packing overhead beats the blocked path.
 const SMALL_FLOPS: usize = 1 << 17;
+/// Panel budget (in doubles, ≈1 MiB) for the direct skinny-axpy path: the
+/// strip sweep reads one cache line per A column at stride `lda`, so without
+/// blocking a tall-`k` sweep touches a new page per load (no prefetch, TLB
+/// misses on every strip). Blocking the shared dimension to panels of
+/// `DIRECT_PANEL / lda` columns keeps the panel L2/TLB-resident: the first
+/// strip streams it from DRAM, the rest re-read it from cache.
+const DIRECT_PANEL: usize = 1 << 17;
 
 /// `C = alpha * op(A) * op(B) + beta * C`.
 ///
@@ -81,16 +101,51 @@ pub fn gemm(
 
     let av = View { data: a.as_slice(), nrows: a.nrows(), trans: ta };
     let bv = View { data: b.as_slice(), nrows: b.nrows(), trans: tb };
+    let kernel = simd::active_kernel();
     if 2 * m * n * k < SMALL_FLOPS {
+        obskit::record_kernel_dispatch("gemm.small");
         gemm_small(alpha, &av, &bv, beta, c.as_mut_slice(), m, n, k);
+    } else if n <= MR && m >= 3 * MR {
+        // The implicit-H·X family: a tall `op(A)` against at most MR columns.
+        // Keep the whole C strip in registers and sweep A in one pass.
+        // Untransposed A is read in place (contiguous 8-row segments of each
+        // column — "direct"); transposed A is packed once over the full k
+        // ("packed") so the dot fold can vectorize across rows. At large k
+        // these shapes are DRAM-bound, and skipping the A pack is what keeps
+        // the single-stream traffic at parity with the reference loop.
+        obskit::record_kernel_dispatch(match (ta, kernel) {
+            (Transpose::No, Kernel::Avx2) => "gemm.skinny_direct.avx2",
+            (Transpose::No, Kernel::Scalar) => "gemm.skinny_direct.scalar",
+            (Transpose::Yes, Kernel::Avx2) => "gemm.skinny_packed.avx2",
+            (Transpose::Yes, Kernel::Scalar) => "gemm.skinny_packed.scalar",
+        });
+        gemm_skinny_packed(kernel, alpha, &av, &bv, beta, c.as_mut_slice(), m, n, k);
     } else if n < 3 * NR || m < 3 * MR {
         // Skinny output: every packed element would be reused fewer than ~3
         // times, so packing overhead beats the microkernel win. Column-
-        // parallel axpy/dot loops instead (the LOBPCG `C·X` / `S·coef`
-        // blocks with k ≲ 8 states land here).
+        // parallel axpy/dot loops instead (LOBPCG `S·coef` blocks and short
+        // outputs land here).
+        obskit::record_kernel_dispatch("gemm.skinny_cols");
         gemm_skinny(alpha, &av, &bv, beta, c.as_mut_slice(), m, n, k);
     } else {
+        obskit::record_kernel_dispatch(match (blocked_nr(n), kernel) {
+            (NR8, Kernel::Avx2) => "gemm.blocked.8x8.avx2",
+            (NR8, Kernel::Scalar) => "gemm.blocked.8x8.scalar",
+            (_, Kernel::Avx2) => "gemm.blocked.8x4.avx2",
+            (_, Kernel::Scalar) => "gemm.blocked.8x4.scalar",
+        });
         gemm_blocked(alpha, &av, &bv, beta, c.as_mut_slice(), m, n, k);
+    }
+}
+
+/// Register-tile width for the blocked path: the 8×8 microkernel needs at
+/// least two full tiles of columns to pay for its wider B packing.
+#[inline]
+fn blocked_nr(n: usize) -> usize {
+    if n >= 2 * NR8 {
+        NR8
+    } else {
+        NR
     }
 }
 
@@ -145,6 +200,10 @@ pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.nrows(), y.len());
     let nrows = a.nrows();
     let a_data = a.as_slice();
+    obskit::record_kernel_dispatch(match simd::active_kernel() {
+        Kernel::Avx2 => "gemv.avx2",
+        Kernel::Scalar => "gemv.scalar",
+    });
     let body = |i0: usize, yc: &mut [f64]| {
         scale_slice(yc, beta);
         if alpha == 0.0 {
@@ -156,9 +215,7 @@ pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
                 continue;
             }
             let col = &a_data[l * nrows + i0..l * nrows + i0 + yc.len()];
-            for (yv, &av) in yc.iter_mut().zip(col.iter()) {
-                *yv += axl * av;
-            }
+            simd::axpy(axl, col, yc);
         }
     };
     // Chunk rows so each Rayon worker owns a contiguous slab of y and streams
@@ -236,9 +293,7 @@ fn gemm_small(
                         continue;
                     }
                     let a_col = &av.data[l * av.nrows..l * av.nrows + m];
-                    for (cv, &a) in c_col.iter_mut().zip(a_col.iter()) {
-                        *cv += blj * a;
-                    }
+                    simd::axpy(blj, a_col, c_col);
                 }
             }
             (Transpose::Yes, Transpose::No) => {
@@ -259,9 +314,7 @@ fn gemm_small(
                         continue;
                     }
                     let a_col = &av.data[l * av.nrows..l * av.nrows + m];
-                    for (cv, &a) in c_col.iter_mut().zip(a_col.iter()) {
-                        *cv += blj * a;
-                    }
+                    simd::axpy(blj, a_col, c_col);
                 }
             }
             (Transpose::Yes, Transpose::Yes) => {
@@ -303,6 +356,129 @@ fn gemm_skinny(
     });
 }
 
+/// Strip-tiled path for skinny outputs (`n ≤ MR`, tall `op(A)`): the whole C
+/// strip of `n` columns rides in one register tile per MR rows, swept over
+/// the full shared dimension in a single pass (no KC split — the per-element
+/// fold stays bitwise identical to the serial kernels), with `op(B)` staged
+/// into one `k × n` column-major buffer.
+///
+/// `op(A)` handling depends on the fold:
+/// * **Axpy fold** (`A` untransposed): read A in place — each strip's MR rows
+///   are contiguous within every column of column-major A, so the tile just
+///   walks the column stride `lda`. No pack at all; at large `k` the A pack
+///   would *triple* memory traffic (write + re-read 8·k·strips doubles the
+///   single streaming read) and these shapes are DRAM-bound, which is exactly
+///   how the `implicit_512x4096_x_4096x8` benchmark shape regressed below the
+///   reference loop before this path existed.
+/// * **Dot fold** (`A` transposed): pack once into row-interleaved `MR × k`
+///   strips — the vector kernel needs one `l` slice across 8 rows per load,
+///   which transposed A cannot provide in place.
+///
+/// This is the shape of the paper's implicit `H·X` apply (`N_mu × N_cv`
+/// operators against `k ≤ 8` excitation states), where the column-parallel
+/// fallback used to re-read A once per column.
+#[allow(clippy::too_many_arguments)]
+fn gemm_skinny_packed(
+    kernel: Kernel,
+    alpha: f64,
+    av: &View,
+    bv: &View,
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    debug_assert!((1..=MR).contains(&n));
+    let strips = m.div_ceil(MR);
+    let dot_fold = av.trans == Transpose::Yes;
+    // Reuse pack scratch across calls: a fresh zeroed Vec costs more than the
+    // whole tile sweep at these skinny shapes (page zeroing dominates).
+    // `take`/`set` instead of borrowing keeps re-entrant calls on the same
+    // thread (Rayon work-stealing) safe — they just allocate fresh.
+    let (mut apack, mut bpack) = SKINNY_SCRATCH.take();
+    let a_need = if dot_fold { strips * MR * k } else { 0 };
+    if apack.len() < a_need {
+        apack.resize(a_need, 0.0);
+    }
+    let b_need = k * n;
+    if bpack.len() < b_need {
+        bpack.resize(b_need, 0.0);
+    }
+    apack[..a_need]
+        .par_chunks_mut(MR * k)
+        .enumerate()
+        .for_each(|(s, buf)| pack_a_strip(av, s * MR, m, 0, k, buf));
+    for j in 0..n {
+        for (l, d) in bpack[j * k..(j + 1) * k].iter_mut().enumerate() {
+            *d = bv.get(l, j);
+        }
+    }
+    scale_slice(c, beta);
+    let cptr = CPtr(c.as_mut_ptr());
+    let lda = av.nrows;
+    let bp = &bpack[..b_need];
+    if dot_fold {
+        (0..strips).into_par_iter().for_each(|s| {
+            let it = s * MR;
+            let mr_eff = MR.min(m - it);
+            let ap = &apack[s * MR * k..(s + 1) * MR * k];
+            // SAFETY: strips own disjoint row ranges `[it, it + mr_eff)` of
+            // every C column; the tile kernels only touch those rows.
+            unsafe {
+                let cbase = cptr.0.add(it);
+                simd::skinny_dot_tile(kernel, k, ap, bp, n, mr_eff, alpha, cbase, m);
+            }
+        });
+    } else {
+        // Direct-from-A sweep, panel-blocked over the shared dimension (see
+        // DIRECT_PANEL). C accumulates panel by panel in increasing `l`, so
+        // the per-element fold order — and hence bitwise identity with the
+        // serial kernels — is unchanged; the register tile is simply stored
+        // and reloaded between panels (exact round trips).
+        let kc = (DIRECT_PANEL / lda).max(MR).min(k);
+        let mut l0 = 0;
+        while l0 < k {
+            let kc_eff = kc.min(k - l0);
+            (0..strips).into_par_iter().for_each(|s| {
+                let it = s * MR;
+                let mr_eff = MR.min(m - it);
+                // Direct window into A: rows [it, it + mr_eff) of columns
+                // [l0, l0 + kc_eff), stride lda. The slice ends exactly at
+                // the window's last element, so full-MR vector loads stay
+                // in bounds.
+                let ap = &av.data[l0 * lda + it..(l0 + kc_eff - 1) * lda + it + mr_eff];
+                // SAFETY: same disjoint-strip ownership of C rows as above.
+                unsafe {
+                    let cbase = cptr.0.add(it);
+                    simd::skinny_axpy_tile(
+                        kernel,
+                        kc_eff,
+                        ap,
+                        lda,
+                        &bp[l0..],
+                        k,
+                        n,
+                        mr_eff,
+                        alpha,
+                        cbase,
+                        m,
+                    );
+                }
+            });
+            l0 += kc_eff;
+        }
+    }
+    SKINNY_SCRATCH.set((apack, bpack));
+}
+
+std::thread_local! {
+    /// Pack scratch for [`gemm_skinny_packed`], reused across calls on each
+    /// thread (grown monotonically, never shrunk).
+    static SKINNY_SCRATCH: std::cell::Cell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::Cell::new((Vec::new(), Vec::new())) };
+}
+
 /// Raw pointer into C, shareable across Rayon workers writing disjoint tiles.
 #[derive(Clone, Copy)]
 struct CPtr(*mut f64);
@@ -329,6 +505,8 @@ fn gemm_blocked(
         scale_slice(c, beta);
     }
 
+    let kernel = simd::active_kernel();
+    let nr = blocked_nr(n);
     let n_ic = m.div_ceil(MC);
     let n_jc = n.div_ceil(NC);
     let n_pc = k.div_ceil(KC);
@@ -351,7 +529,7 @@ fn gemm_blocked(
             let (pc, jc) = (idx / n_jc, idx % n_jc);
             let p0 = pc * KC;
             let j0 = jc * NC;
-            pack_b(bv, p0, KC.min(k - p0), j0, NC.min(n - j0))
+            pack_b(bv, p0, KC.min(k - p0), j0, NC.min(n - j0), nr)
         })
         .collect();
 
@@ -367,9 +545,43 @@ fn gemm_blocked(
             let ap = &packed_a[pc * n_ic + ic];
             let bp = &packed_b[pc * n_jc + jc];
             // SAFETY: tiles (i0..i0+mc, j0..j0+nc) are disjoint across tasks.
-            unsafe { macro_tile(alpha, ap, bp, kc, mc, nc, cptr, m, i0, j0) };
+            unsafe { macro_tile(kernel, nr, alpha, ap, bp, kc, mc, nc, cptr, m, i0, j0) };
         }
     });
+}
+
+/// Pack one MR-row strip starting at op(A) row `ib` (rows clipped to
+/// `i_max`) × cols `[p0, p0+kc)` into `buf` (`MR·kc`, pre-zeroed): element
+/// `(i, l)` lands at `l·MR + i`. Padding rows stay zero.
+fn pack_a_strip(av: &View, ib: usize, i_max: usize, p0: usize, kc: usize, buf: &mut [f64]) {
+    let mr_eff = MR.min(i_max - ib);
+    // Partial strips zero their padding lanes explicitly so the buffer does
+    // not have to be pre-zeroed (the skinny path reuses scratch buffers).
+    if mr_eff < MR {
+        for l in 0..kc {
+            buf[l * MR + mr_eff..(l + 1) * MR].fill(0.0);
+        }
+    }
+    match av.trans {
+        Transpose::No => {
+            for l in 0..kc {
+                let col = &av.data[(p0 + l) * av.nrows + ib..];
+                let dst = &mut buf[l * MR..l * MR + mr_eff];
+                dst.copy_from_slice(&col[..mr_eff]);
+            }
+        }
+        Transpose::Yes => {
+            // kc-outer keeps both sides streaming: mr_eff sequential
+            // read cursors (one per op(A) row = stored column) advance
+            // in lockstep while writes stay contiguous.
+            for l in 0..kc {
+                let dst = &mut buf[l * MR..l * MR + mr_eff];
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = av.data[(ib + i) * av.nrows + p0 + l];
+                }
+            }
+        }
+    }
 }
 
 /// Pack rows `[i0, i0+mc)` × cols `[p0, p0+kc)` of `op(A)` into MR-row
@@ -378,48 +590,26 @@ fn gemm_blocked(
 fn pack_a(av: &View, i0: usize, mc: usize, p0: usize, kc: usize) -> Vec<f64> {
     let strips = mc.div_ceil(MR);
     let mut buf = vec![0.0; strips * MR * kc];
-    for s in 0..strips {
-        let base = s * MR * kc;
-        let ib = i0 + s * MR;
-        let mr_eff = MR.min(i0 + mc - ib);
-        match av.trans {
-            Transpose::No => {
-                for l in 0..kc {
-                    let col = &av.data[(p0 + l) * av.nrows + ib..];
-                    let dst = &mut buf[base + l * MR..base + l * MR + mr_eff];
-                    dst.copy_from_slice(&col[..mr_eff]);
-                }
-            }
-            Transpose::Yes => {
-                // kc-outer keeps both sides streaming: mr_eff sequential
-                // read cursors (one per op(A) row = stored column) advance
-                // in lockstep while writes stay contiguous.
-                for l in 0..kc {
-                    let dst = &mut buf[base + l * MR..base + l * MR + mr_eff];
-                    for (i, d) in dst.iter_mut().enumerate() {
-                        *d = av.data[(ib + i) * av.nrows + p0 + l];
-                    }
-                }
-            }
-        }
+    for (s, strip) in buf.chunks_mut(MR * kc).enumerate() {
+        pack_a_strip(av, i0 + s * MR, i0 + mc, p0, kc, strip);
     }
     buf
 }
 
-/// Pack rows `[p0, p0+kc)` × cols `[j0, j0+nc)` of `op(B)` into NR-column
-/// micropanels: element `(l, j)` of strip `s` lands at `s·NR·kc + l·NR + j`.
-fn pack_b(bv: &View, p0: usize, kc: usize, j0: usize, nc: usize) -> Vec<f64> {
-    let strips = nc.div_ceil(NR);
-    let mut buf = vec![0.0; strips * NR * kc];
+/// Pack rows `[p0, p0+kc)` × cols `[j0, j0+nc)` of `op(B)` into `nr`-column
+/// micropanels: element `(l, j)` of strip `s` lands at `s·nr·kc + l·nr + j`.
+fn pack_b(bv: &View, p0: usize, kc: usize, j0: usize, nc: usize, nr: usize) -> Vec<f64> {
+    let strips = nc.div_ceil(nr);
+    let mut buf = vec![0.0; strips * nr * kc];
     for s in 0..strips {
-        let base = s * NR * kc;
-        let jb = j0 + s * NR;
-        let nr_eff = NR.min(j0 + nc - jb);
+        let base = s * nr * kc;
+        let jb = j0 + s * nr;
+        let nr_eff = nr.min(j0 + nc - jb);
         match bv.trans {
             Transpose::No => {
                 // kc-outer for the same streaming-access reason as pack_a.
                 for l in 0..kc {
-                    let dst = &mut buf[base + l * NR..base + l * NR + nr_eff];
+                    let dst = &mut buf[base + l * nr..base + l * nr + nr_eff];
                     for (j, d) in dst.iter_mut().enumerate() {
                         *d = bv.data[(jb + j) * bv.nrows + p0 + l];
                     }
@@ -428,7 +618,7 @@ fn pack_b(bv: &View, p0: usize, kc: usize, j0: usize, nc: usize) -> Vec<f64> {
             Transpose::Yes => {
                 for l in 0..kc {
                     let col = &bv.data[(p0 + l) * bv.nrows + jb..];
-                    let dst = &mut buf[base + l * NR..base + l * NR + nr_eff];
+                    let dst = &mut buf[base + l * nr..base + l * nr + nr_eff];
                     dst.copy_from_slice(&col[..nr_eff]);
                 }
             }
@@ -437,35 +627,19 @@ fn pack_b(bv: &View, p0: usize, kc: usize, j0: usize, nc: usize) -> Vec<f64> {
     buf
 }
 
-/// Rank-kc update of one MR×NR register tile from packed micropanel strips.
-/// `ap` holds kc columns of MR values, `bp` kc rows of NR values; the
-/// accumulator array stays in registers across the whole strip.
-///
-/// Kept out-of-line on purpose: in its own codegen context LLVM keeps the
-/// 8×4 accumulator in four 256-bit vectors; inlined into the macro-tile
-/// loop nest it falls back to scalar code (~8× slower).
-#[inline(never)]
-fn microkernel(kc: usize, ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
-    let mut acc = [[0.0f64; MR]; NR];
-    for (a, b) in ap.chunks_exact(MR).take(kc).zip(bp.chunks_exact(NR)) {
-        for j in 0..NR {
-            let bj = b[j];
-            for i in 0..MR {
-                acc[j][i] += a[i] * bj;
-            }
-        }
-    }
-    acc
-}
-
 /// One MC×NC tile of C updated from a packed A panel and packed B panel:
-/// `C[i0.., j0..] += alpha · op(A)_panel · op(B)_panel`.
+/// `C[i0.., j0..] += alpha · op(A)_panel · op(B)_panel`. The register tile
+/// itself is computed by the dispatched microkernel in [`crate::simd`]
+/// (`nr` ∈ {4, 8} selects the 8×4 or 8×8 variant; both packed panels must
+/// have been laid out with the same `nr`).
 ///
 /// # Safety
 /// The caller must guarantee exclusive access to the tile
 /// `(i0..i0+mc) × (j0..j0+nc)` of the `ldc`-row column-major buffer `c`.
 #[allow(clippy::too_many_arguments)]
 unsafe fn macro_tile(
+    kernel: Kernel,
+    nr: usize,
     alpha: f64,
     ap: &[f64],
     bp: &[f64],
@@ -478,17 +652,18 @@ unsafe fn macro_tile(
     j0: usize,
 ) {
     let m_strips = mc.div_ceil(MR);
-    let n_strips = nc.div_ceil(NR);
+    let n_strips = nc.div_ceil(nr);
+    let mut acc = [0.0f64; MR * NR8];
     for js in 0..n_strips {
-        let bstrip = &bp[js * NR * kc..(js + 1) * NR * kc];
-        let jt = js * NR;
-        let nr_eff = NR.min(nc - jt);
+        let bstrip = &bp[js * nr * kc..(js + 1) * nr * kc];
+        let jt = js * nr;
+        let nr_eff = nr.min(nc - jt);
         for is in 0..m_strips {
             let astrip = &ap[is * MR * kc..(is + 1) * MR * kc];
             let it = is * MR;
             let mr_eff = MR.min(mc - it);
-            let acc = microkernel(kc, astrip, bstrip);
-            for (j, accj) in acc.iter().enumerate().take(nr_eff) {
+            simd::microkernel_f64(kernel, nr, kc, astrip, bstrip, &mut acc);
+            for (j, accj) in acc.chunks_exact(MR).enumerate().take(nr_eff) {
                 let base = c.0.add((j0 + jt + j) * ldc + i0 + it);
                 for (i, &v) in accj.iter().enumerate().take(mr_eff) {
                     *base.add(i) += alpha * v;
@@ -527,6 +702,8 @@ fn syrk_engine(alpha: f64, av: &View, bv: &View, n: usize, k: usize) -> Mat {
         return c;
     }
 
+    let kernel = simd::active_kernel();
+    let nr = blocked_nr(n);
     let n_blk = n.div_ceil(MC.min(NC));
     let blk = MC.min(NC);
     let n_pc = k.div_ceil(KC);
@@ -545,7 +722,7 @@ fn syrk_engine(alpha: f64, av: &View, bv: &View, n: usize, k: usize) -> Mat {
             let (pc, jc) = (idx / n_blk, idx % n_blk);
             let p0 = pc * KC;
             let j0 = jc * blk;
-            pack_b(bv, p0, KC.min(k - p0), j0, blk.min(n - j0))
+            pack_b(bv, p0, KC.min(k - p0), j0, blk.min(n - j0), nr)
         })
         .collect();
 
@@ -563,7 +740,7 @@ fn syrk_engine(alpha: f64, av: &View, bv: &View, n: usize, k: usize) -> Mat {
             let ap = &packed_a[pc * n_blk + ic];
             let bp = &packed_b[pc * n_blk + jc];
             // SAFETY: each (ic ≥ jc) tile is visited by exactly one task.
-            unsafe { macro_tile(alpha, ap, bp, kc, mc, nc, cptr, n, i0, j0) };
+            unsafe { macro_tile(kernel, nr, alpha, ap, bp, kc, mc, nc, cptr, n, i0, j0) };
         }
     });
     mirror_lower_to_upper(&mut c);
@@ -771,6 +948,101 @@ mod tests {
         assert_eq!(c2[(0, 0)], 2.0);
     }
 
+    #[test]
+    fn skinny_packed_matches_naive_all_transposes() {
+        // Forces the n ≤ MR packed path: tall output, few columns, both
+        // full and partial MR strips, all four folds.
+        let mut rng = rand::thread_rng();
+        for (m, n, k) in [(67, 3, 50), (64, 8, 33), (200, 1, 7), (40, 5, 1)] {
+            for (ta, tb) in [
+                (Transpose::No, Transpose::No),
+                (Transpose::Yes, Transpose::No),
+                (Transpose::No, Transpose::Yes),
+                (Transpose::Yes, Transpose::Yes),
+            ] {
+                let a = match ta {
+                    Transpose::No => Mat::random(m, k, &mut rng),
+                    Transpose::Yes => Mat::random(k, m, &mut rng),
+                };
+                let b = match tb {
+                    Transpose::No => Mat::random(k, n, &mut rng),
+                    Transpose::Yes => Mat::random(n, k, &mut rng),
+                };
+                let av = View { data: a.as_slice(), nrows: a.nrows(), trans: ta };
+                let bv = View { data: b.as_slice(), nrows: b.nrows(), trans: tb };
+                let mut c = Mat::from_fn(m, n, |i, j| (i + 2 * j) as f64 * 0.01);
+                let mut expect = c.clone();
+                gemm_small(1.7, &av, &bv, -0.3, expect.as_mut_slice(), m, n, k);
+                gemm_skinny_packed(
+                    simd::active_kernel(),
+                    1.7,
+                    &av,
+                    &bv,
+                    -0.3,
+                    c.as_mut_slice(),
+                    m,
+                    n,
+                    k,
+                );
+                // Same fold per element as the serial kernels → exact match.
+                for (got, want) in c.as_slice().iter().zip(expect.as_slice().iter()) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "({ta:?},{tb:?}) m={m} n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_hx_shape_routes_to_skinny_tiles() {
+        let _g = crate::simd::testutil::dispatch_lock();
+        let mut rng = rand::thread_rng();
+        // The previously-regressed BENCH_gemm shape family, scaled down:
+        // tall A, 8 states. Untransposed A must take the direct (pack-free)
+        // axpy tile; transposed A must take the packed dot tile.
+        let a = Mat::random(96, 512, &mut rng);
+        let at = Mat::random(512, 96, &mut rng);
+        let b = Mat::random(512, 8, &mut rng);
+        obskit::enable();
+        let mut c = Mat::zeros(96, 8);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        gemm(1.0, &at, Transpose::Yes, &b, Transpose::No, 0.0, &mut c);
+        obskit::disable();
+        let dispatch = obskit::take_trace().counters.kernel_dispatch;
+        for prefix in ["gemm.skinny_direct.", "gemm.skinny_packed."] {
+            let hit = dispatch.iter().any(|(l, _)| l.starts_with(prefix));
+            assert!(hit, "missing {prefix}* in dispatch counters: {dispatch:?}");
+        }
+    }
+
+    #[test]
+    fn forced_scalar_fallback_matches_dispatched_kernel() {
+        let _g = crate::simd::testutil::dispatch_lock();
+        let mut rng = rand::thread_rng();
+        // One shape per dispatch family: small, skinny_packed, skinny_cols
+        // (m < 3·MR), blocked 8×4 (n < 16), blocked 8×8.
+        for (m, n, k) in [(12, 5, 4), (300, 6, 128), (20, 40, 100), (150, 13, 70), (150, 120, 70)]
+        {
+            let a = Mat::random(m, k, &mut rng);
+            let b = Mat::random(k, n, &mut rng);
+            let c0 = Mat::random(m, n, &mut rng);
+            let run = |kern| {
+                crate::simd::testutil::with_kernel(kern, || {
+                    let mut c = c0.clone();
+                    gemm(1.3, &a, Transpose::No, &b, Transpose::No, 0.4, &mut c);
+                    c
+                })
+            };
+            let cs = run(simd::Kernel::Scalar);
+            if !crate::simd::avx2_available() {
+                continue;
+            }
+            let ca = run(simd::Kernel::Avx2);
+            for (x, y) in ca.as_slice().iter().zip(cs.as_slice().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "shape ({m},{n},{k})");
+            }
+        }
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
@@ -850,6 +1122,86 @@ mod tests {
                     let mut cb = c0.clone();
                     gemm_blocked(alpha, &av, &bv, beta, cb.as_mut_slice(), m, n, k);
                     prop_assert!(cb.max_abs_diff(&expect) < 1e-10);
+                }
+            }
+
+            /// The SIMD microkernels must agree with the scalar fallback
+            /// BITWISE — same mul/add per element in the same order — across
+            /// edge tiles: partial MR/NR strips, kc ∈ {0, 1}, and beta
+            /// accumulation onto pre-filled C (the aliased-update path).
+            #[test]
+            fn simd_and_scalar_paths_agree_bitwise(
+                m in prop_oneof![Just(1usize), Just(7), Just(8), Just(9), Just(25), 1usize..70],
+                n in prop_oneof![Just(1usize), Just(4), Just(8), Just(9), Just(17), 1usize..40],
+                k in prop_oneof![Just(0usize), Just(1), Just(2), 1usize..90],
+                ta in transpose_strategy(),
+                tb in transpose_strategy(),
+                alpha in -2.0f64..2.0,
+                beta in prop_oneof![Just(0.0f64), Just(1.0), -1.5f64..1.5],
+                seed in 0u64..u64::MAX,
+            ) {
+                prop_assume!(crate::simd::avx2_available());
+                use rand::SeedableRng;
+                let _g = crate::simd::testutil::dispatch_lock();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let a = match ta {
+                    Transpose::No => Mat::random(m, k, &mut rng),
+                    Transpose::Yes => Mat::random(k, m, &mut rng),
+                };
+                let b = match tb {
+                    Transpose::No => Mat::random(k, n, &mut rng),
+                    Transpose::Yes => Mat::random(n, k, &mut rng),
+                };
+                let c0 = Mat::random(m, n, &mut rng);
+                let bits = |c: &Mat| c.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+                // Dispatched entry point under both forced kernels.
+                let run = |kern: simd::Kernel| {
+                    crate::simd::testutil::with_kernel(kern, || {
+                        let mut c = c0.clone();
+                        gemm(alpha, &a, ta, &b, tb, beta, &mut c);
+                        c
+                    })
+                };
+                prop_assert_eq!(bits(&run(simd::Kernel::Avx2)), bits(&run(simd::Kernel::Scalar)));
+
+                // Forced internal paths (the dispatcher would route small
+                // shapes away from them otherwise).
+                if m > 0 && n > 0 && k > 0 && alpha != 0.0 {
+                    let av = View { data: a.as_slice(), nrows: a.nrows(), trans: ta };
+                    let bv = View { data: b.as_slice(), nrows: b.nrows(), trans: tb };
+                    let run_blocked = |kern: simd::Kernel| {
+                        crate::simd::testutil::with_kernel(kern, || {
+                            let mut c = c0.clone();
+                            gemm_blocked(alpha, &av, &bv, beta, c.as_mut_slice(), m, n, k);
+                            c
+                        })
+                    };
+                    prop_assert_eq!(
+                        bits(&run_blocked(simd::Kernel::Avx2)),
+                        bits(&run_blocked(simd::Kernel::Scalar))
+                    );
+                    if n <= MR {
+                        let run_skinny = |kern: simd::Kernel| {
+                            crate::simd::testutil::with_kernel(kern, || {
+                                let mut c = c0.clone();
+                                gemm_skinny_packed(
+                                    kern, alpha, &av, &bv, beta, c.as_mut_slice(), m, n, k,
+                                );
+                                c
+                            })
+                        };
+                        let skinny_avx = run_skinny(simd::Kernel::Avx2);
+                        prop_assert_eq!(
+                            bits(&skinny_avx),
+                            bits(&run_skinny(simd::Kernel::Scalar))
+                        );
+                        // And the packed skinny path must reproduce the
+                        // serial kernels bitwise (same fold, new layout).
+                        let mut serial = c0.clone();
+                        gemm_small(alpha, &av, &bv, beta, serial.as_mut_slice(), m, n, k);
+                        prop_assert_eq!(bits(&skinny_avx), bits(&serial));
+                    }
                 }
             }
 

@@ -168,9 +168,7 @@ impl Mat {
     /// `self += alpha * other` (same shape).
     pub fn axpy(&mut self, alpha: f64, other: &Mat) {
         assert_eq!(self.shape(), other.shape());
-        for (x, y) in self.data.iter_mut().zip(other.data.iter()) {
-            *x += alpha * y;
-        }
+        crate::simd::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Scale every entry by `alpha`.

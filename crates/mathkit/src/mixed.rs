@@ -1,0 +1,584 @@
+//! Mixed-precision GEMM: f32 storage, f64 accumulation.
+//!
+//! The implicit-Hamiltonian apply is memory-bound — its GEMMs stream a large
+//! `op(A)` (the ISDF coefficient matrix `C` or the compressed kernel `Ṽ`)
+//! against a handful of state columns. Storing those operands in f32 halves
+//! the streamed bytes; accumulating in f64 through FMA keeps roughly 11 extra
+//! bits of headroom over a pure-f32 product, which is what lets the LOBPCG
+//! inner iterations in [`crate::lobpcg::lobpcg_refined`] converge to ~1e-6
+//! relative residuals before the f64 polish takes over (the classic
+//! iterative-refinement split).
+//!
+//! [`gemm_mixed`] is tuned for exactly those tall-skinny shapes: `op(A)` is
+//! packed once into MR-row f32 strips over the full shared dimension, and
+//! the (small) `op(B)` is staged into one `k × n` f32 buffer processed in
+//! column groups of ≤ MR through the FMA tile in [`crate::simd`]. Wide
+//! outputs are still correct — they just don't get the blocked-path cache
+//! treatment, which the solver's mixed shapes (`n ≤ 3k ≈ 24`) never need.
+
+use crate::gemm::Transpose;
+use crate::mat::Mat;
+use crate::simd::{self, Kernel};
+use rayon::prelude::*;
+
+/// Tile height shared with the f64 engine.
+const MR: usize = 8;
+/// Same small-shape cutoff as the f64 engine (`2·m·n·k` flops).
+const SMALL_FLOPS: usize = 1 << 17;
+
+/// Column-major dense `f32` matrix — the reduced-precision twin of [`Mat`],
+/// carrying orbital/ISDF factors through the mixed solve path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatF32 {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f32>,
+}
+
+impl MatF32 {
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        MatF32 { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Demote an f64 matrix (round-to-nearest per element).
+    pub fn from_mat(m: &Mat) -> Self {
+        MatF32 {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            data: m.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Promote back to f64 (exact per element).
+    pub fn to_mat(&self) -> Mat {
+        Mat::from_vec(self.nrows, self.ncols, self.data.iter().map(|&v| v as f64).collect())
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn col(&self, j: usize) -> &[f32] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Pack `op(self)` once into the MR-row strip layout consumed by
+    /// [`gemm_mixed_packed`]. Operators that are applied many times against
+    /// changing right-hand sides (the ISDF factors inside a LOBPCG solve)
+    /// should pack once up front instead of paying the strip pack on every
+    /// [`gemm_mixed`] call.
+    pub fn pack(&self, trans: Transpose) -> PackedF32 {
+        let (m, k) = match trans {
+            Transpose::No => (self.nrows, self.ncols),
+            Transpose::Yes => (self.ncols, self.nrows),
+        };
+        let av = View32 { data: &self.data, nrows: self.nrows, trans };
+        let strips = m.div_ceil(MR);
+        let mut data = vec![0.0f32; strips * MR * k];
+        data.par_chunks_mut(MR * k)
+            .enumerate()
+            .for_each(|(s, buf)| pack_strip(&av, s * MR, m, k, buf));
+        PackedF32 { m, k, data }
+    }
+}
+
+/// `op(A)` pre-packed into zero-padded MR-row f32 strips over the full shared
+/// dimension — the operand format [`gemm_mixed_packed`] consumes directly.
+pub struct PackedF32 {
+    m: usize,
+    k: usize,
+    data: Vec<f32>,
+}
+
+impl PackedF32 {
+    /// Rows of `op(A)`.
+    pub fn nrows(&self) -> usize {
+        self.m
+    }
+
+    /// Shared (inner) dimension of `op(A)`.
+    pub fn inner(&self) -> usize {
+        self.k
+    }
+}
+
+/// Transpose-aware read-only view of a column-major f32 operand.
+#[derive(Clone, Copy)]
+struct View32<'a> {
+    data: &'a [f32],
+    nrows: usize,
+    trans: Transpose,
+}
+
+impl View32<'_> {
+    /// `op(X)[i, l]`.
+    #[inline(always)]
+    fn get(&self, i: usize, l: usize) -> f32 {
+        match self.trans {
+            Transpose::No => self.data[i + l * self.nrows],
+            Transpose::Yes => self.data[l + i * self.nrows],
+        }
+    }
+}
+
+/// `C = alpha · op(A) · op(B) + beta · C` with f32 operands, f64 output, and
+/// f64 FMA accumulation (every partial product is `fma(a64, b64, acc)` where
+/// `a64`/`b64` are the exact promotions of the stored f32 values).
+///
+/// The `Avx2` and `Scalar` kernels are bitwise identical here too: the
+/// scalar twin folds with [`f64::mul_add`], which computes exactly what the
+/// `vfmadd` instruction does.
+pub fn gemm_mixed(
+    alpha: f64,
+    a: &MatF32,
+    ta: Transpose,
+    b: &MatF32,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Mat,
+) {
+    let (m, ka) = match ta {
+        Transpose::No => (a.nrows, a.ncols),
+        Transpose::Yes => (a.ncols, a.nrows),
+    };
+    let (kb, n) = match tb {
+        Transpose::No => (b.nrows, b.ncols),
+        Transpose::Yes => (b.ncols, b.nrows),
+    };
+    assert_eq!(ka, kb, "inner dimensions must agree");
+    assert_eq!(c.shape(), (m, n), "output shape mismatch");
+    let k = ka;
+    if m == 0 || n == 0 {
+        return;
+    }
+    obskit::record_gemm_shape(m, n, k);
+    if k == 0 || alpha == 0.0 {
+        scale_slice(c.as_mut_slice(), beta);
+        return;
+    }
+
+    let av = View32 { data: &a.data, nrows: a.nrows, trans: ta };
+    let bv = View32 { data: &b.data, nrows: b.nrows, trans: tb };
+    if 2 * m * n * k < SMALL_FLOPS || m < MR {
+        obskit::record_kernel_dispatch("gemm_mixed.small");
+        mixed_small(alpha, &av, &bv, beta, c.as_mut_slice(), m, n, k);
+        return;
+    }
+    let kernel = simd::active_kernel();
+    obskit::record_kernel_dispatch(match kernel {
+        Kernel::Avx2 => "gemm_mixed.strips.avx2",
+        Kernel::Scalar => "gemm_mixed.strips.scalar",
+    });
+    mixed_strips(kernel, alpha, &av, &bv, beta, c.as_mut_slice(), m, n, k);
+}
+
+/// `s *= beta` with the BLAS convention that `beta == 0` overwrites NaNs.
+fn scale_slice(s: &mut [f64], beta: f64) {
+    if beta == 0.0 {
+        s.fill(0.0);
+    } else if beta != 1.0 {
+        for v in s.iter_mut() {
+            *v *= beta;
+        }
+    }
+}
+
+/// Serial fallback: one f64 `mul_add` chain per output element — the same
+/// per-element fold as the strip tiles, minus the packing.
+#[allow(clippy::too_many_arguments)]
+fn mixed_small(
+    alpha: f64,
+    av: &View32,
+    bv: &View32,
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0f64;
+            for l in 0..k {
+                acc = (av.get(i, l) as f64).mul_add(bv.get(l, j) as f64, acc);
+            }
+            let t = alpha * acc;
+            let cv = &mut c[i + j * m];
+            *cv = if beta == 0.0 { t } else { beta * *cv + t };
+        }
+    }
+}
+
+/// Raw pointer into C, shareable across Rayon workers writing disjoint rows.
+#[derive(Clone, Copy)]
+struct CPtr(*mut f64);
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
+/// Strip path: pack op(A) once into MR-row f32 strips over the full k,
+/// stage op(B) as one `k × n` f32 buffer, and drive the FMA dot tile over
+/// (strip × ≤MR-column-group) pairs, strips in parallel.
+#[allow(clippy::too_many_arguments)]
+fn mixed_strips(
+    kernel: Kernel,
+    alpha: f64,
+    av: &View32,
+    bv: &View32,
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let strips = m.div_ceil(MR);
+    // Reuse pack scratch across calls: a fresh `vec![0.0; ..]` costs a
+    // page-zeroing pass over megabytes per Hamiltonian apply, which dominated
+    // this memory-bound path. Partial strips zero their own padding below.
+    let (mut apack, mut bpack) = MIXED_SCRATCH.take();
+    let a_need = strips * MR * k;
+    if apack.len() < a_need {
+        apack.resize(a_need, 0.0);
+    }
+    let b_need = k * n;
+    if bpack.len() < b_need {
+        bpack.resize(b_need, 0.0);
+    }
+    apack[..a_need]
+        .par_chunks_mut(MR * k)
+        .enumerate()
+        .for_each(|(s, buf)| pack_strip(av, s * MR, m, k, buf));
+    for j in 0..n {
+        for (l, d) in bpack[j * k..(j + 1) * k].iter_mut().enumerate() {
+            *d = bv.get(l, j);
+        }
+    }
+    drive_strips(kernel, alpha, &apack[..a_need], &bpack[..b_need], beta, c, m, n, k);
+    MIXED_SCRATCH.set((apack, bpack));
+}
+
+/// Pack one zero-padded `MR × k` strip of `op(A)` starting at row `ib`.
+/// Partial strips zero their padding lanes explicitly so the destination does
+/// not have to be pre-zeroed (scratch buffers are reused across calls).
+fn pack_strip(av: &View32, ib: usize, m: usize, k: usize, buf: &mut [f32]) {
+    let mr_eff = MR.min(m - ib);
+    if mr_eff < MR {
+        for l in 0..k {
+            buf[l * MR + mr_eff..(l + 1) * MR].fill(0.0);
+        }
+    }
+    match av.trans {
+        Transpose::No => {
+            for l in 0..k {
+                let col = &av.data[l * av.nrows + ib..l * av.nrows + ib + mr_eff];
+                buf[l * MR..l * MR + mr_eff].copy_from_slice(col);
+            }
+        }
+        Transpose::Yes => {
+            for l in 0..k {
+                let dst = &mut buf[l * MR..l * MR + mr_eff];
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = av.data[(ib + i) * av.nrows + l];
+                }
+            }
+        }
+    }
+}
+
+/// Sweep the FMA dot tile over (strip × ≤MR-column-group) pairs, strips in
+/// parallel. `apack` holds `ceil(m/MR)` packed strips, `bpack` a `k × n`
+/// column-major buffer.
+#[allow(clippy::too_many_arguments)]
+fn drive_strips(
+    kernel: Kernel,
+    alpha: f64,
+    apack: &[f32],
+    bpack: &[f32],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let strips = m.div_ceil(MR);
+    let cptr = CPtr(c.as_mut_ptr());
+    (0..strips).into_par_iter().for_each(|s| {
+        let it = s * MR;
+        let mr_eff = MR.min(m - it);
+        let ap = &apack[s * MR * k..(s + 1) * MR * k];
+        for g in 0..n.div_ceil(MR) {
+            let j0 = g * MR;
+            let ng = MR.min(n - j0);
+            // SAFETY: strips own disjoint row ranges of every C column.
+            unsafe {
+                simd::mixed_dot_tile(
+                    kernel,
+                    k,
+                    ap,
+                    &bpack[j0 * k..(j0 + ng) * k],
+                    ng,
+                    mr_eff,
+                    alpha,
+                    beta,
+                    cptr.0.add(j0 * m + it),
+                    m,
+                );
+            }
+        }
+    });
+}
+
+/// [`gemm_mixed`] against a pre-packed `op(A)`:
+/// `C = alpha · op(A) · op(B) + beta · C`. Skips the strip pack entirely —
+/// only the (small) `op(B)` is staged per call — and folds each output
+/// element in exactly the same order as [`gemm_mixed`], so results are
+/// bitwise identical to the on-the-fly path.
+pub fn gemm_mixed_packed(
+    alpha: f64,
+    a: &PackedF32,
+    b: &MatF32,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Mat,
+) {
+    let (m, k) = (a.m, a.k);
+    let (kb, n) = match tb {
+        Transpose::No => (b.nrows, b.ncols),
+        Transpose::Yes => (b.ncols, b.nrows),
+    };
+    assert_eq!(k, kb, "inner dimensions must agree");
+    assert_eq!(c.shape(), (m, n), "output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    obskit::record_gemm_shape(m, n, k);
+    if k == 0 || alpha == 0.0 {
+        scale_slice(c.as_mut_slice(), beta);
+        return;
+    }
+    let kernel = simd::active_kernel();
+    obskit::record_kernel_dispatch(match kernel {
+        Kernel::Avx2 => "gemm_mixed.prepacked.avx2",
+        Kernel::Scalar => "gemm_mixed.prepacked.scalar",
+    });
+    let bv = View32 { data: &b.data, nrows: b.nrows, trans: tb };
+    let (apack, mut bpack) = MIXED_SCRATCH.take();
+    let b_need = k * n;
+    if bpack.len() < b_need {
+        bpack.resize(b_need, 0.0);
+    }
+    for j in 0..n {
+        for (l, d) in bpack[j * k..(j + 1) * k].iter_mut().enumerate() {
+            *d = bv.get(l, j);
+        }
+    }
+    drive_strips(kernel, alpha, &a.data, &bpack[..b_need], beta, c.as_mut_slice(), m, n, k);
+    MIXED_SCRATCH.set((apack, bpack));
+}
+
+std::thread_local! {
+    /// Per-thread `(apack, bpack)` f32 scratch for [`mixed_strips`], taken and
+    /// restored around each call (`Cell` take/set keeps re-entrancy safe).
+    static MIXED_SCRATCH: std::cell::Cell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::Cell::new((Vec::new(), Vec::new())) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::testutil::{dispatch_lock, with_kernel};
+
+    /// Naive f64 mul_add reference with one accumulator per element.
+    fn reference(
+        alpha: f64,
+        a: &MatF32,
+        ta: Transpose,
+        b: &MatF32,
+        tb: Transpose,
+        beta: f64,
+        c0: &Mat,
+    ) -> Mat {
+        let av = View32 { data: &a.data, nrows: a.nrows, trans: ta };
+        let bv = View32 { data: &b.data, nrows: b.nrows, trans: tb };
+        let (m, n) = c0.shape();
+        let k = match ta {
+            Transpose::No => a.ncols,
+            Transpose::Yes => a.nrows,
+        };
+        Mat::from_fn(m, n, |i, j| {
+            let mut acc = 0.0f64;
+            for l in 0..k {
+                acc = (av.get(i, l) as f64).mul_add(bv.get(l, j) as f64, acc);
+            }
+            let t = alpha * acc;
+            if beta == 0.0 {
+                t
+            } else {
+                beta * c0[(i, j)] + t
+            }
+        })
+    }
+
+    fn mk32(nrows: usize, ncols: usize, salt: u32) -> MatF32 {
+        let mut m = MatF32::zeros(nrows, ncols);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = (((i as u32).wrapping_mul(2654435761).wrapping_add(salt) % 1000) as f32
+                - 500.0)
+                * 1e-3;
+        }
+        m
+    }
+
+    #[test]
+    fn round_trip_conversion() {
+        let m = Mat::from_fn(5, 3, |i, j| i as f64 * 0.5 - j as f64 * 0.25);
+        let m32 = MatF32::from_mat(&m);
+        // These values are exactly representable in f32.
+        assert_eq!(m32.to_mat().max_abs_diff(&m), 0.0);
+        assert_eq!(m32.shape(), (5, 3));
+        assert_eq!(m32.col(1).len(), 5);
+    }
+
+    #[test]
+    fn strip_path_matches_reference_all_transposes() {
+        let _g = dispatch_lock();
+        // m ≥ MR with a partial strip, k over SMALL_FLOPS for n·m·k — forces
+        // mixed_strips; n spans multiple column groups.
+        let (m, n, k) = (53, 11, 160);
+        for (ta, tb) in [
+            (Transpose::No, Transpose::No),
+            (Transpose::Yes, Transpose::No),
+            (Transpose::No, Transpose::Yes),
+            (Transpose::Yes, Transpose::Yes),
+        ] {
+            let a = match ta {
+                Transpose::No => mk32(m, k, 1),
+                Transpose::Yes => mk32(k, m, 1),
+            };
+            let b = match tb {
+                Transpose::No => mk32(k, n, 2),
+                Transpose::Yes => mk32(n, k, 2),
+            };
+            let c0 = Mat::from_fn(m, n, |i, j| (i * 3 + j) as f64 * 0.01 - 0.5);
+            for (alpha, beta) in [(1.0, 0.0), (2.5, -0.75), (1.0, 1.0)] {
+                let expect = reference(alpha, &a, ta, &b, tb, beta, &c0);
+                let mut c = c0.clone();
+                gemm_mixed(alpha, &a, ta, &b, tb, beta, &mut c);
+                assert_eq!(
+                    c.max_abs_diff(&expect),
+                    0.0,
+                    "({ta:?},{tb:?}) alpha={alpha} beta={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_path_matches_reference() {
+        let _g = dispatch_lock();
+        let (m, n, k) = (7, 3, 9);
+        let a = mk32(m, k, 3);
+        let b = mk32(k, n, 4);
+        let c0 = Mat::from_fn(m, n, |i, j| (i + j) as f64 * 0.1);
+        let expect = reference(1.5, &a, Transpose::No, &b, Transpose::No, 0.5, &c0);
+        let mut c = c0.clone();
+        gemm_mixed(1.5, &a, Transpose::No, &b, Transpose::No, 0.5, &mut c);
+        assert_eq!(c.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn kernels_agree_bitwise() {
+        let _g = dispatch_lock();
+        if !simd::avx2_available() {
+            return;
+        }
+        let (m, n, k) = (61, 9, 200);
+        let a = mk32(m, k, 7);
+        let b = mk32(k, n, 8);
+        let c0 = Mat::from_fn(m, n, |i, j| ((i * 5 + j * 11) % 13) as f64 * 0.3 - 1.0);
+        let run = |kern| {
+            with_kernel(kern, || {
+                let mut c = c0.clone();
+                gemm_mixed(1.25, &a, Transpose::No, &b, Transpose::No, -0.5, &mut c);
+                c
+            })
+        };
+        let ca = run(Kernel::Avx2);
+        let cs = run(Kernel::Scalar);
+        for (x, y) in ca.as_slice().iter().zip(cs.as_slice().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_gemm_mixed_bitwise() {
+        let _g = dispatch_lock();
+        // Spans the strip path (first case), a partial strip, and a shape the
+        // on-the-fly entry would route to `mixed_small` — the pre-packed path
+        // must agree bitwise with all of them.
+        for (m, n, k) in [(64, 6, 256), (53, 11, 160), (12, 3, 10)] {
+            let a = mk32(m, k, 21);
+            let b = mk32(k, n, 22);
+            let c0 = Mat::from_fn(m, n, |i, j| (i * 7 + j * 3) as f64 * 0.02 - 0.4);
+            for (ta, tb) in [
+                (Transpose::No, Transpose::No),
+                (Transpose::Yes, Transpose::No),
+            ] {
+                let a = match ta {
+                    Transpose::No => a.clone(),
+                    Transpose::Yes => {
+                        let mut t = MatF32::zeros(k, m);
+                        for j in 0..m {
+                            for i in 0..k {
+                                t.as_mut_slice()[i + j * k] = a.as_slice()[j + i * m];
+                            }
+                        }
+                        t
+                    }
+                };
+                let packed = a.pack(ta);
+                assert_eq!(packed.nrows(), m);
+                assert_eq!(packed.inner(), k);
+                let mut c_ref = c0.clone();
+                gemm_mixed(1.5, &a, ta, &b, tb, -0.25, &mut c_ref);
+                let mut c = c0.clone();
+                gemm_mixed_packed(1.5, &packed, &b, tb, -0.25, &mut c);
+                for (x, y) in c.as_slice().iter().zip(c_ref.as_slice().iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "({ta:?},{tb:?}) m={m} n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_close_to_f64_product() {
+        // The f64-accumulated f32 product should sit at f32-rounding error of
+        // the exact product, far better than a pure-f32 chain over long k.
+        let (m, n, k) = (40, 4, 4096);
+        let af = Mat::from_fn(m, k, |i, l| ((i * 31 + l * 7) % 97) as f64 / 97.0 - 0.5);
+        let bf = Mat::from_fn(k, n, |l, j| ((l * 13 + j * 5) % 89) as f64 / 89.0 - 0.5);
+        let a = MatF32::from_mat(&af);
+        let b = MatF32::from_mat(&bf);
+        let mut c = Mat::zeros(m, n);
+        gemm_mixed(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        let exact = crate::gemm::matmul(&a.to_mat(), &b.to_mat());
+        // Identical inputs (promoted f32), so the only difference is fold
+        // order; f64 accumulation keeps that near machine epsilon.
+        assert!(c.max_abs_diff(&exact) < 1e-10, "diff {}", c.max_abs_diff(&exact));
+    }
+}

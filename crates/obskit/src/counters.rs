@@ -16,6 +16,7 @@ static BYTES_MOVED: AtomicU64 = AtomicU64::new(0);
 static FFT_CALLS: AtomicU64 = AtomicU64::new(0);
 static COMM_SEGMENTS: AtomicU64 = AtomicU64::new(0);
 static GEMM_SHAPES: Mutex<Option<HashMap<[u8; 3], u64>>> = Mutex::new(None);
+static KERNEL_DISPATCH: Mutex<Option<HashMap<&'static str, u64>>> = Mutex::new(None);
 
 /// Count floating-point work (e.g. `2·m·n·k` per GEMM).
 #[inline]
@@ -72,6 +73,19 @@ pub fn record_gemm_shape(m: usize, n: usize, k: usize) {
     *g.get_or_insert_with(HashMap::new).entry(key).or_insert(0) += 1;
 }
 
+/// Record which compute-kernel path a dense-kernel call dispatched to
+/// (e.g. `"gemm.blocked.8x8.avx2"`, `"gemm.skinny_packed.scalar"`,
+/// `"gemv.avx2"`). Labels must be static — the runtime dispatch decision set
+/// is finite and known at compile time.
+#[inline]
+pub fn record_kernel_dispatch(label: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let mut g = KERNEL_DISPATCH.lock().unwrap_or_else(|p| p.into_inner());
+    *g.get_or_insert_with(HashMap::new).entry(label).or_insert(0) += 1;
+}
+
 /// One GEMM histogram bucket: `m`, `n`, `k` upper bounds (`2^b`) and the
 /// number of calls that landed in it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +106,9 @@ pub struct CounterSnapshot {
     pub comm_segments: u64,
     /// GEMM shape histogram, sorted by descending call count.
     pub gemm_shapes: Vec<GemmBucket>,
+    /// Kernel dispatch decisions `(label, calls)`, sorted by descending call
+    /// count then label (e.g. which GEMM path and SIMD family ran).
+    pub kernel_dispatch: Vec<(String, u64)>,
 }
 
 /// Snapshot and reset all counters (called by [`crate::take_trace`]).
@@ -110,12 +127,18 @@ pub(crate) fn take_counters() -> CounterSnapshot {
             .collect()
     };
     shapes.sort_by(|a, b| b.calls.cmp(&a.calls).then(a.m_max.cmp(&b.m_max)));
+    let mut dispatch: Vec<(String, u64)> = {
+        let mut g = KERNEL_DISPATCH.lock().unwrap_or_else(|p| p.into_inner());
+        g.take().unwrap_or_default().into_iter().map(|(l, c)| (l.to_string(), c)).collect()
+    };
+    dispatch.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     CounterSnapshot {
         flops: FLOPS.swap(0, Ordering::Relaxed),
         bytes_moved: BYTES_MOVED.swap(0, Ordering::Relaxed),
         fft_calls: FFT_CALLS.swap(0, Ordering::Relaxed),
         comm_segments: COMM_SEGMENTS.swap(0, Ordering::Relaxed),
         gemm_shapes: shapes,
+        kernel_dispatch: dispatch,
     }
 }
 
@@ -132,8 +155,25 @@ mod tests {
         add_bytes_moved(100);
         add_fft_calls(1);
         record_gemm_shape(8, 8, 8);
+        record_kernel_dispatch("gemm.small");
         let snap = take_counters();
         assert_eq!(snap, CounterSnapshot::default());
+    }
+
+    #[test]
+    fn kernel_dispatch_histogram_accumulates() {
+        let _g = testutil::exclusive();
+        enable();
+        record_kernel_dispatch("gemm.blocked.8x8.avx2");
+        record_kernel_dispatch("gemm.blocked.8x8.avx2");
+        record_kernel_dispatch("gemm.small");
+        disable();
+        let snap = take_counters();
+        assert_eq!(
+            snap.kernel_dispatch,
+            vec![("gemm.blocked.8x8.avx2".to_string(), 2), ("gemm.small".to_string(), 1)]
+        );
+        assert_eq!(take_counters().kernel_dispatch, Vec::new());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod trace;
 
 pub use counters::{
     add_bytes_moved, add_comm_segments, add_flops, add_fft_calls, record_gemm_shape,
-    CounterSnapshot,
+    record_kernel_dispatch, CounterSnapshot,
 };
 pub use span::{flush_thread, instant, set_rank, span, thread_rank, Event, EventKind, Span};
 pub use trace::{take_trace, RankTrace, Trace};

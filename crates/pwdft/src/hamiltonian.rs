@@ -50,10 +50,9 @@ impl<'g> KsHamiltonian<'g> {
         plan.apply_real_diagonal_batch(&self.half_g2, psi.as_slice(), out.as_mut_slice(), false);
         let v = &self.v_eff;
         out.par_cols_mut().enumerate().for_each(|(j, out_col)| {
-            let col = psi.col(j);
-            for ((o, &x), &vr) in out_col.iter_mut().zip(col.iter()).zip(v.iter()) {
-                *o += vr * x;
-            }
+            // `out += V_eff ∘ ψ`: elementwise multiply-add through the
+            // dispatched SIMD kernel (bitwise identical to the scalar loop).
+            mathkit::simd::pointwise_muladd(out_col, v.as_slice(), psi.col(j));
         });
     }
 
