@@ -65,6 +65,36 @@ fn bench_obskit_overhead(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // The always-on flight recorder rides the same span guard, so its cost
+    // must stay in the disabled-mode budget. Bench both states of the ring
+    // plus the bare pieces it is built from.
+    let mut flight = c.benchmark_group("obskit_flight");
+    obskit::flight::set_enabled(true);
+    flight.bench_function("span_flight_on", |bch| {
+        bch.iter(|| {
+            let sp = obskit::span(obskit::Stage::Gemm, "v_hxc.contract");
+            std::hint::black_box(&out);
+            drop(sp);
+        });
+    });
+    obskit::flight::set_enabled(false);
+    flight.bench_function("span_flight_off", |bch| {
+        bch.iter(|| {
+            let sp = obskit::span(obskit::Stage::Gemm, "v_hxc.contract");
+            std::hint::black_box(&out);
+            drop(sp);
+        });
+    });
+    obskit::flight::set_enabled(true);
+    flight.bench_function("flight_note", |bch| {
+        bch.iter(|| obskit::flight::note(obskit::Stage::Gemm, "flight.note", 1.0));
+    });
+    flight.bench_function("record_kernel_dispatch", |bch| {
+        bch.iter(|| obskit::record_kernel_dispatch("gemm.blocked.8x8.avx2"));
+    });
+    obskit::flight::clear();
+    flight.finish();
 }
 
 criterion_group!(benches, bench_obskit_overhead);
@@ -115,5 +145,47 @@ fn main() {
         best_ratio <= 1.02,
         "disabled-tracing overhead {:.2}% exceeds the 2% budget",
         (best_ratio - 1.0) * 100.0
+    );
+
+    // Same gate for the flight ring specifically: instrumented GEMM with the
+    // ring on vs off. The span guard above already pays the flight mirror
+    // (the ring defaults to on), so this isolates the ring's share.
+    let mut run_flight = |ring_on: bool| -> f64 {
+        obskit::flight::set_enabled(ring_on);
+        let t0 = Instant::now();
+        let sp = obskit::span(obskit::Stage::Gemm, "v_hxc.contract");
+        mathkit::gemm(2.0, &a, Transpose::Yes, &b, Transpose::No, 0.0, &mut out);
+        drop(sp);
+        t0.elapsed().as_secs_f64()
+    };
+    run_flight(true);
+    run_flight(false);
+    let mut flight_ratio = f64::INFINITY;
+    for _attempt in 0..3 {
+        let mut t_on = f64::INFINITY;
+        let mut t_off = f64::INFINITY;
+        for i in 0..8 {
+            let on_first = i % 2 == 0;
+            let s1 = run_flight(on_first);
+            let s2 = run_flight(!on_first);
+            let (on, off) = if on_first { (s1, s2) } else { (s2, s1) };
+            t_on = t_on.min(on);
+            t_off = t_off.min(off);
+        }
+        flight_ratio = flight_ratio.min(t_on / t_off);
+        if flight_ratio <= 1.02 {
+            break;
+        }
+    }
+    obskit::flight::set_enabled(true);
+    obskit::flight::clear();
+    println!(
+        "flight-ring overhead on v_hxc gemm: {:+.2}% (budget < 2%)",
+        (flight_ratio - 1.0) * 100.0
+    );
+    assert!(
+        flight_ratio <= 1.02,
+        "flight-ring overhead {:.2}% exceeds the 2% budget",
+        (flight_ratio - 1.0) * 100.0
     );
 }

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod fault_report;
 pub mod fft_report;
 pub mod gemm_report;
+pub mod perf_report;
 pub mod report;
 pub mod scaling;
 pub mod trace_cmd;

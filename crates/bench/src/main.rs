@@ -4,14 +4,83 @@
 //! repro <experiment> [--quick|--full] [--out results/]
 //! experiments: table3 table4 table5 table6 fig2 fig5 fig7 fig8 weak fig9 all
 //! ```
+//!
+//! The `*-report` subcommands (gemm, fft, comm, fault, perf) all take the
+//! same `[--quick|--full] [--out DIR] [--check]` flags, so they share one
+//! parser ([`ReportArgs`]) and one dispatch table ([`REPORTS`]) — adding a
+//! report is one table row, and the usage string regenerates itself.
 
 use bench::experiments::{self, Scale};
 use bench::report::ExperimentRecord;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// Shared arguments of every `repro <name>-report` subcommand.
+struct ReportArgs {
+    quick: bool,
+    check: bool,
+    out: PathBuf,
+}
+
+impl ReportArgs {
+    /// Parse `[--quick|--full] [--out DIR] [--check]`; exits with status 2
+    /// on an unknown flag, naming the subcommand in the message.
+    fn parse(subcommand: &str, args: &[String]) -> ReportArgs {
+        let mut parsed = ReportArgs {
+            quick: false,
+            check: false,
+            // Default to the working directory so `BENCH_<name>.json` lands
+            // at the repo root when run as `cargo run -p bench -- <name>`.
+            out: PathBuf::from("."),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => parsed.quick = true,
+                "--full" => parsed.quick = false,
+                "--check" => parsed.check = true,
+                "--out" => match it.next() {
+                    Some(p) => parsed.out = PathBuf::from(p),
+                    None => {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("unknown {subcommand} argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        parsed
+    }
+}
+
+/// Entry point shared by every report: `run(out, quick, check)`.
+type ReportFn = fn(&Path, bool, bool) -> Result<(), String>;
+
+/// Every report subcommand: name → entry point. The usage string below is
+/// generated from this table, so it cannot drift.
+const REPORTS: &[(&str, ReportFn)] = &[
+    ("fft-report", |o, q, c| bench::fft_report::run(o, q, c).map_err(|e| e.to_string())),
+    ("comm-report", |o, q, c| bench::comm_report::run(o, q, c).map_err(|e| e.to_string())),
+    ("fault-report", |o, q, c| bench::fault_report::run(o, q, c).map_err(|e| e.to_string())),
+    ("gemm-report", |o, q, c| bench::gemm_report::run(o, q, c).map_err(|e| e.to_string())),
+    ("perf-report", bench::perf_report::run),
+];
+
+fn usage() -> String {
+    let mut u = String::from(
+        "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|all> [--quick|--full] [--out DIR]\n       repro trace [--version LABEL] [--ranks N] [--trace PATH] [--quick]\n       repro trace-report <PATH> [--check]",
+    );
+    for (name, _) in REPORTS {
+        u.push_str(&format!("\n       repro {name} [--quick|--full] [--out DIR] [--check]"));
+    }
+    u
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `trace`, `trace-report`, and `fft-report` take their own flags
+    // `trace`, `trace-report`, and the report table take their own flags
     // (--version/--ranks/--trace/--check) that the experiment arg loop would
     // reject, so they are dispatched before it.
     match args.first().map(String::as_str) {
@@ -23,23 +92,17 @@ fn main() {
             run_trace_report_cli(&args[1..]);
             return;
         }
-        Some("fft-report") => {
-            run_fft_report_cli(&args[1..]);
-            return;
+        Some(name) => {
+            if let Some((sub, run)) = REPORTS.iter().find(|(n, _)| *n == name) {
+                let a = ReportArgs::parse(sub, &args[1..]);
+                if let Err(e) = run(&a.out, a.quick, a.check) {
+                    eprintln!("{sub} failed: {e}");
+                    std::process::exit(1);
+                }
+                return;
+            }
         }
-        Some("comm-report") => {
-            run_comm_report_cli(&args[1..]);
-            return;
-        }
-        Some("fault-report") => {
-            run_fault_report_cli(&args[1..]);
-            return;
-        }
-        Some("gemm-report") => {
-            run_gemm_report_cli(&args[1..]);
-            return;
-        }
-        _ => {}
+        None => {}
     }
     let mut experiment = None;
     let mut scale = Scale::Default;
@@ -64,9 +127,7 @@ fn main() {
         }
     }
     let experiment = experiment.unwrap_or_else(|| {
-        eprintln!(
-            "usage: repro <table3|table4|table5|table6|fig2|fig5|fig7|fig8|weak|fig9|ablation|all> [--quick|--full] [--out DIR]\n       repro trace [--version LABEL] [--ranks N] [--trace PATH] [--quick]\n       repro trace-report <PATH> [--check]\n       repro fft-report [--quick|--full] [--out DIR] [--check]\n       repro comm-report [--quick|--full] [--out DIR] [--check]\n       repro fault-report [--quick|--full] [--out DIR] [--check]\n       repro gemm-report [--quick|--full] [--out DIR] [--check]"
-        );
+        eprintln!("{}", usage());
         std::process::exit(2);
     });
 
@@ -107,124 +168,6 @@ fn main() {
         let rec = run(&experiment, scale);
         rec.save(&out).expect("write record");
         println!("\nRecord written to {}", out.join(format!("{experiment}.json")).display());
-    }
-}
-
-fn run_fft_report_cli(args: &[String]) {
-    let mut quick = false;
-    let mut check = false;
-    let mut out = PathBuf::from(".");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => quick = true,
-            "--full" => quick = false,
-            "--check" => check = true,
-            "--out" => match it.next() {
-                Some(p) => out = PathBuf::from(p),
-                None => {
-                    eprintln!("--out needs a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown fft-report argument: {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    if let Err(e) = bench::fft_report::run(&out, quick, check) {
-        eprintln!("fft-report failed: {e}");
-        std::process::exit(1);
-    }
-}
-
-fn run_comm_report_cli(args: &[String]) {
-    let mut quick = false;
-    let mut check = false;
-    let mut out = PathBuf::from(".");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => quick = true,
-            "--full" => quick = false,
-            "--check" => check = true,
-            "--out" => match it.next() {
-                Some(p) => out = PathBuf::from(p),
-                None => {
-                    eprintln!("--out needs a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown comm-report argument: {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    if let Err(e) = bench::comm_report::run(&out, quick, check) {
-        eprintln!("comm-report failed: {e}");
-        std::process::exit(1);
-    }
-}
-
-fn run_fault_report_cli(args: &[String]) {
-    let mut quick = false;
-    let mut check = false;
-    let mut out = PathBuf::from(".");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => quick = true,
-            "--full" => quick = false,
-            "--check" => check = true,
-            "--out" => match it.next() {
-                Some(p) => out = PathBuf::from(p),
-                None => {
-                    eprintln!("--out needs a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown fault-report argument: {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    if let Err(e) = bench::fault_report::run(&out, quick, check) {
-        eprintln!("fault-report failed: {e}");
-        std::process::exit(1);
-    }
-}
-
-fn run_gemm_report_cli(args: &[String]) {
-    let mut quick = false;
-    let mut check = false;
-    // Default to the working directory so `BENCH_gemm.json` lands at the
-    // repo root when run as `cargo run -p bench -- gemm-report`.
-    let mut out = PathBuf::from(".");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => quick = true,
-            "--full" => quick = false,
-            "--check" => check = true,
-            "--out" => match it.next() {
-                Some(p) => out = PathBuf::from(p),
-                None => {
-                    eprintln!("--out needs a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown gemm-report argument: {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    if let Err(e) = bench::gemm_report::run(&out, quick, check) {
-        eprintln!("gemm-report failed: {e}");
-        std::process::exit(1);
     }
 }
 

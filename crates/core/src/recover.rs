@@ -193,13 +193,20 @@ fn build_ladder(
         Ok(ham) => return Ok(ham),
         Err(e) => e,
     };
+    // Let registered observers (e.g. the flight-recorder dump in `repro`)
+    // capture the failure context before the rebuild overwrites it.
+    faultkit::notify_solve_error(&first);
     recovery.push(format!("isdf.build: {first}; clean rebuild"));
     match try_build_isdf_hamiltonian(problem, selector, n_mu, timings, recovery) {
         Ok(ham) => Ok(ham),
-        Err(second) => Err(SolveError::LadderExhausted {
-            stage: "isdf.build",
-            attempts: vec![first.to_string(), second.to_string()],
-        }),
+        Err(second) => {
+            let err = SolveError::LadderExhausted {
+                stage: "isdf.build",
+                attempts: vec![first.to_string(), second.to_string()],
+            };
+            faultkit::notify_solve_error(&err);
+            Err(err)
+        }
     }
 }
 
@@ -236,6 +243,7 @@ where
             None
         }
         Err(e) => {
+            faultkit::notify_solve_error(&e);
             recovery.push(format!("mixed: {e}; falling back to full precision"));
             None
         }
@@ -279,6 +287,7 @@ where
             ));
         }
         Err(e) => {
+            faultkit::notify_solve_error(&e);
             recovery.push(format!("lobpcg: {e}"));
 
             // Rung 2: resume from the last-good iterate deposited before the

@@ -1,0 +1,87 @@
+//! Solve-error observer hooks.
+//!
+//! faultkit owns the error taxonomy but deliberately depends on nothing, so
+//! it cannot dump diagnostics itself. Instead, an application registers an
+//! observer with [`set_solve_error_hook`]; the recovery ladders in
+//! `lrtddft::recover` call [`notify_solve_error`] whenever a rung fails,
+//! and the observer does whatever forensics it wants — the `repro` binary
+//! dumps `obskit`'s flight-recorder ring to disk, so every recovered fault
+//! ships with its last-N-events context.
+//!
+//! The hook is process-global and fires on every notifying thread;
+//! observers must be `Send + Sync` and cheap-ish (they run inside the
+//! recovery path, not the hot path).
+
+use crate::error::SolveError;
+use std::sync::{Arc, RwLock};
+
+type Hook = Arc<dyn Fn(&SolveError) + Send + Sync>;
+
+static HOOK: RwLock<Option<Hook>> = RwLock::new(None);
+
+/// Register (or replace) the process-global solve-error observer. Returns
+/// whether a previous hook was replaced.
+pub fn set_solve_error_hook<F>(hook: F) -> bool
+where
+    F: Fn(&SolveError) + Send + Sync + 'static,
+{
+    let mut slot = HOOK.write().unwrap_or_else(|p| p.into_inner());
+    let had = slot.is_some();
+    *slot = Some(Arc::new(hook));
+    had
+}
+
+/// Remove the observer, if any.
+pub fn clear_solve_error_hook() {
+    *HOOK.write().unwrap_or_else(|p| p.into_inner()) = None;
+}
+
+/// Notify the observer (if one is registered) that a solve error occurred.
+/// Called by recovery ladders at each failed rung and on final failure;
+/// no-op (one RwLock read) when no hook is set.
+pub fn notify_solve_error(err: &SolveError) {
+    let hook = {
+        let slot = HOOK.read().unwrap_or_else(|p| p.into_inner());
+        slot.clone()
+    };
+    if let Some(hook) = hook {
+        hook(err);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // The hook is process-global state shared across tests.
+    static HOOK_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn hook_fires_on_notify_and_clears() {
+        let _g = HOOK_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        FIRED.store(0, Ordering::SeqCst);
+        clear_solve_error_hook();
+        assert!(!set_solve_error_hook(|_| {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+        }));
+        let err = SolveError::LadderExhausted { stage: "eig", attempts: vec!["a".into()] };
+        notify_solve_error(&err);
+        notify_solve_error(&err);
+        assert_eq!(FIRED.load(Ordering::SeqCst), 2);
+        clear_solve_error_hook();
+        notify_solve_error(&err);
+        assert_eq!(FIRED.load(Ordering::SeqCst), 2, "cleared hook must not fire");
+    }
+
+    #[test]
+    fn replacing_reports_previous_hook() {
+        let _g = HOOK_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        clear_solve_error_hook();
+        assert!(!set_solve_error_hook(|_| {}));
+        assert!(set_solve_error_hook(|_| {}));
+        clear_solve_error_hook();
+    }
+}

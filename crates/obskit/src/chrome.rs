@@ -1,15 +1,19 @@
 //! Chrome Trace Event Format export and validation.
 //!
 //! [`chrome_trace_json`] serialises a [`Trace`] as `{"traceEvents":[...]}`
-//! with one lane per simulated MPI rank (`pid` = `tid` = rank id), `B`/`E`
-//! duration events for spans, and `i` instant events. The output loads in
+//! with one process row per simulated MPI rank (`pid` = rank) and one lane
+//! per thread (`tid` = process-unique lane id), `B`/`E` duration events for
+//! spans, `i` instant events, and `thread_name` metadata (`M`) events
+//! labelling each lane (`"rank 2"`, `"progress-1"`, …). The output loads in
 //! `chrome://tracing` and Perfetto.
 //!
 //! [`validate_chrome_trace`] re-parses exported (or externally produced)
 //! JSON with the minimal recursive-descent parser below and checks the
 //! schema: `traceEvents` is an array, every event carries
 //! `name`/`ph`/`ts`/`pid`/`tid`, and per-`(pid,tid)` lane every `B` has a
-//! matching `E` in stack order. `repro trace-report --check` builds on it.
+//! matching `E` in stack order. Complete (`X`) events — used by the flight
+//! recorder — and metadata (`M`) events are accepted. `repro trace-report
+//! --check` builds on it.
 
 use crate::span::EventKind;
 use crate::trace::Trace;
@@ -23,11 +27,20 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     for rank in &trace.ranks {
+        // Label the lane so unranked worker threads are distinguishable.
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{},\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            rank.rank,
+            rank.tid,
+            escape(&rank.label),
+        );
         for ev in &rank.events {
-            if !first {
-                out.push(',');
-            }
-            first = false;
+            out.push(',');
             let ph = match ev.kind {
                 EventKind::Begin => "B",
                 EventKind::End { .. } => "E",
@@ -36,10 +49,11 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             let ts_us = ev.ts_ns as f64 / 1e3;
             let _ = write!(
                 out,
-                "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":{rank_id},\"tid\":{rank_id}",
+                "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":{},\"tid\":{}",
                 escape(ev.name),
                 ev.stage.label(),
-                rank_id = rank.rank,
+                rank.rank,
+                rank.tid,
             );
             if ev.kind == EventKind::Instant {
                 out.push_str(",\"s\":\"t\"");
@@ -68,6 +82,12 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
+}
+
+/// Escape a string as a JSON string literal (quotes included). Shared with
+/// the flight-recorder dump.
+pub(crate) fn escape_json_string(s: &str) -> String {
+    escape(s)
 }
 
 fn escape(s: &str) -> String {
@@ -341,6 +361,8 @@ pub struct ChromeTraceStats {
     pub spans: usize,
     /// `i` instant events.
     pub instants: usize,
+    /// Metadata (`M`) events, e.g. `thread_name` lane labels.
+    pub metadata: usize,
     /// Distinct `cat` values seen, sorted.
     pub categories: Vec<String>,
 }
@@ -386,6 +408,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
                 cats.push(cat.to_string());
             }
         }
+        if ph == "M" {
+            // Metadata events label lanes; they don't open one themselves.
+            stats.metadata += 1;
+            continue;
+        }
         let stack = lanes.entry((pid, tid)).or_default();
         match ph {
             "B" => stack.push(name.to_string()),
@@ -398,6 +425,13 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
                         "event {i}: 'E' for '{name}' does not match open 'B' for '{open}' on lane ({pid},{tid})"
                     ));
                 }
+                stats.spans += 1;
+            }
+            "X" => {
+                // Complete event: a self-contained span, no stack involvement.
+                ev.get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("event {i}: 'X' event missing numeric 'dur'"))?;
                 stats.spans += 1;
             }
             "i" | "I" => stats.instants += 1,

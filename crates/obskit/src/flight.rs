@@ -1,0 +1,461 @@
+//! Always-on flight recorder: a bounded lock-free ring of recent events.
+//!
+//! Full tracing ([`crate::enable`]) captures everything but is off by
+//! default; when a solve fails in production there is no trace to look at.
+//! The flight recorder closes that gap: every span close and instant is
+//! *also* written into a fixed-capacity global ring buffer that stays on
+//! even when tracing is disabled, so the last `capacity` events leading up
+//! to a fault are always available. `faultkit`'s error hook (wired through
+//! the recovery ladders in `lrtddft::recover`) dumps the ring as a
+//! well-formed Chrome trace whenever a `SolveError` is raised, so every
+//! recovered fault ships with its context.
+//!
+//! ## Design
+//!
+//! The ring is an array of fixed-size slots written with a per-slot
+//! sequence-lock protocol — recording takes one `fetch_add` to claim a
+//! ticket plus a handful of relaxed stores, with **no locks and no
+//! allocation** on the hot path. Concurrent writers that lap each other
+//! (one full ring apart) can tear a slot; the seq check makes readers
+//! discard torn slots instead of decoding garbage. Event names are copied
+//! into the slot (up to [`NAME_BYTES`] bytes) rather than stored as
+//! pointers, so a torn read is merely lossy, never unsound.
+//!
+//! Disabled-tracing overhead stays within the <2% budget asserted by
+//! `tests/tracing.rs` and the `obskit_overhead` bench: one flight record is
+//! ~10 atomic stores on spans that are microseconds-to-milliseconds long.
+//! [`set_enabled(false)`](set_enabled) reduces a record to a single relaxed
+//! load for rare harsher budgets.
+
+use crate::Stage;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Bytes of the event name preserved per slot (longer names truncate).
+pub const NAME_BYTES: usize = 24;
+
+/// Default ring capacity (slots); override with [`configure`] before the
+/// first recorded event or via `OBSKIT_FLIGHT_CAP`.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// What a recorded flight event was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A span that closed cleanly; `dur_ns` covers the whole span.
+    Span,
+    /// A span that closed during panic unwinding.
+    AbortedSpan,
+    /// A point event ([`crate::instant`] or [`note`]).
+    Instant,
+}
+
+/// One decoded event from the ring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Ticket order (monotone across the whole process).
+    pub seq: u64,
+    pub kind: FlightKind,
+    pub stage: Stage,
+    /// Simulated MPI rank of the recording thread.
+    pub rank: u32,
+    /// End-of-event timestamp, ns since the obskit epoch.
+    pub ts_ns: u64,
+    /// Span duration (0 for instants).
+    pub dur_ns: u64,
+    /// Event name, truncated to [`NAME_BYTES`] bytes.
+    pub name: String,
+    /// First numeric argument of the closing event (0.0 if none).
+    pub arg: f64,
+}
+
+const NAME_WORDS: usize = NAME_BYTES / 8;
+
+#[derive(Default)]
+struct Slot {
+    /// Seqlock word: 0 = never written, odd = write in progress,
+    /// `2·ticket + 2` = slot holds the event claimed by `ticket`.
+    seq: AtomicU64,
+    ts_ns: AtomicU64,
+    dur_ns: AtomicU64,
+    /// Packed `kind | stage | name_len | rank` (see `pack_meta`).
+    meta: AtomicU64,
+    name: [AtomicU64; NAME_WORDS],
+    arg_bits: AtomicU64,
+}
+
+static RING: OnceLock<Vec<Slot>> = OnceLock::new();
+static HEAD: AtomicU64 = AtomicU64::new(0);
+static ON: AtomicBool = AtomicBool::new(true);
+/// Capacity requested by [`configure`] before first use.
+static REQUESTED_CAP: AtomicU64 = AtomicU64::new(0);
+
+fn ring() -> &'static Vec<Slot> {
+    RING.get_or_init(|| {
+        let cap = match REQUESTED_CAP.load(Ordering::Relaxed) {
+            0 => std::env::var("OBSKIT_FLIGHT_CAP")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(DEFAULT_CAPACITY),
+            n => n as usize,
+        };
+        (0..cap).map(|_| Slot::default()).collect()
+    })
+}
+
+/// Is the flight recorder on? (Default: yes, independently of full tracing.)
+#[inline(always)]
+pub fn flight_enabled() -> bool {
+    ON.load(Ordering::Relaxed)
+}
+
+/// Turn the recorder on/off. Off reduces every record site to one relaxed
+/// atomic load.
+pub fn set_enabled(on: bool) {
+    ON.store(on, Ordering::SeqCst);
+}
+
+/// Request a ring capacity. Effective only before the first recorded event
+/// (the ring allocates once, on first use); returns whether the request was
+/// applied.
+pub fn configure(capacity: usize) -> bool {
+    if capacity == 0 || RING.get().is_some() {
+        return false;
+    }
+    REQUESTED_CAP.store(capacity as u64, Ordering::Relaxed);
+    true
+}
+
+/// The ring capacity currently in effect (allocating the ring if needed).
+pub fn capacity() -> usize {
+    ring().len()
+}
+
+/// Total events ever recorded (including overwritten ones).
+pub fn recorded_total() -> u64 {
+    HEAD.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn pack_meta(kind: FlightKind, stage: Stage, name_len: usize, rank: u32) -> u64 {
+    let k = match kind {
+        FlightKind::Span => 0u64,
+        FlightKind::AbortedSpan => 1,
+        FlightKind::Instant => 2,
+    };
+    k | ((stage.index() as u64) << 8)
+        | ((name_len as u64) << 16)
+        | ((rank as u64) << 24)
+}
+
+fn unpack_meta(meta: u64) -> Option<(FlightKind, Stage, usize, u32)> {
+    let kind = match meta & 0xff {
+        0 => FlightKind::Span,
+        1 => FlightKind::AbortedSpan,
+        2 => FlightKind::Instant,
+        _ => return None,
+    };
+    let stage = *Stage::ALL.get(((meta >> 8) & 0xff) as usize)?;
+    let len = ((meta >> 16) & 0xff) as usize;
+    if len > NAME_BYTES {
+        return None;
+    }
+    Some((kind, stage, len, (meta >> 24) as u32))
+}
+
+/// Record one event into the ring. Hot-path cost: one relaxed load when
+/// disabled; one `fetch_add` + ~10 relaxed stores when on.
+#[inline]
+pub(crate) fn record(
+    kind: FlightKind,
+    stage: Stage,
+    rank: usize,
+    name: &str,
+    ts_ns: u64,
+    dur_ns: u64,
+    arg: f64,
+) {
+    if !flight_enabled() {
+        return;
+    }
+    let ring = ring();
+    let ticket = HEAD.fetch_add(1, Ordering::Relaxed);
+    let slot = &ring[(ticket % ring.len() as u64) as usize];
+    // Seqlock write: odd marks in-progress, the final even value carries the
+    // ticket so readers can order events and detect torn laps.
+    slot.seq.store(2 * ticket + 1, Ordering::Release);
+    slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+    slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+    let bytes = name.as_bytes();
+    let len = bytes.len().min(NAME_BYTES);
+    slot.meta.store(pack_meta(kind, stage, len, rank as u32), Ordering::Relaxed);
+    for (w, word_slot) in slot.name.iter().enumerate() {
+        let mut word = 0u64;
+        for b in 0..8 {
+            let i = w * 8 + b;
+            if i < len {
+                word |= (bytes[i] as u64) << (8 * b);
+            }
+        }
+        word_slot.store(word, Ordering::Relaxed);
+    }
+    slot.arg_bits.store(arg.to_bits(), Ordering::Relaxed);
+    slot.seq.store(2 * ticket + 2, Ordering::Release);
+}
+
+/// Record an explicit point event (e.g. a recovery-ladder rung) into the
+/// ring, independent of full tracing.
+pub fn note(stage: Stage, name: &str, arg: f64) {
+    record(
+        FlightKind::Instant,
+        stage,
+        crate::thread_rank(),
+        name,
+        crate::now_ns(),
+        0,
+        arg,
+    );
+}
+
+/// Snapshot the ring without blocking writers: decode every consistent
+/// slot, discard torn or in-progress ones, and return events sorted by
+/// ticket order.
+pub fn snapshot() -> Vec<FlightEvent> {
+    let Some(ring) = RING.get() else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(ring.len());
+    for slot in ring {
+        let seq1 = slot.seq.load(Ordering::Acquire);
+        if seq1 == 0 || seq1 % 2 == 1 {
+            continue; // empty or mid-write
+        }
+        let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
+        let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
+        let meta = slot.meta.load(Ordering::Relaxed);
+        let mut name_words = [0u64; NAME_WORDS];
+        for (w, word_slot) in slot.name.iter().enumerate() {
+            name_words[w] = word_slot.load(Ordering::Relaxed);
+        }
+        let arg_bits = slot.arg_bits.load(Ordering::Relaxed);
+        let seq2 = slot.seq.load(Ordering::Acquire);
+        if seq1 != seq2 {
+            continue; // torn by a concurrent writer
+        }
+        let Some((kind, stage, len, rank)) = unpack_meta(meta) else {
+            continue;
+        };
+        let mut bytes = [0u8; NAME_BYTES];
+        for (i, byte) in bytes.iter_mut().enumerate() {
+            *byte = (name_words[i / 8] >> (8 * (i % 8))) as u8;
+        }
+        let name = String::from_utf8_lossy(&bytes[..len]).into_owned();
+        out.push(FlightEvent {
+            seq: seq1 / 2 - 1,
+            kind,
+            stage,
+            rank,
+            ts_ns,
+            dur_ns,
+            name,
+            arg: f64::from_bits(arg_bits),
+        });
+    }
+    out.sort_by_key(|e| e.seq);
+    out
+}
+
+/// Reset the ring to empty (testing / between campaigns). Not linearizable
+/// against concurrent writers; callers quiesce first.
+pub fn clear() {
+    if let Some(ring) = RING.get() {
+        for slot in ring {
+            slot.seq.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// Serialise the current ring contents as Chrome Trace Event Format JSON:
+/// complete (`X`) events for spans, `i` for instants, one lane per rank,
+/// plus `thread_name` metadata labelling each lane as a flight-recorder
+/// lane. Validates against [`crate::chrome::validate_chrome_trace`].
+pub fn dump_chrome_json() -> String {
+    let events = snapshot();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut lanes_seen: Vec<u32> = Vec::new();
+    for ev in &events {
+        if !lanes_seen.contains(&ev.rank) {
+            lanes_seen.push(ev.rank);
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{r},\"tid\":{r},\
+                 \"args\":{{\"name\":\"flight rank {r}\"}}}}",
+                r = ev.rank
+            );
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ph = match ev.kind {
+            FlightKind::Span | FlightKind::AbortedSpan => "X",
+            FlightKind::Instant => "i",
+        };
+        // Chrome timestamps are µs; X events carry their duration.
+        let ts_us = (ev.ts_ns.saturating_sub(ev.dur_ns)) as f64 / 1e3;
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":{r},\"tid\":{r}",
+            crate::chrome::escape_json_string(&ev.name),
+            ev.stage.label(),
+            r = ev.rank
+        );
+        match ev.kind {
+            FlightKind::Span => {
+                let _ = write!(out, ",\"dur\":{:.3}", ev.dur_ns as f64 / 1e3);
+                let _ = write!(out, ",\"args\":{{\"seq\":{},\"arg\":{}}}", ev.seq, json_num(ev.arg));
+            }
+            FlightKind::AbortedSpan => {
+                let _ = write!(out, ",\"dur\":{:.3}", ev.dur_ns as f64 / 1e3);
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"seq\":{},\"arg\":{},\"aborted\":true}}",
+                    ev.seq,
+                    json_num(ev.arg)
+                );
+            }
+            FlightKind::Instant => {
+                out.push_str(",\"s\":\"t\"");
+                let _ = write!(out, ",\"args\":{{\"seq\":{},\"arg\":{}}}", ev.seq, json_num(ev.arg));
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Write [`dump_chrome_json`] to `path`, returning the number of events
+/// dumped.
+pub fn dump_to(path: &std::path::Path) -> std::io::Result<usize> {
+    let n = snapshot().len();
+    std::fs::write(path, dump_chrome_json())?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::testutil;
+
+    #[test]
+    fn ring_records_and_snapshots_in_order() {
+        let _g = testutil::exclusive();
+        clear();
+        for i in 0..5 {
+            record(FlightKind::Instant, Stage::Other, 0, "tick", 100 + i, 0, i as f64);
+        }
+        let snap = snapshot();
+        let ticks: Vec<&FlightEvent> = snap.iter().filter(|e| e.name == "tick").collect();
+        assert_eq!(ticks.len(), 5);
+        for w in ticks.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        assert_eq!(ticks[4].arg, 4.0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_most_recent() {
+        let _g = testutil::exclusive();
+        clear();
+        let cap = capacity();
+        for i in 0..(cap + 50) {
+            record(FlightKind::Instant, Stage::Other, 1, "flood", i as u64, 0, i as f64);
+        }
+        let snap = snapshot();
+        assert!(snap.len() <= cap);
+        // The newest event always survives.
+        assert!(snap.iter().any(|e| e.arg == (cap + 49) as f64));
+        // The oldest must have been overwritten.
+        assert!(!snap.iter().any(|e| e.name == "flood" && e.arg == 0.0));
+    }
+
+    #[test]
+    fn names_truncate_not_corrupt() {
+        let _g = testutil::exclusive();
+        clear();
+        let long = "a-very-long-span-name-that-exceeds-the-slot";
+        record(FlightKind::Span, Stage::Gemm, 2, long, 10, 5, 0.0);
+        let snap = snapshot();
+        let ev = snap.iter().find(|e| e.kind == FlightKind::Span && e.rank == 2).unwrap();
+        assert_eq!(ev.name.len(), NAME_BYTES);
+        assert!(long.starts_with(&ev.name));
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events() {
+        let _g = testutil::exclusive();
+        clear();
+        set_enabled(false);
+        record(FlightKind::Instant, Stage::Other, 0, "dropped", 1, 0, 0.0);
+        set_enabled(true);
+        assert!(!snapshot().iter().any(|e| e.name == "dropped"));
+    }
+
+    #[test]
+    fn dump_is_schema_valid_chrome_json() {
+        let _g = testutil::exclusive();
+        clear();
+        record(FlightKind::Span, Stage::Diag, 0, "diag.lobpcg", 2_000, 1_000, 0.0);
+        record(FlightKind::AbortedSpan, Stage::Fft, 1, "fft.apply", 3_000, 500, 0.0);
+        record(FlightKind::Instant, Stage::Other, 0, "recover.rung", 4_000, 0, 2.0);
+        let json = dump_chrome_json();
+        let stats = crate::chrome::validate_chrome_trace(&json).expect("valid dump");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.instants, 1);
+        assert!(stats.metadata >= 1, "thread_name lanes present");
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_garbage() {
+        let _g = testutil::exclusive();
+        clear();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..2000u64 {
+                        record(
+                            FlightKind::Instant,
+                            Stage::Mpi,
+                            t,
+                            "mpi:allreduce",
+                            i,
+                            0,
+                            i as f64,
+                        );
+                    }
+                });
+            }
+        });
+        for ev in snapshot() {
+            if ev.name.starts_with("mpi") {
+                assert_eq!(ev.name, "mpi:allreduce");
+                assert!(ev.rank < 4);
+            }
+        }
+    }
+}

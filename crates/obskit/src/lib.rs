@@ -25,11 +25,22 @@
 //! so lock traffic is one mutex acquisition per *top-level* span, not per
 //! event.
 //!
-//! ## Ranks
+//! ## Ranks and lanes
 //!
 //! The simulated MPI runtime (`parcomm`) runs each rank on its own OS
-//! thread; [`set_rank`] tags the calling thread's stream. Threads that never
-//! call it (the main thread, Rayon workers) record as rank 0.
+//! thread; [`set_rank`] tags the calling thread's stream (lane label
+//! `"rank N"`). Threads that never call it — the main thread, Rayon
+//! workers, progress engines — still record under rank 0 but each gets its
+//! own trace lane, named via [`set_thread_label`] or the OS thread name, so
+//! worker activity no longer pollutes the rank-0 timeline.
+//!
+//! ## Flight recorder
+//!
+//! Independently of full tracing, every span close and instant is mirrored
+//! into [`flight`] — a bounded lock-free ring of recent events that stays
+//! on even when tracing is disabled. `faultkit`'s recovery ladders dump it
+//! as a Chrome trace on any `SolveError`, so recovered faults ship with
+//! their last-N-events context.
 //!
 //! ## Panic safety
 //!
@@ -39,6 +50,7 @@
 
 pub mod chrome;
 pub mod counters;
+pub mod flight;
 pub mod span;
 pub mod trace;
 
@@ -46,7 +58,10 @@ pub use counters::{
     add_bytes_moved, add_comm_segments, add_flops, add_fft_calls, record_gemm_shape,
     record_kernel_dispatch, CounterSnapshot,
 };
-pub use span::{flush_thread, instant, set_rank, span, thread_rank, Event, EventKind, Span};
+pub use span::{
+    flush_thread, instant, set_rank, set_thread_label, span, thread_lane, thread_rank, Event,
+    EventKind, Span,
+};
 pub use trace::{take_trace, RankTrace, Trace};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -4,9 +4,21 @@
 //! creation and an `End` on drop. When the thread's open-span stack returns
 //! to depth zero the buffer drains into the global registry under one mutex
 //! acquisition, keeping hot paths free of shared-state traffic.
+//!
+//! Every thread additionally carries a process-unique lane id (`tid`) and a
+//! human-readable label. Ranks set both via [`set_rank`] (label `"rank N"`);
+//! other threads — the main thread, Rayon workers — get distinct lanes named
+//! after their OS thread name (or `"thread-N"`), so exported traces no
+//! longer collapse every unranked thread into one polluted rank-0 lane.
+//!
+//! Span closes and instants are also mirrored into the always-on
+//! [`crate::flight`] ring so the last moments before a fault are available
+//! even with full tracing disabled.
 
+use crate::flight::{self, FlightKind};
 use crate::{enabled, now_ns, Stage};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// What kind of event a stream entry is.
@@ -35,31 +47,79 @@ pub struct Event {
     pub args: Vec<(&'static str, f64)>,
 }
 
-/// Global registry of flushed event batches, tagged by rank. Batches are
-/// appended in flush order; within one rank the order is the recording
-/// order because a rank is a single thread.
-static REGISTRY: Mutex<Vec<(usize, Vec<Event>)>> = Mutex::new(Vec::new());
+/// One flushed batch of events from a single thread.
+pub(crate) struct Batch {
+    pub rank: usize,
+    pub tid: u64,
+    pub label: String,
+    pub events: Vec<Event>,
+}
+
+/// Global registry of flushed event batches, tagged by (rank, lane).
+/// Batches are appended in flush order; within one lane the order is the
+/// recording order because a lane is a single thread.
+static REGISTRY: Mutex<Vec<Batch>> = Mutex::new(Vec::new());
+
+/// Process-unique lane ids. 0 is the "unassigned" sentinel so the
+/// const-initialised thread-local can detect first use.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 struct ThreadStream {
     rank: usize,
+    /// True once [`set_rank`] ran on this thread; labels the lane "rank N".
+    rank_explicit: bool,
+    /// Process-unique lane id; 0 until lazily assigned.
+    tid: u64,
+    /// Explicit label from [`set_thread_label`], if any.
+    label: Option<String>,
     events: Vec<Event>,
     depth: usize,
 }
 
 impl ThreadStream {
     const fn new() -> Self {
-        ThreadStream { rank: 0, events: Vec::new(), depth: 0 }
+        ThreadStream {
+            rank: 0,
+            rank_explicit: false,
+            tid: 0,
+            label: None,
+            events: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    fn tid(&mut self) -> u64 {
+        if self.tid == 0 {
+            self.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tid
+    }
+
+    fn lane_label(&self) -> String {
+        if let Some(l) = &self.label {
+            return l.clone();
+        }
+        if self.rank_explicit {
+            return format!("rank {}", self.rank);
+        }
+        match std::thread::current().name() {
+            Some(n) if !n.is_empty() => n.to_string(),
+            _ => format!("thread-{}", self.tid),
+        }
     }
 
     fn flush(&mut self) {
         if self.events.is_empty() {
             return;
         }
-        let batch = std::mem::take(&mut self.events);
-        REGISTRY
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .push((self.rank, batch));
+        let tid = self.tid();
+        let batch = Batch {
+            rank: self.rank,
+            tid,
+            label: self.lane_label(),
+            events: std::mem::take(&mut self.events),
+        };
+        REGISTRY.lock().unwrap_or_else(|p| p.into_inner()).push(batch);
     }
 }
 
@@ -76,14 +136,32 @@ thread_local! {
 }
 
 /// Tag this thread's event stream with a simulated-MPI rank id. Called by
-/// `parcomm::spmd` at rank-thread startup; defaults to 0 elsewhere.
+/// `parcomm::spmd` at rank-thread startup; defaults to 0 elsewhere. The
+/// lane label becomes `"rank N"` unless [`set_thread_label`] overrides it.
 pub fn set_rank(rank: usize) {
-    STREAM.with(|s| s.borrow_mut().rank = rank);
+    STREAM.with(|s| {
+        let mut st = s.borrow_mut();
+        st.rank = rank;
+        st.rank_explicit = true;
+    });
+}
+
+/// Give this thread's trace lane a human-readable name, exported as a
+/// Chrome `thread_name` metadata event. Use for worker/service threads that
+/// are not SPMD ranks (progress engines, schedulers) so they don't read as
+/// anonymous rank-0 activity.
+pub fn set_thread_label(label: &str) {
+    STREAM.with(|s| s.borrow_mut().label = Some(label.to_string()));
 }
 
 /// The rank this thread records as.
 pub fn thread_rank() -> usize {
     STREAM.with(|s| s.borrow().rank)
+}
+
+/// This thread's process-unique trace lane id (assigning one if needed).
+pub fn thread_lane() -> u64 {
+    STREAM.with(|s| s.borrow_mut().tid())
 }
 
 /// Push this thread's buffered events to the global registry. `parcomm`
@@ -93,18 +171,24 @@ pub fn flush_thread() {
     STREAM.with(|s| s.borrow_mut().flush());
 }
 
-pub(crate) fn drain_registry() -> Vec<(usize, Vec<Event>)> {
+pub(crate) fn drain_registry() -> Vec<Batch> {
     std::mem::take(&mut *REGISTRY.lock().unwrap_or_else(|p| p.into_inner()))
 }
 
 /// RAII span guard. Created by [`span`]; records its `End` event (with
 /// panic-abort marking) when dropped. Attach numeric payload with
 /// [`Span::arg`] — emitted on the closing event.
+///
+/// Even when full tracing is disabled the guard mirrors one compact event
+/// into the [`crate::flight`] ring on drop (a handful of atomic stores).
 #[must_use = "a span measures the scope it lives in; binding it to _ closes it immediately"]
 pub struct Span {
     live: bool,
     name: &'static str,
     stage: Stage,
+    /// Open timestamp, kept even for non-recording guards so the flight
+    /// ring can compute the duration.
+    t0_ns: u64,
     args: Vec<(&'static str, f64)>,
 }
 
@@ -126,10 +210,24 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        let aborted = std::thread::panicking();
+        if flight::flight_enabled() {
+            let ts_ns = now_ns();
+            let kind = if aborted { FlightKind::AbortedSpan } else { FlightKind::Span };
+            let arg = self.args.first().map(|&(_, v)| v).unwrap_or(0.0);
+            flight::record(
+                kind,
+                self.stage,
+                thread_rank(),
+                self.name,
+                ts_ns,
+                ts_ns.saturating_sub(self.t0_ns),
+                arg,
+            );
+        }
         if !self.live {
             return;
         }
-        let aborted = std::thread::panicking();
         let ts_ns = now_ns();
         STREAM.with(|s| {
             let mut st = s.borrow_mut();
@@ -148,12 +246,13 @@ impl Drop for Span {
     }
 }
 
-/// Open a span. Disabled-mode cost: one relaxed atomic load plus an inert
-/// guard (no allocation, no TLS access).
+/// Open a span. Disabled-mode cost: one relaxed atomic load, a clock read
+/// for the flight ring, and an inert guard (no allocation, no TLS access).
 #[inline]
 pub fn span(stage: Stage, name: &'static str) -> Span {
     if !enabled() {
-        return Span { live: false, name, stage, args: Vec::new() };
+        let t0_ns = if flight::flight_enabled() { now_ns() } else { 0 };
+        return Span { live: false, name, stage, t0_ns, args: Vec::new() };
     }
     let ts_ns = now_ns();
     STREAM.with(|s| {
@@ -161,13 +260,26 @@ pub fn span(stage: Stage, name: &'static str) -> Span {
         st.events.push(Event { kind: EventKind::Begin, name, stage, ts_ns, args: Vec::new() });
         st.depth += 1;
     });
-    Span { live: true, name, stage, args: Vec::new() }
+    Span { live: true, name, stage, t0_ns: ts_ns, args: Vec::new() }
 }
 
 /// Record a point-in-time event with a numeric payload, e.g. one solver
-/// iteration's residual norm. Disabled-mode cost: one atomic load.
+/// iteration's residual norm. Disabled-mode cost: one atomic load plus the
+/// flight-ring mirror.
 #[inline]
 pub fn instant(stage: Stage, name: &'static str, args: &[(&'static str, f64)]) {
+    if flight::flight_enabled() {
+        let arg = args.first().map(|&(_, v)| v).unwrap_or(0.0);
+        flight::record(
+            FlightKind::Instant,
+            stage,
+            thread_rank(),
+            name,
+            now_ns(),
+            0,
+            arg,
+        );
+    }
     if !enabled() {
         return;
     }
@@ -200,6 +312,7 @@ pub(crate) mod testutil {
         crate::disable();
         crate::flush_thread();
         let _ = crate::take_trace();
+        crate::flight::clear();
         g
     }
 }
@@ -221,6 +334,24 @@ mod tests {
         flush_thread();
         let t = take_trace();
         assert!(t.ranks.is_empty(), "disabled mode must not record");
+    }
+
+    #[test]
+    fn disabled_spans_still_feed_the_flight_ring() {
+        let _g = testutil::exclusive();
+        {
+            let _s = span(Stage::Gemm, "flight.only");
+        }
+        instant(Stage::Diag, "flight.instant", &[("x", 7.0)]);
+        let snap = crate::flight::snapshot();
+        let sp = snap
+            .iter()
+            .find(|e| e.name == "flight.only")
+            .expect("span mirrored to flight ring");
+        assert_eq!(sp.kind, FlightKind::Span);
+        let inst = snap.iter().find(|e| e.name == "flight.instant").unwrap();
+        assert_eq!(inst.kind, FlightKind::Instant);
+        assert_eq!(inst.arg, 7.0);
     }
 
     #[test]
@@ -279,6 +410,7 @@ mod tests {
         assert_eq!(stream.events.len(), 2);
         assert_eq!(stream.events[0].kind, EventKind::Begin);
         assert_eq!(stream.events[1].kind, EventKind::End { aborted: true });
+        assert_eq!(stream.label, "rank 3");
     }
 
     #[test]
@@ -311,5 +443,27 @@ mod tests {
         let mut ranks: Vec<usize> = t.ranks.iter().map(|r| r.rank).collect();
         ranks.sort_unstable();
         assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unranked_threads_get_distinct_labelled_lanes() {
+        let _g = testutil::exclusive();
+        enable();
+        std::thread::scope(|scope| {
+            for i in 0..2 {
+                scope.spawn(move || {
+                    set_thread_label(if i == 0 { "worker-a" } else { "worker-b" });
+                    let _s = span(Stage::Gemm, "work");
+                });
+            }
+        });
+        disable();
+        let t = take_trace();
+        // Both threads defaulted to rank 0 but must land in separate lanes.
+        assert_eq!(t.ranks.len(), 2, "one lane per thread, not one merged rank-0 lane");
+        let mut labels: Vec<&str> = t.ranks.iter().map(|r| r.label.as_str()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, ["worker-a", "worker-b"]);
+        assert_ne!(t.ranks[0].tid, t.ranks[1].tid);
     }
 }

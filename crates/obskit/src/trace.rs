@@ -7,17 +7,24 @@ use crate::span::{drain_registry, flush_thread, Event, EventKind};
 use crate::Stage;
 use std::collections::BTreeMap;
 
-/// One simulated-MPI rank's event stream, in recording order.
+/// One thread lane's event stream, in recording order. A simulated-MPI
+/// rank is usually a single lane, but unranked threads (main thread, Rayon
+/// workers, progress engines) each get their own lane under rank 0 rather
+/// than being merged together.
 #[derive(Clone, Debug)]
 pub struct RankTrace {
     pub rank: usize,
+    /// Process-unique lane id (distinguishes threads sharing a rank).
+    pub tid: u64,
+    /// Human-readable lane name, e.g. `"rank 2"` or `"progress-0"`.
+    pub label: String,
     pub events: Vec<Event>,
 }
 
 /// A completed trace: every rank's stream plus the counter snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    /// Rank streams, sorted by rank id.
+    /// Lane streams, sorted by (rank, lane id).
     pub ranks: Vec<RankTrace>,
     pub counters: CounterSnapshot,
 }
@@ -28,12 +35,18 @@ pub struct Trace {
 /// yields the complete run.
 pub fn take_trace() -> Trace {
     flush_thread();
-    let mut by_rank: BTreeMap<usize, Vec<Event>> = BTreeMap::new();
-    for (rank, batch) in drain_registry() {
-        by_rank.entry(rank).or_default().extend(batch);
+    let mut by_lane: BTreeMap<(usize, u64), (String, Vec<Event>)> = BTreeMap::new();
+    for batch in drain_registry() {
+        let lane = by_lane
+            .entry((batch.rank, batch.tid))
+            .or_insert_with(|| (batch.label, Vec::new()));
+        lane.1.extend(batch.events);
     }
     Trace {
-        ranks: by_rank.into_iter().map(|(rank, events)| RankTrace { rank, events }).collect(),
+        ranks: by_lane
+            .into_iter()
+            .map(|((rank, tid), (label, events))| RankTrace { rank, tid, label, events })
+            .collect(),
         counters: take_counters(),
     }
 }
@@ -100,25 +113,26 @@ impl Trace {
     /// section timers.
     pub fn stage_seconds_for_rank(&self, rank: usize) -> StageSeconds {
         let mut out = [0.0; Stage::ALL.len()];
-        let Some(r) = self.ranks.iter().find(|r| r.rank == rank) else {
-            return out;
-        };
-        // (stage, begin_ts, child_ns)
-        let mut stack: Vec<(Stage, u64, u64)> = Vec::new();
-        for ev in &r.events {
-            match ev.kind {
-                EventKind::Begin => stack.push((ev.stage, ev.ts_ns, 0)),
-                EventKind::End { .. } => {
-                    if let Some((stage, t0, child_ns)) = stack.pop() {
-                        let dur = ev.ts_ns.saturating_sub(t0);
-                        let excl = dur.saturating_sub(child_ns);
-                        out[stage.index()] += excl as f64 * 1e-9;
-                        if let Some(parent) = stack.last_mut() {
-                            parent.2 += dur;
+        // A rank can own several lanes (rank thread + labelled workers);
+        // each lane has its own well-nested stack, so sum them.
+        for r in self.ranks.iter().filter(|r| r.rank == rank) {
+            // (stage, begin_ts, child_ns)
+            let mut stack: Vec<(Stage, u64, u64)> = Vec::new();
+            for ev in &r.events {
+                match ev.kind {
+                    EventKind::Begin => stack.push((ev.stage, ev.ts_ns, 0)),
+                    EventKind::End { .. } => {
+                        if let Some((stage, t0, child_ns)) = stack.pop() {
+                            let dur = ev.ts_ns.saturating_sub(t0);
+                            let excl = dur.saturating_sub(child_ns);
+                            out[stage.index()] += excl as f64 * 1e-9;
+                            if let Some(parent) = stack.last_mut() {
+                                parent.2 += dur;
+                            }
                         }
                     }
+                    EventKind::Instant => {}
                 }
-                EventKind::Instant => {}
             }
         }
         out
@@ -127,7 +141,12 @@ impl Trace {
     /// [`Trace::stage_seconds_for_rank`] summed over all ranks.
     pub fn stage_seconds_total(&self) -> StageSeconds {
         let mut out = [0.0; Stage::ALL.len()];
+        let mut seen: Vec<usize> = Vec::new();
         for r in &self.ranks {
+            if seen.contains(&r.rank) {
+                continue; // stage_seconds_for_rank already summed this rank's lanes
+            }
+            seen.push(r.rank);
             let s = self.stage_seconds_for_rank(r.rank);
             for (o, v) in out.iter_mut().zip(s.iter()) {
                 *o += v;
@@ -305,6 +324,8 @@ mod tests {
         let t = Trace {
             ranks: vec![RankTrace {
                 rank: 0,
+                tid: 1,
+                label: "rank 0".to_string(),
                 events: vec![Event {
                     kind: EventKind::End { aborted: false },
                     name: "x",
@@ -323,6 +344,8 @@ mod tests {
         let t = Trace {
             ranks: vec![RankTrace {
                 rank: 1,
+                tid: 2,
+                label: "rank 1".to_string(),
                 events: vec![Event {
                     kind: EventKind::Begin,
                     name: "open",

@@ -417,9 +417,10 @@ where
             let f = &f;
             let faults = faults.clone();
             handles.push(scope.spawn(move || {
-                // Tag this rank thread's trace stream and deliver whatever it
-                // recorded when the rank function returns (or panics — the
-                // thread-local backstop flushes on unwind).
+                // Tag this rank thread's trace stream (lane label "rank N")
+                // and deliver whatever it recorded when the rank function
+                // returns (or panics — the thread-local backstop flushes on
+                // unwind).
                 obskit::set_rank(rank);
                 faultkit::install(faults);
                 faultkit::set_rank(rank);

@@ -380,9 +380,12 @@ impl Worker {
             .name(format!("parcomm-nb-{rank}"))
             .spawn(move || {
                 // FIFO drain; the channel closing (Comm drop) ends the loop.
-                // No obskit spans here: this thread never calls `set_rank`,
-                // so emitting events would pollute rank 0's trace lane —
-                // engine work is observable via SegStats and the timeline.
+                // The engine thread records no spans of its own (engine work
+                // is observable via SegStats and the timeline), but label
+                // its lane anyway: anything that *does* record here — flight
+                // events, future instrumentation — must not read as
+                // anonymous rank-0 activity.
+                obskit::set_thread_label(&format!("progress-{rank}"));
                 for task in rx {
                     task();
                 }

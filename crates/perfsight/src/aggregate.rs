@@ -1,0 +1,447 @@
+//! Cross-rank trace aggregation: per-stage load-imbalance metrics and
+//! critical-path extraction over span + collective dependency edges.
+//!
+//! The paper's parallel-efficiency story is told in two numbers per stage:
+//! how unevenly the ranks share the work (the imbalance factor
+//! λ = t_max / t_mean) and which rank/stage actually bounds the wall clock.
+//! This module computes both from a merged [`Trace`].
+//!
+//! ## Critical path
+//!
+//! In an SPMD run every rank issues the same collectives in the same order,
+//! so the `mpi:*` spans form synchronization edges across the per-rank
+//! timelines: collective *j* cannot complete anywhere before every rank has
+//! reached it. Walking those edges with a time cursor decomposes the wall
+//! clock exactly:
+//!
+//! * the gap from the cursor to the **last arrival** at collective *j* is
+//!   compute time on the critical path, attributed to the latest-arriving
+//!   rank and its dominant stage in that window;
+//! * the remainder until the **last completion** of *j* is communication
+//!   time attributed to the collective;
+//! * after the final collective, the tail until the last event is compute
+//!   on the latest-finishing rank.
+//!
+//! The segments telescope: their sum equals [`Trace::wall_seconds`] by
+//! construction, which is what makes the "critical path within 5% of wall
+//! clock" CI gate meaningful rather than lucky.
+
+use obskit::span::EventKind;
+use obskit::trace::Trace;
+use obskit::Stage;
+
+/// Load statistics for one pipeline stage across ranks (exclusive time).
+#[derive(Clone, Debug)]
+pub struct StageLoad {
+    pub stage: Stage,
+    /// Slowest rank's exclusive seconds in this stage.
+    pub max_s: f64,
+    pub mean_s: f64,
+    pub min_s: f64,
+    /// Imbalance factor λ = max / mean (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Rank holding `max_s`.
+    pub bottleneck_rank: usize,
+}
+
+/// Compute per-stage load statistics over every rank present in the trace.
+/// Stages with no recorded time anywhere are omitted.
+pub fn stage_loads(trace: &Trace) -> Vec<StageLoad> {
+    let ranks = rank_ids(trace);
+    if ranks.is_empty() {
+        return Vec::new();
+    }
+    let per_rank: Vec<[f64; Stage::ALL.len()]> =
+        ranks.iter().map(|&r| trace.stage_seconds_for_rank(r)).collect();
+    let mut out = Vec::new();
+    for stage in Stage::ALL {
+        let i = stage.index();
+        let col: Vec<f64> = per_rank.iter().map(|s| s[i]).collect();
+        let max_s = col.iter().cloned().fold(0.0, f64::max);
+        if max_s <= 0.0 {
+            continue;
+        }
+        let min_s = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean_s = col.iter().sum::<f64>() / col.len() as f64;
+        let (arg, _) = col
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |acc, (j, &v)| if v > acc.1 { (j, v) } else { acc });
+        out.push(StageLoad {
+            stage,
+            max_s,
+            mean_s,
+            min_s,
+            imbalance: if mean_s > 0.0 { max_s / mean_s } else { 1.0 },
+            bottleneck_rank: ranks[arg],
+        });
+    }
+    out
+}
+
+/// The distinct rank ids in a trace, ascending.
+pub fn rank_ids(trace: &Trace) -> Vec<usize> {
+    let mut ids: Vec<usize> = Vec::new();
+    for lane in &trace.ranks {
+        if !ids.contains(&lane.rank) {
+            ids.push(lane.rank);
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+/// What one critical-path segment was spent on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SegmentKind {
+    /// Compute on `rank`, dominated by `stage`, while other ranks waited.
+    Compute { rank: usize, stage: Stage },
+    /// A collective completing after every rank arrived.
+    Collective { name: String },
+}
+
+/// One segment of the critical path, in time order.
+#[derive(Clone, Debug)]
+pub struct CriticalSegment {
+    pub kind: SegmentKind,
+    pub seconds: f64,
+}
+
+/// The extracted critical path of a multi-rank solve.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalPath {
+    pub segments: Vec<CriticalSegment>,
+    /// Σ segment seconds — equals the trace wall span by construction.
+    pub total_seconds: f64,
+    /// Portion attributed to collectives.
+    pub comm_seconds: f64,
+    /// Portion attributed to per-rank compute.
+    pub compute_seconds: f64,
+    /// Seconds of critical-path compute charged to each rank id.
+    pub rank_seconds: Vec<(usize, f64)>,
+    /// Rank with the most critical-path compute (the run's bottleneck).
+    pub bottleneck_rank: Option<usize>,
+    /// Collectives matched across ranks (the dependency edges used).
+    pub matched_collectives: usize,
+}
+
+impl CriticalPath {
+    /// Fraction of the critical path spent in communication.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.comm_seconds / self.total_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A closed `mpi:*` span interval on one rank.
+#[derive(Clone, Debug)]
+struct CollInterval {
+    name: &'static str,
+    begin_ns: u64,
+    end_ns: u64,
+}
+
+/// Extract each rank's `mpi:*` span intervals in issue order. Aborted spans
+/// close during unwinding and still form intervals; spans left open by a
+/// dying thread are skipped (the stack never pops), which keeps the walk
+/// tolerant of faulted streams.
+fn collective_intervals(trace: &Trace, rank: usize) -> Vec<CollInterval> {
+    let mut out = Vec::new();
+    for lane in trace.ranks.iter().filter(|r| r.rank == rank) {
+        let mut stack: Vec<(&'static str, u64)> = Vec::new();
+        for ev in &lane.events {
+            match ev.kind {
+                EventKind::Begin => stack.push((ev.name, ev.ts_ns)),
+                EventKind::End { .. } => {
+                    if let Some((name, t0)) = stack.pop() {
+                        if name.starts_with("mpi:") {
+                            out.push(CollInterval { name, begin_ns: t0, end_ns: ev.ts_ns });
+                        }
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+    }
+    out.sort_by_key(|c| c.begin_ns);
+    out
+}
+
+/// Exclusive per-stage seconds for one rank, restricted to the window
+/// `[lo_ns, hi_ns]` (span portions outside the window are clipped).
+fn stage_seconds_in_window(trace: &Trace, rank: usize, lo_ns: u64, hi_ns: u64) -> [f64; Stage::ALL.len()] {
+    let mut out = [0.0; Stage::ALL.len()];
+    if hi_ns <= lo_ns {
+        return out;
+    }
+    for lane in trace.ranks.iter().filter(|r| r.rank == rank) {
+        // (stage, begin_ts, child_ns_in_window)
+        let mut stack: Vec<(Stage, u64, u64)> = Vec::new();
+        for ev in &lane.events {
+            match ev.kind {
+                EventKind::Begin => stack.push((ev.stage, ev.ts_ns, 0)),
+                EventKind::End { .. } => {
+                    if let Some((stage, t0, child_ns)) = stack.pop() {
+                        let a = t0.clamp(lo_ns, hi_ns);
+                        let b = ev.ts_ns.clamp(lo_ns, hi_ns);
+                        let dur = b.saturating_sub(a);
+                        let excl = dur.saturating_sub(child_ns);
+                        out[stage.index()] += excl as f64 * 1e-9;
+                        if let Some(parent) = stack.last_mut() {
+                            parent.2 += dur;
+                        }
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+    }
+    out
+}
+
+fn dominant_stage(seconds: &[f64; Stage::ALL.len()]) -> Stage {
+    let mut best = Stage::Other;
+    let mut best_v = 0.0;
+    for stage in Stage::ALL {
+        let v = seconds[stage.index()];
+        if v > best_v {
+            best_v = v;
+            best = stage;
+        }
+    }
+    best
+}
+
+/// Extract the critical path of a multi-rank trace. Single-rank (or
+/// collective-free) traces degrade to one compute segment spanning the
+/// whole wall clock.
+pub fn critical_path(trace: &Trace) -> CriticalPath {
+    let ranks = rank_ids(trace);
+    let mut path = CriticalPath::default();
+    if ranks.is_empty() {
+        return path;
+    }
+    let wall_lo = trace
+        .ranks
+        .iter()
+        .filter_map(|r| r.events.first())
+        .map(|e| e.ts_ns)
+        .min()
+        .unwrap_or(0);
+    let wall_hi = trace
+        .ranks
+        .iter()
+        .filter_map(|r| r.events.last())
+        .map(|e| e.ts_ns)
+        .max()
+        .unwrap_or(wall_lo);
+
+    let per_rank: Vec<Vec<CollInterval>> =
+        ranks.iter().map(|&r| collective_intervals(trace, r)).collect();
+    // Match collectives across ranks by issue index. SPMD symmetry makes
+    // index j on every rank the same logical operation; a faulted rank with
+    // a shorter stream just truncates the matchable prefix.
+    let matched = per_rank.iter().map(Vec::len).min().unwrap_or(0);
+    path.matched_collectives = matched;
+
+    let mut rank_acc: Vec<(usize, f64)> = ranks.iter().map(|&r| (r, 0.0)).collect();
+    let mut cur = wall_lo;
+    for j in 0..matched {
+        let arrive = per_rank.iter().map(|iv| iv[j].begin_ns).max().unwrap_or(cur);
+        let done = per_rank.iter().map(|iv| iv[j].end_ns).max().unwrap_or(cur);
+        let (late_idx, _) = per_rank
+            .iter()
+            .enumerate()
+            .fold((0, 0u64), |acc, (i, iv)| if iv[j].begin_ns >= acc.1 { (i, iv[j].begin_ns) } else { acc });
+        if arrive > cur {
+            let rank = ranks[late_idx];
+            let win = stage_seconds_in_window(trace, rank, cur, arrive);
+            let seconds = (arrive - cur) as f64 * 1e-9;
+            path.segments.push(CriticalSegment {
+                kind: SegmentKind::Compute { rank, stage: dominant_stage(&win) },
+                seconds,
+            });
+            path.compute_seconds += seconds;
+            rank_acc[late_idx].1 += seconds;
+            cur = arrive;
+        }
+        if done > cur {
+            let seconds = (done - cur) as f64 * 1e-9;
+            path.segments.push(CriticalSegment {
+                kind: SegmentKind::Collective { name: per_rank[late_idx][j].name.to_string() },
+                seconds,
+            });
+            path.comm_seconds += seconds;
+            cur = done;
+        }
+    }
+    if wall_hi > cur {
+        // Tail after the last matched collective: charge the rank whose
+        // stream ends last.
+        let (tail_idx, _) = trace
+            .ranks
+            .iter()
+            .filter_map(|r| r.events.last().map(|e| (r.rank, e.ts_ns)))
+            .fold((ranks[0], 0u64), |acc, (r, ts)| if ts >= acc.1 { (r, ts) } else { acc });
+        let win = stage_seconds_in_window(trace, tail_idx, cur, wall_hi);
+        let seconds = (wall_hi - cur) as f64 * 1e-9;
+        path.segments.push(CriticalSegment {
+            kind: SegmentKind::Compute { rank: tail_idx, stage: dominant_stage(&win) },
+            seconds,
+        });
+        path.compute_seconds += seconds;
+        if let Some(acc) = rank_acc.iter_mut().find(|(r, _)| *r == tail_idx) {
+            acc.1 += seconds;
+        }
+        cur = wall_hi;
+    }
+    let _ = cur;
+    path.total_seconds = path.compute_seconds + path.comm_seconds;
+    path.bottleneck_rank = rank_acc
+        .iter()
+        .filter(|(_, s)| *s > 0.0)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(r, _)| *r);
+    path.rank_seconds = rank_acc;
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obskit::span::Event;
+    use obskit::trace::RankTrace;
+
+    fn ev(kind: EventKind, name: &'static str, stage: Stage, ts_ns: u64) -> Event {
+        Event { kind, name, stage, ts_ns, args: Vec::new() }
+    }
+
+    fn lane(rank: usize, tid: u64, events: Vec<Event>) -> RankTrace {
+        RankTrace { rank, tid, label: format!("rank {rank}"), events }
+    }
+
+    /// Two ranks: rank 1 computes longer before a shared allreduce, so the
+    /// pre-collective critical segment belongs to rank 1.
+    fn two_rank_trace() -> Trace {
+        let b = |n, s, t| ev(EventKind::Begin, n, s, t);
+        let e = |n, s, t| ev(EventKind::End { aborted: false }, n, s, t);
+        Trace {
+            ranks: vec![
+                lane(0, 1, vec![
+                    b("gemm", Stage::Gemm, 0),
+                    e("gemm", Stage::Gemm, 100),
+                    b("mpi:allreduce", Stage::Mpi, 100),
+                    e("mpi:allreduce", Stage::Mpi, 500),
+                    b("diag", Stage::Diag, 500),
+                    e("diag", Stage::Diag, 600),
+                ]),
+                lane(1, 2, vec![
+                    b("gemm", Stage::Gemm, 0),
+                    e("gemm", Stage::Gemm, 400),
+                    b("mpi:allreduce", Stage::Mpi, 400),
+                    e("mpi:allreduce", Stage::Mpi, 500),
+                    b("diag", Stage::Diag, 500),
+                    e("diag", Stage::Diag, 550),
+                ]),
+            ],
+            counters: Default::default(),
+        }
+    }
+
+    #[test]
+    fn critical_path_telescopes_to_wall_clock() {
+        let t = two_rank_trace();
+        let cp = critical_path(&t);
+        assert_eq!(cp.matched_collectives, 1);
+        assert!((cp.total_seconds - t.wall_seconds()).abs() < 1e-15);
+        // 0..400 compute (rank 1, gemm), 400..500 allreduce, 500..600 tail
+        // compute (rank 0, diag).
+        assert_eq!(cp.segments.len(), 3);
+        assert_eq!(
+            cp.segments[0].kind,
+            SegmentKind::Compute { rank: 1, stage: Stage::Gemm }
+        );
+        assert!((cp.segments[0].seconds - 400e-9).abs() < 1e-15);
+        assert_eq!(
+            cp.segments[1].kind,
+            SegmentKind::Collective { name: "mpi:allreduce".to_string() }
+        );
+        assert_eq!(
+            cp.segments[2].kind,
+            SegmentKind::Compute { rank: 0, stage: Stage::Diag }
+        );
+        assert_eq!(cp.bottleneck_rank, Some(1));
+        assert!((cp.comm_fraction() - 100.0 / 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_loads_reports_imbalance() {
+        let t = two_rank_trace();
+        let loads = stage_loads(&t);
+        let gemm = loads.iter().find(|l| l.stage == Stage::Gemm).unwrap();
+        // 100ns vs 400ns of gemm: mean 250, λ = 1.6, bottleneck rank 1.
+        assert!((gemm.imbalance - 1.6).abs() < 1e-12);
+        assert_eq!(gemm.bottleneck_rank, 1);
+        assert!((gemm.min_s - 100e-9).abs() < 1e-15);
+        assert!((gemm.max_s - 400e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_rank_degrades_to_one_compute_segment() {
+        let b = |n, s, t| ev(EventKind::Begin, n, s, t);
+        let e = |n, s, t| ev(EventKind::End { aborted: false }, n, s, t);
+        let t = Trace {
+            ranks: vec![lane(0, 1, vec![
+                b("fft", Stage::Fft, 10),
+                e("fft", Stage::Fft, 910),
+            ])],
+            counters: Default::default(),
+        };
+        let cp = critical_path(&t);
+        assert_eq!(cp.segments.len(), 1);
+        assert_eq!(cp.matched_collectives, 0);
+        assert_eq!(cp.segments[0].kind, SegmentKind::Compute { rank: 0, stage: Stage::Fft });
+        assert!((cp.total_seconds - t.wall_seconds()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn aborted_spans_are_tolerated() {
+        let b = |n, s, t| ev(EventKind::Begin, n, s, t);
+        let e = |n, s, t| ev(EventKind::End { aborted: false }, n, s, t);
+        let ea = |n, s, t| ev(EventKind::End { aborted: true }, n, s, t);
+        // Rank 1 aborts its collective mid-flight (panic unwound); rank 0
+        // completes. Index matching still pairs them.
+        let t = Trace {
+            ranks: vec![
+                lane(0, 1, vec![
+                    b("gemm", Stage::Gemm, 0),
+                    e("gemm", Stage::Gemm, 50),
+                    b("mpi:allreduce", Stage::Mpi, 50),
+                    e("mpi:allreduce", Stage::Mpi, 200),
+                ]),
+                lane(1, 2, vec![
+                    b("gemm", Stage::Gemm, 0),
+                    ea("gemm", Stage::Gemm, 80),
+                    b("mpi:allreduce", Stage::Mpi, 80),
+                    ea("mpi:allreduce", Stage::Mpi, 150),
+                ]),
+            ],
+            counters: Default::default(),
+        };
+        let cp = critical_path(&t);
+        assert_eq!(cp.matched_collectives, 1);
+        assert!((cp.total_seconds - t.wall_seconds()).abs() < 1e-15);
+        assert!(cp.comm_seconds > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_path() {
+        let cp = critical_path(&Trace::default());
+        assert_eq!(cp.total_seconds, 0.0);
+        assert!(cp.segments.is_empty());
+        assert!(stage_loads(&Trace::default()).is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! Baseline tolerances for the perf-regression sentinel.
+//!
+//! `repro perf-report --check` compares measured metrics against committed
+//! baselines. The tolerances live in one TOML file (`perf_baselines.toml`
+//! at the repo root) so future PRs adjust thresholds in-diff instead of
+//! editing code. This module parses the TOML subset that file needs —
+//! `[section]` headers, `key = value` with numbers/strings/booleans, and
+//! `#` comments; no registry TOML crate is available in this build
+//! environment — and evaluates per-metric checks.
+//!
+//! A metric section looks like:
+//!
+//! ```toml
+//! [quick.critical_path_rel_err]
+//! max = 0.05            # hard ceiling
+//!
+//! [quick.gemm_speedup]
+//! baseline = 1.8        # committed reference value
+//! rel_tol = 0.25        # |measured - baseline| / baseline allowed
+//! min = 1.0             # additional hard floor
+//! ```
+
+use std::collections::BTreeMap;
+
+/// A parsed TOML-subset value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TomlValue {
+    Number(f64),
+    String(String),
+    Bool(bool),
+}
+
+impl TomlValue {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TomlValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed document: section name → key → value. Keys before any section
+/// header land in the `""` section.
+pub type TomlDoc = BTreeMap<String, BTreeMap<String, TomlValue>>;
+
+/// Parse the TOML subset described in the module docs. Unsupported syntax
+/// (arrays, inline tables, multi-line strings) is a hard error — baselines
+/// should fail loudly, not drift silently.
+pub fn parse_toml(text: &str) -> Result<TomlDoc, String> {
+    let mut doc = TomlDoc::new();
+    let mut section = String::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {}: unterminated section header", lineno + 1))?
+                .trim();
+            if name.is_empty() {
+                return Err(format!("line {}: empty section name", lineno + 1));
+            }
+            section = name.to_string();
+            doc.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected 'key = value'", lineno + 1))?;
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(format!("line {}: empty key", lineno + 1));
+        }
+        let value = parse_value(value.trim())
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        doc.entry(section.clone()).or_default().insert(key.to_string(), value);
+    }
+    Ok(doc)
+}
+
+/// Strip a `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_value(s: &str) -> Result<TomlValue, String> {
+    if s == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if s == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if let Some(rest) = s.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string: {s}"))?;
+        if inner.contains('"') {
+            return Err(format!("unsupported embedded quote in {s}"));
+        }
+        return Ok(TomlValue::String(inner.replace("\\n", "\n").replace("\\\\", "\\")));
+    }
+    // TOML permits underscores in numbers.
+    let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+    cleaned
+        .parse::<f64>()
+        .map(TomlValue::Number)
+        .map_err(|_| format!("unsupported value: {s}"))
+}
+
+/// Tolerance specification for one metric.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tolerance {
+    /// Committed reference value (needed when `rel_tol`/`abs_tol` is set).
+    pub baseline: Option<f64>,
+    /// Allowed `|measured − baseline| / |baseline|`.
+    pub rel_tol: Option<f64>,
+    /// Allowed `|measured − baseline|`.
+    pub abs_tol: Option<f64>,
+    /// Hard floor on the measured value.
+    pub min: Option<f64>,
+    /// Hard ceiling on the measured value.
+    pub max: Option<f64>,
+}
+
+impl Tolerance {
+    /// Build from a parsed section. Unknown keys are an error so typos in
+    /// the baselines file are caught in CI instead of silently ignored.
+    pub fn from_section(section: &BTreeMap<String, TomlValue>) -> Result<Tolerance, String> {
+        let mut t = Tolerance::default();
+        for (k, v) in section {
+            let num = v.as_f64().ok_or_else(|| format!("key '{k}' must be a number"))?;
+            match k.as_str() {
+                "baseline" => t.baseline = Some(num),
+                "rel_tol" => t.rel_tol = Some(num),
+                "abs_tol" => t.abs_tol = Some(num),
+                "min" => t.min = Some(num),
+                "max" => t.max = Some(num),
+                other => return Err(format!("unknown tolerance key '{other}'")),
+            }
+        }
+        if (t.rel_tol.is_some() || t.abs_tol.is_some()) && t.baseline.is_none() {
+            return Err("rel_tol/abs_tol require a baseline".to_string());
+        }
+        Ok(t)
+    }
+
+    /// Check a measured value; `Err` carries a human-readable violation.
+    pub fn check(&self, metric: &str, measured: f64) -> Result<(), String> {
+        if !measured.is_finite() {
+            return Err(format!("{metric}: measured value {measured} is not finite"));
+        }
+        if let Some(min) = self.min {
+            if measured < min {
+                return Err(format!("{metric}: {measured:.6} below floor {min:.6}"));
+            }
+        }
+        if let Some(max) = self.max {
+            if measured > max {
+                return Err(format!("{metric}: {measured:.6} above ceiling {max:.6}"));
+            }
+        }
+        if let Some(base) = self.baseline {
+            let dev = (measured - base).abs();
+            if let Some(rel) = self.rel_tol {
+                let allowed = rel * base.abs();
+                if dev > allowed {
+                    return Err(format!(
+                        "{metric}: {measured:.6} deviates from baseline {base:.6} by {dev:.6} (> rel_tol {rel} ⇒ {allowed:.6})"
+                    ));
+                }
+            }
+            if let Some(abs) = self.abs_tol {
+                if dev > abs {
+                    return Err(format!(
+                        "{metric}: {measured:.6} deviates from baseline {base:.6} by {dev:.6} (> abs_tol {abs})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of checking a batch of metrics against a baselines document.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// `(metric, measured)` pairs that passed.
+    pub passed: Vec<(String, f64)>,
+    /// Human-readable violations.
+    pub failures: Vec<String>,
+    /// Metrics measured but not covered by any section (informational).
+    pub uncovered: Vec<String>,
+}
+
+impl CheckReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Check measured metrics against the sections of `doc` under `profile`
+/// (e.g. metric `critical_path_rel_err` with profile `quick` reads section
+/// `[quick.critical_path_rel_err]`). Metrics without a section are
+/// recorded as uncovered, not failed — adding a metric to the report must
+/// not break CI until a baseline is committed for it.
+pub fn check_metrics(
+    doc: &TomlDoc,
+    profile: &str,
+    metrics: &[(&str, f64)],
+) -> Result<CheckReport, String> {
+    let mut report = CheckReport::default();
+    for (metric, measured) in metrics {
+        let section_name = format!("{profile}.{metric}");
+        let Some(section) = doc.get(&section_name) else {
+            report.uncovered.push(metric.to_string());
+            continue;
+        };
+        let tol = Tolerance::from_section(section)
+            .map_err(|e| format!("[{section_name}]: {e}"))?;
+        match tol.check(metric, *measured) {
+            Ok(()) => report.passed.push((metric.to_string(), *measured)),
+            Err(e) => report.failures.push(e),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+# sentinel tolerances
+[quick.critical_path_rel_err]
+max = 0.05
+
+[quick.gemm_speedup]
+baseline = 2.0
+rel_tol = 0.5
+min = 1.0
+
+[quick.fft_call_ratio]
+baseline = 0.5
+abs_tol = 0.05
+"#;
+
+    #[test]
+    fn parses_sections_keys_and_comments() {
+        let doc = parse_toml(DOC).unwrap();
+        assert_eq!(
+            doc["quick.critical_path_rel_err"]["max"],
+            TomlValue::Number(0.05)
+        );
+        assert_eq!(doc["quick.gemm_speedup"]["baseline"], TomlValue::Number(2.0));
+        assert_eq!(doc["quick.fft_call_ratio"]["abs_tol"], TomlValue::Number(0.05));
+    }
+
+    #[test]
+    fn parses_strings_bools_and_underscored_numbers() {
+        let doc = parse_toml("[s]\nname = \"full run\" # trailing\nflag = true\nn = 1_000\n").unwrap();
+        assert_eq!(doc["s"]["name"], TomlValue::String("full run".to_string()));
+        assert_eq!(doc["s"]["flag"], TomlValue::Bool(true));
+        assert_eq!(doc["s"]["n"], TomlValue::Number(1000.0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_toml("[unterminated\n").is_err());
+        assert!(parse_toml("novalue\n").is_err());
+        assert!(parse_toml("[s]\nk = [1, 2]\n").is_err());
+    }
+
+    #[test]
+    fn check_passes_and_fails_correctly() {
+        let doc = parse_toml(DOC).unwrap();
+        let ok = check_metrics(
+            &doc,
+            "quick",
+            &[
+                ("critical_path_rel_err", 0.03),
+                ("gemm_speedup", 1.8),
+                ("fft_call_ratio", 0.52),
+            ],
+        )
+        .unwrap();
+        assert!(ok.ok(), "{:?}", ok.failures);
+        assert_eq!(ok.passed.len(), 3);
+
+        let bad = check_metrics(&doc, "quick", &[("critical_path_rel_err", 0.2)]).unwrap();
+        assert!(!bad.ok());
+        assert!(bad.failures[0].contains("above ceiling"));
+
+        let floor = check_metrics(&doc, "quick", &[("gemm_speedup", 0.9)]).unwrap();
+        assert!(!floor.ok());
+    }
+
+    #[test]
+    fn uncovered_metrics_do_not_fail() {
+        let doc = parse_toml(DOC).unwrap();
+        let r = check_metrics(&doc, "quick", &[("brand_new_metric", 42.0)]).unwrap();
+        assert!(r.ok());
+        assert_eq!(r.uncovered, vec!["brand_new_metric".to_string()]);
+    }
+
+    #[test]
+    fn tolerance_requires_baseline_for_rel_tol() {
+        let doc = parse_toml("[q.m]\nrel_tol = 0.1\n").unwrap();
+        let err = check_metrics(&doc, "q", &[("m", 1.0)]).unwrap_err();
+        assert!(err.contains("require a baseline"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_measurements_fail() {
+        let t = Tolerance { min: Some(0.0), ..Default::default() };
+        assert!(t.check("m", f64::NAN).is_err());
+        assert!(t.check("m", f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! α–β cost-model fitting from observed collectives, with at-scale
+//! extrapolation.
+//!
+//! parcomm's [`CommStats`] records, per rank and per collective kind, how
+//! many calls ran, how many bytes moved, and how long the calls took. Those
+//! rows over-determine the two-parameter Hockney model
+//! `t = α·calls + β·bytes` per op, so we fit it by least squares — and a
+//! *global* (α, β) across all ops using each collective's analytic
+//! latency/bandwidth factors (the same formulas as
+//! [`parcomm::cost::CostModel`]), which is the model the ROADMAP's
+//! scenario sweeps extrapolate "to thousands of simulated ranks".
+//!
+//! The fits are deliberately defensive: zero-byte ops (barrier) drop the β
+//! column, collinear or negative solutions fall back to the best
+//! single-parameter fit, and everything is clamped nonnegative — a fitted
+//! latency of −3 µs predicts nothing.
+
+use parcomm::comm::{CommStats, OpStats};
+
+/// Least-squares fit of `t ≈ α·x + β·y` over rows `(x, y, t)`, with
+/// single-parameter fallbacks when the system is degenerate or the
+/// solution leaves the physical (nonnegative) quadrant.
+fn fit_two(rows: &[(f64, f64, f64)]) -> (f64, f64) {
+    let (mut sxx, mut sxy, mut syy, mut sxt, mut syt) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(x, y, t) in rows {
+        sxx += x * x;
+        sxy += x * y;
+        syy += y * y;
+        sxt += x * t;
+        syt += y * t;
+    }
+    let alpha_only = if sxx > 0.0 { (sxt / sxx).max(0.0) } else { 0.0 };
+    let beta_only = if syy > 0.0 { (syt / syy).max(0.0) } else { 0.0 };
+    let residual = |a: f64, b: f64| {
+        rows.iter().map(|&(x, y, t)| (a * x + b * y - t).powi(2)).sum::<f64>()
+    };
+    let det = sxx * syy - sxy * sxy;
+    // Relative determinant guard: the 2x2 system is near-singular when
+    // calls and bytes are proportional across rows (constant message size).
+    if det > 1e-12 * sxx.max(1e-300) * syy.max(1e-300) {
+        let a = (sxt * syy - syt * sxy) / det;
+        let b = (syt * sxx - sxt * sxy) / det;
+        if a >= 0.0 && b >= 0.0 {
+            return (a, b);
+        }
+    }
+    if residual(alpha_only, 0.0) <= residual(0.0, beta_only) {
+        (alpha_only, 0.0)
+    } else {
+        (0.0, beta_only)
+    }
+}
+
+/// Fitted α–β parameters for one collective kind.
+#[derive(Clone, Debug)]
+pub struct OpFit {
+    pub op: &'static str,
+    /// Total calls across ranks.
+    pub calls: u64,
+    /// Total bytes across ranks.
+    pub bytes: u64,
+    /// Total measured seconds across ranks.
+    pub measured_s: f64,
+    /// Fitted per-call latency (seconds).
+    pub alpha: f64,
+    /// Fitted per-byte cost (seconds).
+    pub beta: f64,
+    /// `α·calls + β·bytes` — the model's reproduction of `measured_s`.
+    pub predicted_s: f64,
+    /// `|predicted − measured| / measured` (0 when nothing was measured).
+    pub rel_err: f64,
+}
+
+/// The complete fit: per-op parameters plus one global (α, β) tied to the
+/// Hockney factors of each collective.
+#[derive(Clone, Debug)]
+pub struct CostModelFit {
+    /// Ranks the measurements came from.
+    pub ranks: usize,
+    pub ops: Vec<OpFit>,
+    /// Global per-message latency (seconds) across all collectives.
+    pub global_alpha: f64,
+    /// Global per-byte cost (seconds) across all collectives.
+    pub global_beta: f64,
+    pub total_measured_s: f64,
+    pub total_predicted_s: f64,
+    /// Worst per-op relative error among ops with measurable time.
+    pub worst_rel_err: f64,
+}
+
+/// Analytic latency/bandwidth factors for one collective at `p` ranks:
+/// modeled seconds = `calls·α·L(p) + bytes·β·W(p)`. Mirrors
+/// [`parcomm::cost::CostModel`]'s formulas.
+fn hockney_factors(op: &str, p: usize) -> (f64, f64) {
+    let pf = p.max(1) as f64;
+    let log2p = pf.log2().max(1.0);
+    if p <= 1 {
+        return (0.0, 0.0);
+    }
+    match op {
+        "barrier" => (log2p, 0.0),
+        "bcast" | "ibcast" | "reduce" | "ireduce" => (log2p, log2p),
+        "allreduce" | "iallreduce" => (2.0 * log2p, 2.0 * (pf - 1.0) / pf),
+        "allgatherv" | "iallgatherv" => (pf - 1.0, (pf - 1.0) / pf),
+        "alltoallv" | "ialltoallv" => (pf - 1.0, 1.0),
+        _ => (1.0, 1.0),
+    }
+}
+
+/// Fit the cost model from per-rank [`CommStats`] gathered at `p` ranks.
+pub fn fit(stats: &[CommStats]) -> CostModelFit {
+    let p = stats.len().max(1);
+    let mut ops = Vec::new();
+    let mut total_measured = 0.0;
+    let mut total_predicted = 0.0;
+    let mut worst = 0.0f64;
+    // Rows for the global fit: one per (op) aggregate, in Hockney units.
+    let mut global_rows: Vec<(f64, f64, f64)> = Vec::new();
+
+    let Some(first) = stats.first() else {
+        return CostModelFit {
+            ranks: p,
+            ops: Vec::new(),
+            global_alpha: 0.0,
+            global_beta: 0.0,
+            total_measured_s: 0.0,
+            total_predicted_s: 0.0,
+            worst_rel_err: 0.0,
+        };
+    };
+    for (idx, &(op, _)) in first.per_op().iter().enumerate() {
+        let per_rank: Vec<OpStats> = stats.iter().map(|s| s.per_op()[idx].1).collect();
+        let calls: u64 = per_rank.iter().map(|o| o.calls).sum();
+        let bytes: u64 = per_rank.iter().map(|o| o.bytes).sum();
+        let seconds: f64 = per_rank.iter().map(|o| o.seconds).sum();
+        if calls == 0 {
+            continue;
+        }
+        let rows: Vec<(f64, f64, f64)> = per_rank
+            .iter()
+            .filter(|o| o.calls > 0)
+            .map(|o| (o.calls as f64, o.bytes as f64, o.seconds))
+            .collect();
+        let (alpha, beta) = fit_two(&rows);
+        let predicted = alpha * calls as f64 + beta * bytes as f64;
+        let rel_err = if seconds > 0.0 { (predicted - seconds).abs() / seconds } else { 0.0 };
+        total_measured += seconds;
+        total_predicted += predicted;
+        worst = worst.max(rel_err);
+        let (lf, wf) = hockney_factors(op, p);
+        global_rows.push((calls as f64 * lf, bytes as f64 * wf, seconds));
+        ops.push(OpFit {
+            op,
+            calls,
+            bytes,
+            measured_s: seconds,
+            alpha,
+            beta,
+            predicted_s: predicted,
+            rel_err,
+        });
+    }
+
+    let (global_alpha, global_beta) = fit_two(&global_rows);
+    CostModelFit {
+        ranks: p,
+        ops,
+        global_alpha,
+        global_beta,
+        total_measured_s: total_measured,
+        total_predicted_s: total_predicted,
+        worst_rel_err: worst,
+    }
+}
+
+/// One point of the at-scale extrapolation.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    pub ranks: usize,
+    /// Predicted communication seconds per rank at this scale.
+    pub comm_s: f64,
+    /// Predicted compute seconds per rank (perfect strong scaling of the
+    /// measured compute total).
+    pub compute_s: f64,
+    /// `comm / (comm + compute)`.
+    pub comm_fraction: f64,
+}
+
+impl CostModelFit {
+    /// Predict the communication cost per rank if the same workload ran at
+    /// `target_p` ranks: per-rank call counts and payloads are held at
+    /// their measured per-rank averages while the Hockney factors rescale
+    /// with p — the standard strong-scaling extrapolation.
+    pub fn comm_seconds_at(&self, target_p: usize) -> f64 {
+        let mut t = 0.0;
+        for op in &self.ops {
+            let calls_per_rank = op.calls as f64 / self.ranks as f64;
+            let bytes_per_rank = op.bytes as f64 / self.ranks as f64;
+            let (lf, wf) = hockney_factors(op.op, target_p);
+            t += calls_per_rank * self.global_alpha * lf + bytes_per_rank * self.global_beta * wf;
+        }
+        t
+    }
+
+    /// Extrapolate comm fraction over `2..=max_p` (powers of two), given
+    /// the measured total compute CPU-seconds across all ranks.
+    pub fn scale_sweep(&self, compute_total_s: f64, max_p: usize) -> Vec<ScalePoint> {
+        let mut out = Vec::new();
+        let mut p = 2usize;
+        while p <= max_p {
+            let comm_s = self.comm_seconds_at(p);
+            let compute_s = compute_total_s / p as f64;
+            let denom = comm_s + compute_s;
+            out.push(ScalePoint {
+                ranks: p,
+                comm_s,
+                compute_s,
+                comm_fraction: if denom > 0.0 { comm_s / denom } else { 0.0 },
+            });
+            p *= 2;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(f: impl Fn(&mut CommStats)) -> CommStats {
+        let mut s = CommStats::default();
+        f(&mut s);
+        s
+    }
+
+    /// Synthesize per-rank stats from a known (α, β) and check the fit
+    /// recovers the generating model.
+    #[test]
+    fn fit_recovers_synthetic_alpha_beta() {
+        let alpha = 2e-6;
+        let beta = 1.0 / 4e9;
+        // Vary message sizes across ranks so calls and bytes decorrelate.
+        let stats: Vec<CommStats> = (0..4)
+            .map(|r| {
+                stats_with(|s| {
+                    let calls = 10 + r as u64;
+                    let bytes = 8_000 * (r as u64 + 1);
+                    s.allreduce = OpStats {
+                        calls,
+                        bytes,
+                        seconds: alpha * calls as f64 + beta * bytes as f64,
+                    };
+                })
+            })
+            .collect();
+        let fit = fit(&stats);
+        let op = fit.ops.iter().find(|o| o.op == "allreduce").unwrap();
+        assert!((op.alpha - alpha).abs() / alpha < 1e-6, "alpha {} vs {alpha}", op.alpha);
+        assert!((op.beta - beta).abs() / beta < 1e-6);
+        assert!(op.rel_err < 1e-9);
+        assert!(fit.worst_rel_err < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_op_fits_latency_only() {
+        let stats: Vec<CommStats> = (0..4)
+            .map(|_| {
+                stats_with(|s| {
+                    s.barrier = OpStats { calls: 20, bytes: 0, seconds: 20.0 * 3e-6 };
+                })
+            })
+            .collect();
+        let fit = fit(&stats);
+        let op = fit.ops.iter().find(|o| o.op == "barrier").unwrap();
+        assert!((op.alpha - 3e-6).abs() < 1e-12);
+        assert_eq!(op.beta, 0.0);
+        assert!(op.rel_err < 1e-12);
+    }
+
+    #[test]
+    fn collinear_rows_fall_back_without_exploding() {
+        // Same calls and bytes on every rank: the 2x2 system is singular.
+        let stats: Vec<CommStats> = (0..4)
+            .map(|_| {
+                stats_with(|s| {
+                    s.bcast = OpStats { calls: 5, bytes: 4_000, seconds: 1e-4 };
+                })
+            })
+            .collect();
+        let fit = fit(&stats);
+        let op = fit.ops.iter().find(|o| o.op == "bcast").unwrap();
+        assert!(op.alpha >= 0.0 && op.beta >= 0.0);
+        assert!(op.alpha.is_finite() && op.beta.is_finite());
+        // A single-parameter fallback still reproduces the aggregate.
+        assert!(op.rel_err < 1e-9, "rel_err {}", op.rel_err);
+    }
+
+    #[test]
+    fn unused_ops_are_omitted() {
+        let stats =
+            vec![stats_with(|s| s.allreduce = OpStats { calls: 1, bytes: 8, seconds: 1e-6 })];
+        let fit = fit(&stats);
+        assert_eq!(fit.ops.len(), 1);
+        assert_eq!(fit.ops[0].op, "allreduce");
+    }
+
+    #[test]
+    fn comm_fraction_grows_with_rank_count() {
+        // A latency-bound workload strong-scales its compute but not its
+        // per-rank collective latency, so comm fraction must rise with p.
+        let stats: Vec<CommStats> = (0..4)
+            .map(|r| {
+                stats_with(|s| {
+                    let calls = 100;
+                    let bytes = 800 * (r + 1) as u64;
+                    s.allreduce = OpStats {
+                        calls,
+                        bytes,
+                        seconds: 1.5e-6 * calls as f64 + bytes as f64 / 8e9,
+                    };
+                })
+            })
+            .collect();
+        let fit = fit(&stats);
+        let sweep = fit.scale_sweep(1.0, 1024);
+        assert_eq!(sweep.first().unwrap().ranks, 2);
+        assert_eq!(sweep.last().unwrap().ranks, 1024);
+        assert!(sweep.last().unwrap().comm_fraction > sweep.first().unwrap().comm_fraction);
+        for w in sweep.windows(2) {
+            assert!(w[1].compute_s < w[0].compute_s, "compute strong-scales");
+        }
+    }
+
+    #[test]
+    fn empty_stats_fit_is_empty() {
+        let fit = fit(&[]);
+        assert!(fit.ops.is_empty());
+        assert_eq!(fit.total_measured_s, 0.0);
+    }
+}

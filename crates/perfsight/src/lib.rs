@@ -1,0 +1,31 @@
+//! # perfsight — cross-rank performance analytics on obskit traces
+//!
+//! Six PRs of instrumentation (spans, counters, per-op comm stats, fault
+//! campaigns) produce raw streams; this crate turns them into the
+//! quantities the paper actually argues with, and that CI can gate on:
+//!
+//! * [`aggregate`] — merge per-rank streams into per-stage load-imbalance
+//!   metrics (max/mean/min, λ = max/mean) and an exact critical-path
+//!   decomposition over span + collective dependency edges, reporting
+//!   which rank/stage bounds each phase of the solve;
+//! * [`costmodel`] — least-squares α–β (latency/bandwidth) fits per
+//!   collective kind from `parcomm`'s `OpStats`, a global Hockney-factor
+//!   fit, and strong-scaling comm-fraction extrapolation to 2–1024 ranks;
+//! * [`roofline`] — place GEMM/FFT/apply stages on a measured roofline and
+//!   flag memory- vs compute-bound stages;
+//! * [`baseline`] — the TOML-subset tolerance file and metric checks
+//!   behind `repro perf-report --check`, the CI perf-regression sentinel.
+//!
+//! The flight recorder itself lives in [`obskit::flight`] (it must be
+//! below everything that records); perfsight is the analytics layer that
+//! never sits on a hot path.
+
+pub mod aggregate;
+pub mod baseline;
+pub mod costmodel;
+pub mod roofline;
+
+pub use aggregate::{critical_path, stage_loads, CriticalPath, CriticalSegment, SegmentKind, StageLoad};
+pub use baseline::{check_metrics, parse_toml, CheckReport, Tolerance, TomlDoc, TomlValue};
+pub use costmodel::{fit, CostModelFit, OpFit, ScalePoint};
+pub use roofline::{place, Bound, Machine, RooflineRow};

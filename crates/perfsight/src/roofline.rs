@@ -1,0 +1,150 @@
+//! Roofline placement: where each kernel stage sits relative to the
+//! machine's compute and memory ceilings.
+//!
+//! The roofline model bounds achievable performance by
+//! `min(peak_flops, intensity × peak_bandwidth)` where the arithmetic
+//! intensity is flops per byte of memory traffic. Stages left of the ridge
+//! point are memory-bound — more SIMD won't help them; stages right of it
+//! are compute-bound — blocking for cache won't either. obskit's
+//! flops/bytes counters supply the numerator and denominator; the caller
+//! supplies measured ceilings (see `bench`'s `perf-report`, which times a
+//! large in-cache GEMM and a streaming triad to measure them).
+
+/// Measured machine ceilings.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    /// Peak sustained flops/second (measured, not nameplate).
+    pub peak_flops: f64,
+    /// Peak sustained memory bandwidth, bytes/second.
+    pub peak_bytes_per_s: f64,
+}
+
+impl Machine {
+    /// Arithmetic intensity (flops/byte) at which the two ceilings meet.
+    pub fn ridge_intensity(&self) -> f64 {
+        if self.peak_bytes_per_s > 0.0 {
+            self.peak_flops / self.peak_bytes_per_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Which ceiling bounds a stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    Memory,
+    Compute,
+}
+
+impl Bound {
+    pub fn label(self) -> &'static str {
+        match self {
+            Bound::Memory => "memory",
+            Bound::Compute => "compute",
+        }
+    }
+}
+
+/// One stage placed on the roofline.
+#[derive(Clone, Debug)]
+pub struct RooflineRow {
+    pub label: String,
+    pub flops: f64,
+    pub bytes: f64,
+    pub seconds: f64,
+    /// Achieved flops/second.
+    pub achieved_flops: f64,
+    /// Arithmetic intensity, flops/byte.
+    pub intensity: f64,
+    /// `min(peak_flops, intensity × peak_bw)` — the model's ceiling here.
+    pub attainable_flops: f64,
+    /// `achieved / attainable` (how close to the roof the stage runs).
+    pub efficiency: f64,
+    pub bound: Bound,
+}
+
+/// Place `(label, flops, bytes, seconds)` measurements on the roofline.
+/// Rows with no time or no flops are skipped (nothing to place).
+pub fn place(machine: &Machine, rows: &[(String, f64, f64, f64)]) -> Vec<RooflineRow> {
+    let mut out = Vec::new();
+    for (label, flops, bytes, seconds) in rows {
+        if *seconds <= 0.0 || *flops <= 0.0 {
+            continue;
+        }
+        let intensity = if *bytes > 0.0 { flops / bytes } else { f64::INFINITY };
+        let attainable = if intensity.is_finite() {
+            (intensity * machine.peak_bytes_per_s).min(machine.peak_flops)
+        } else {
+            machine.peak_flops
+        };
+        let achieved = flops / seconds;
+        out.push(RooflineRow {
+            label: label.clone(),
+            flops: *flops,
+            bytes: *bytes,
+            seconds: *seconds,
+            achieved_flops: achieved,
+            intensity,
+            attainable_flops: attainable,
+            efficiency: if attainable > 0.0 { achieved / attainable } else { 0.0 },
+            bound: if intensity < machine.ridge_intensity() {
+                Bound::Memory
+            } else {
+                Bound::Compute
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: Machine = Machine { peak_flops: 1e11, peak_bytes_per_s: 1e10 }; // ridge = 10
+
+    #[test]
+    fn classification_splits_at_the_ridge() {
+        let rows = vec![
+            // intensity 2 flops/byte → memory-bound
+            ("stream".to_string(), 2e9, 1e9, 1.0),
+            // intensity 100 flops/byte → compute-bound
+            ("gemm".to_string(), 1e11, 1e9, 2.0),
+        ];
+        let placed = place(&M, &rows);
+        assert_eq!(placed.len(), 2);
+        assert_eq!(placed[0].bound, Bound::Memory);
+        assert_eq!(placed[1].bound, Bound::Compute);
+        // Memory-bound ceiling: intensity × bw = 2 × 1e10 = 2e10.
+        assert!((placed[0].attainable_flops - 2e10).abs() < 1.0);
+        // Compute-bound ceiling: peak flops.
+        assert!((placed[1].attainable_flops - 1e11).abs() < 1.0);
+    }
+
+    #[test]
+    fn efficiency_is_achieved_over_attainable() {
+        let rows = vec![("gemm".to_string(), 5e10, 1e8, 1.0)]; // intensity 500
+        let placed = place(&M, &rows);
+        // achieved 5e10 of attainable 1e11 → 0.5.
+        assert!((placed[0].efficiency - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_byte_rows_are_compute_bound() {
+        let rows = vec![("fma-loop".to_string(), 1e9, 0.0, 0.1)];
+        let placed = place(&M, &rows);
+        assert_eq!(placed[0].bound, Bound::Compute);
+        assert!(placed[0].intensity.is_infinite());
+        assert!((placed[0].attainable_flops - M.peak_flops).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_rows_are_skipped() {
+        let rows = vec![
+            ("no-time".to_string(), 1e9, 1e9, 0.0),
+            ("no-flops".to_string(), 0.0, 1e9, 1.0),
+        ];
+        assert!(place(&M, &rows).is_empty());
+    }
+}
