@@ -64,6 +64,9 @@ struct PerfRecord {
     flight_dump: PathBuf,
     fault_recovered: bool,
     disabled_span_ns: f64,
+    /// Per-rank collective stats from the instrumented solve (message-size
+    /// histograms + deferred-reduction fusion counters).
+    comm: Vec<CommStats>,
 }
 
 /// Run the sentinel. `quick` shrinks the problem and the machine-ceiling
@@ -166,6 +169,7 @@ pub fn run(out: &Path, quick: bool, check: bool) -> Result<(), String> {
         flight_dump,
         fault_recovered,
         disabled_span_ns,
+        comm,
     };
     print_record(&rec, dump_fires);
 
@@ -366,6 +370,27 @@ fn print_record(rec: &PerfRecord, dump_fires: usize) {
         COSTMODEL_REL_ERR_GATE * 100.0
     );
 
+    println!("\n== per-op message sizes (calls per ⌈log₂ bytes⌉ bucket, all ranks) ==");
+    let headers = ["op", "calls", "α-dominated", "histogram"];
+    let rows: Vec<Vec<String>> = op_histograms(&rec.comm)
+        .into_iter()
+        .map(|h| {
+            vec![h.op.to_string(), h.calls.to_string(), h.alpha_calls.to_string(), h.render()]
+        })
+        .collect();
+    print_table(&headers, &rows);
+    let fused = fused_totals(&rec.comm);
+    println!(
+        "deferred-reduction scheduler: {} fused flushes carrying {} fields \
+         ({} collectives avoided); {} of {} collective calls α-dominated (≤ {} KiB)",
+        fused.flushes,
+        fused.fields,
+        fused.fields.saturating_sub(fused.flushes),
+        fused.alpha_calls,
+        fused.collective_calls,
+        parcomm::ALPHA_SMALL_BYTES / 1024,
+    );
+
     let sweep = rec.model.scale_sweep(rec.cp.compute_seconds, 1024);
     if !sweep.is_empty() {
         println!("\n== extrapolated comm fraction (α–β model, fixed per-rank work) ==");
@@ -423,6 +448,81 @@ fn print_record(rec: &PerfRecord, dump_fires: usize) {
         "disabled-tracing span cost: {:.0} ns/event (flight ring on)",
         rec.disabled_span_ns
     );
+}
+
+/// One op's message-size distribution, summed across ranks.
+struct OpHistogram {
+    op: &'static str,
+    calls: u64,
+    /// Calls with ≤ 32 KiB payload (latency-dominated under the default
+    /// α–β model — the ones collective fusion exists to eliminate).
+    alpha_calls: u64,
+    /// Nonempty `(upper-limit bytes, calls)` buckets, ascending.
+    buckets: Vec<(u64, u64)>,
+}
+
+impl OpHistogram {
+    fn render(&self) -> String {
+        self.buckets
+            .iter()
+            .map(|&(limit, n)| format!("≤{}:{}", human_bytes(limit), n))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Per-op ⌈log₂ bytes⌉ histograms summed across ranks, ops with no calls
+/// omitted. Bucket `b` holds payloads in `(2^(b−1), 2^b]`, so the α-dominated
+/// tally (limit ≤ 32 KiB) matches `CommStats::alpha_calls` exactly.
+fn op_histograms(stats: &[CommStats]) -> Vec<OpHistogram> {
+    let Some(first) = stats.first() else { return Vec::new() };
+    let names: Vec<&'static str> = first.per_op().iter().map(|&(n, _)| n).collect();
+    let mut out = Vec::new();
+    for (idx, op) in names.into_iter().enumerate() {
+        let mut buckets = Vec::new();
+        let (mut calls, mut alpha_calls) = (0u64, 0u64);
+        for b in 0..parcomm::HIST_BUCKETS {
+            let n: u64 = stats.iter().map(|s| s.hist.counts[idx][b]).sum();
+            if n > 0 {
+                let limit = parcomm::MsgHist::bucket_limit(b);
+                calls += n;
+                if limit <= parcomm::ALPHA_SMALL_BYTES {
+                    alpha_calls += n;
+                }
+                buckets.push((limit, n));
+            }
+        }
+        if calls > 0 {
+            out.push(OpHistogram { op, calls, alpha_calls, buckets });
+        }
+    }
+    out
+}
+
+struct FusedTotals {
+    flushes: u64,
+    fields: u64,
+    alpha_calls: u64,
+    collective_calls: u64,
+}
+
+fn fused_totals(stats: &[CommStats]) -> FusedTotals {
+    FusedTotals {
+        flushes: stats.iter().map(|s| s.fused_flushes).sum(),
+        fields: stats.iter().map(|s| s.fused_fields).sum(),
+        alpha_calls: stats.iter().map(|s| s.alpha_calls).sum(),
+        collective_calls: stats.iter().map(|s| s.collective_calls).sum(),
+    }
 }
 
 /// `BENCH_perf.json` — the machine-readable sentinel record.
@@ -497,6 +597,36 @@ fn bench_perf_json(rec: &PerfRecord) -> String {
         out.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
     }
     out.push_str("    ]\n  },\n");
+    out.push_str("  \"msg_histogram\": [\n");
+    let hists = op_histograms(&rec.comm);
+    for (i, h) in hists.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"op\": {}, \"calls\": {}, \"alpha_calls\": {}, \"buckets\": [",
+            json::string(h.op),
+            h.calls,
+            h.alpha_calls
+        );
+        for (j, &(limit, n)) in h.buckets.iter().enumerate() {
+            let _ = write!(out, "{{\"limit_bytes\": {limit}, \"calls\": {n}}}");
+            if j + 1 < h.buckets.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < hists.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let fused = fused_totals(&rec.comm);
+    let _ = writeln!(
+        out,
+        "  \"fused\": {{\"flushes\": {}, \"fields\": {}, \"collectives_avoided\": {}, \"alpha_small_calls\": {}, \"collective_calls\": {}}},",
+        fused.flushes,
+        fused.fields,
+        fused.fields.saturating_sub(fused.flushes),
+        fused.alpha_calls,
+        fused.collective_calls
+    );
     let _ = writeln!(out, "  \"machine\": {{");
     let _ = writeln!(out, "    \"peak_flops\": {},", json::number(rec.machine.peak_flops));
     let _ = writeln!(out, "    \"peak_bytes_per_s\": {},", json::number(rec.machine.peak_bytes_per_s));

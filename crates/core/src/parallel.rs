@@ -26,7 +26,7 @@ use mathkit::gemm::{gemm, Transpose};
 use mathkit::{syev, Mat};
 use parcomm::layout::block_ranges;
 use parcomm::redist::{col_to_row_blocks, row_to_col_blocks};
-use parcomm::{Comm, RetryPolicy};
+use parcomm::{Comm, ReduceBatch, ReducePlan};
 use std::time::Instant;
 
 /// Charge the communication time accrued since `mark` to `timings.mpi`.
@@ -34,18 +34,6 @@ fn charge_mpi(comm: &Comm, mark: &mut f64, timings: &mut StageTimings) {
     let now = comm.stats().measured_seconds;
     timings.mpi += now - *mark;
     *mark = now;
-}
-
-/// Blocking `iallreduce` with deadline settle and drop re-issue. The payload
-/// is retained for re-issue only while a fault plan is armed (drops cannot
-/// occur otherwise), so the fault-free path pays no copy. Exhausted retries
-/// abort with the typed error — these SPMD helpers have no `Result` channel,
-/// and a rank that cannot reduce cannot continue the collective schedule.
-fn resilient_allreduce(comm: &Comm, data: Vec<f64>, what: &str) -> Vec<f64> {
-    let keep = if faultkit::is_armed() { data.clone() } else { Vec::new() };
-    let rq = comm.iallreduce_sum(data);
-    comm.settle(rq, &RetryPolicy::default(), |c| c.iallreduce_sum(keep.clone()))
-        .unwrap_or_else(|e| panic!("{what}: {e}"))
 }
 
 /// Apply `f_Hxc` to a row-block-distributed field batch: redistribute to
@@ -225,36 +213,48 @@ pub fn distributed_kmeans(
     timings.kmeans += t0.elapsed().as_secs_f64();
     drop(sp);
 
-    // Lloyd iterations: local classification + global weighted reduction.
+    // Lloyd iterations: local classification + ONE fused reduction per sweep.
+    // The persistent plan carries three fields — per-cluster weighted
+    // coordinate sums, per-cluster weight counts, and the scalar Lloyd
+    // objective Σ w·d² — that the unfused schedule pays three collective
+    // latencies for.
     let mut assign = vec![0usize; active.len()];
-    for _ in 0..max_iter {
+    let mut plan = ReducePlan::new(&[3 * n_mu, n_mu, 1]);
+    for sweep in 0..max_iter {
         let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.classify");
         let t0 = Instant::now();
+        plan.clear();
         for (a, &gi) in assign.iter_mut().zip(active.iter()) {
-            *a = nearest(&centroids, problem.grid.coords(gi)).0;
-        }
-        // Pack per-cluster weighted sums: [Σwx, Σwy, Σwz, Σw] × N_μ.
-        let mut buf = vec![0.0; 4 * n_mu];
-        for (a, &gi) in assign.iter().zip(active.iter()) {
             let w = w_all[gi];
             let c = problem.grid.coords(gi);
-            buf[4 * a] += w * c[0];
-            buf[4 * a + 1] += w * c[1];
-            buf[4 * a + 2] += w * c[2];
-            buf[4 * a + 3] += w;
+            let (cluster, d2) = nearest(&centroids, c);
+            *a = cluster;
+            let sums = plan.field_mut(0);
+            sums[3 * cluster] += w * c[0];
+            sums[3 * cluster + 1] += w * c[1];
+            sums[3 * cluster + 2] += w * c[2];
+            plan.field_mut(1)[cluster] += w;
+            plan.field_mut(2)[0] += w * d2;
         }
         timings.kmeans += t0.elapsed().as_secs_f64();
         drop(sp);
-        let buf = resilient_allreduce(comm, buf, "kmeans cluster reduction");
+        plan.execute(comm).unwrap_or_else(|e| panic!("kmeans cluster reduction: {e}"));
         charge_mpi(comm, &mut mark, timings);
 
         let sp = obskit::span(obskit::Stage::Kmeans, "kmeans.update");
         let t0 = Instant::now();
+        obskit::instant(
+            obskit::Stage::Kmeans,
+            "kmeans.sweep",
+            &[("sweep", sweep as f64), ("objective", plan.field(2)[0])],
+        );
         let mut movement = 0.0;
         for k in 0..n_mu {
-            let wsum = buf[4 * k + 3];
+            let wsum = plan.field(1)[k];
             if wsum > 0.0 {
-                let new = [buf[4 * k] / wsum, buf[4 * k + 1] / wsum, buf[4 * k + 2] / wsum];
+                let sums = plan.field(0);
+                let new =
+                    [sums[3 * k] / wsum, sums[3 * k + 1] / wsum, sums[3 * k + 2] / wsum];
                 movement += dist2(centroids[k], new);
                 centroids[k] = new;
             }
@@ -354,26 +354,15 @@ pub fn distributed_isdf_hamiltonian_with(
     }
     timings.theta += t0.elapsed().as_secs_f64();
     drop(sp);
-    // Both sampled-row reductions stream on the progress engine at once
-    // instead of serializing two blocking allreduces. Payloads are retained
-    // for drop re-issue only while a fault plan is armed.
-    let (psi_vec, phi_vec) = (psi_hat.into_vec(), phi_hat.into_vec());
-    let (keep_psi, keep_phi) = if faultkit::is_armed() {
-        (psi_vec.clone(), phi_vec.clone())
-    } else {
-        (Vec::new(), Vec::new())
-    };
-    let rq_psi = comm.iallreduce_sum(psi_vec);
-    let rq_phi = comm.iallreduce_sum(phi_vec);
-    let policy = RetryPolicy::default();
-    let psi_data = comm
-        .settle(rq_psi, &policy, |c| c.iallreduce_sum(keep_psi.clone()))
-        .unwrap_or_else(|e| panic!("sampled-row reduction (psi): {e}"));
-    let phi_data = comm
-        .settle(rq_phi, &policy, |c| c.iallreduce_sum(keep_phi.clone()))
-        .unwrap_or_else(|e| panic!("sampled-row reduction (phi): {e}"));
-    let psi_hat = Mat::from_vec(n_mu_eff, n_v, psi_data);
-    let phi_hat = Mat::from_vec(n_mu_eff, n_c, phi_data);
+    // Both sampled-row reductions ride ONE fused collective (each point's
+    // row lives on exactly one rank, so summation assembles them); the
+    // unfused fallback issues them per field with the same fold order.
+    let mut batch = ReduceBatch::new(comm);
+    let f_psi = batch.push(psi_hat.as_slice());
+    let f_phi = batch.push(phi_hat.as_slice());
+    let fused = batch.flush().unwrap_or_else(|e| panic!("sampled-row reduction: {e}"));
+    let psi_hat = Mat::from_vec(n_mu_eff, n_v, fused.field(f_psi).to_vec());
+    let phi_hat = Mat::from_vec(n_mu_eff, n_c, fused.field(f_phi).to_vec());
     charge_mpi(comm, &mut mark, &mut timings);
 
     // 3. Θ rows on my slab: (ZCᵀ)_loc ∘-factored, solved against CCᵀ.

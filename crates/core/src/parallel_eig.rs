@@ -1,29 +1,49 @@
 //! Distributed implicit LOBPCG: the eigensolver side of the paper's parallel
-//! design.
+//! design, restructured for **communication avoidance**.
 //!
 //! The excitation-vector block `X` (`N_cv × k`) is distributed by **pair
-//! rows** across ranks. Each LOBPCG ingredient then needs exactly one small
-//! `Allreduce` per iteration:
+//! rows** across ranks. The seed schedule issued five latency-bound
+//! collectives per iteration (Gram, residual norms, Cholesky-QR Gram, one
+//! inside `H·S`, subspace Gram); this version issues **two**:
 //!
-//! * `H·X` — `C·X` is a sum of per-rank partial products (`Allreduce` of an
-//!   `N_μ × m` block), after which `Cᵀ(Ṽ·CX)` and the diagonal term are
-//!   row-local;
-//! * Gram matrices `SᵀS`, `SᵀHS` — local contributions, `Allreduce`;
-//! * Cholesky-QR / Rayleigh–Ritz — tiny replicated solves on every rank.
+//! 1. `H·W` — only the preconditioned-residual block pays an operator
+//!    application (`H·X`, `H·P` are carried forward as local linear
+//!    combinations of the previous `H·S`); the `C·W` partial-product
+//!    reduction inside it streams on the progress engine;
+//! 2. one **fused** allreduce (a persistent [`ReducePlan`]) carrying
+//!    `SᵀS`, `SᵀHS`, *and* the residual-norm partials of the current
+//!    iterate in a single packed payload.
+//!
+//! Orthonormalization moved out of the collective schedule entirely: instead
+//! of a distributed Cholesky-QR per iteration, the Rayleigh–Ritz step solves
+//! the *generalized* problem `(SᵀHS) y = λ (SᵀS) y` from the already-reduced
+//! Grams (`G = LLᵀ`, `M = L⁻¹(SᵀHS)L⁻ᵀ`, replicated and tiny), so the new
+//! `X = S·(L⁻ᵀY)` is orthonormal by construction.
+//!
+//! The convergence test is **one-iteration-delayed**: residual-norm partials
+//! are summed locally when the residual is formed, but ride the *next*
+//! iteration's fused reduce. The test still grades exactly the iterate it
+//! returns (the norms are that iterate's exact global norms — only the
+//! collective moved), so the converged answer is never changed; the delay
+//! costs at most one speculative `H·W` application.
 //!
 //! This is exactly why the implicit form scales: every collective carries
-//! `O(N_μ·m)` or `O(m²)` doubles, never the `O(N_cv²)` Hamiltonian.
+//! `O(N_μ·m)` or `O(m²)` doubles, never the `O(N_cv²)` Hamiltonian — and now
+//! each iteration pays two latencies instead of five.
 
 use crate::lobpcg_driver::initial_guess;
 use crate::timers::StageTimings;
 use crate::versions::IsdfHamiltonian;
 use faultkit::SolveError;
-use mathkit::chol::{cholesky, solve_right_lower_transpose, solve_spd};
+use mathkit::chol::{
+    cholesky, solve_lower, solve_lower_transpose, solve_right_lower_transpose, solve_spd,
+};
 use mathkit::gemm::{gemm, gemm_tn, syrk_tn, Transpose};
 use mathkit::lobpcg::LobpcgOptions;
 use mathkit::{syev, Mat};
 use parcomm::layout::block_ranges;
-use parcomm::{Comm, RetryPolicy};
+use parcomm::{Comm, ReducePlan, RetryPolicy};
+use std::ops::Range;
 use std::time::Instant;
 
 /// Result of the distributed eigensolve.
@@ -57,7 +77,7 @@ impl DistributedEigResult {
 fn apply_distributed(
     comm: &Comm,
     ham: &IsdfHamiltonian,
-    rows: &std::ops::Range<usize>,
+    rows: &Range<usize>,
     x_loc: &Mat,
 ) -> Result<Mat, SolveError> {
     let n_mu = ham.c.nrows();
@@ -103,8 +123,10 @@ fn dist_gram(comm: &Comm, a_loc: &Mat, b_loc: &Mat) -> Mat {
     g
 }
 
-/// Cholesky-QR of a row-distributed block; falls back to a jittered diagonal
-/// if the Gram matrix degenerates. Returns the orthonormalized local block.
+/// Cholesky-QR of a row-distributed block; `None` if the Gram matrix
+/// degenerates. Returns the orthonormalized local block. Used once on the
+/// initial guess — the iteration itself orthonormalizes through the
+/// generalized Rayleigh–Ritz step and needs no per-iteration collective.
 fn dist_cholesky_qr(comm: &Comm, s_loc: &Mat) -> Option<Mat> {
     // SᵀS is a symmetric Gram — the packed rank-k engine computes only the
     // lower triangle and mirrors it; one small Allreduce replicates it.
@@ -116,6 +138,54 @@ fn dist_cholesky_qr(comm: &Comm, s_loc: &Mat) -> Option<Mat> {
     }
 }
 
+/// Local residual block `R = HX − X·diag(θ)`.
+fn residual(x: &Mat, hx: &Mat, theta: &[f64]) -> Mat {
+    let mut r = hx.clone();
+    for (j, &th) in theta.iter().enumerate() {
+        let xc = x.col(j);
+        for (rv, xv) in r.col_mut(j).iter_mut().zip(xc.iter()) {
+            *rv -= th * xv;
+        }
+    }
+    r
+}
+
+/// Diagonal preconditioner (paper Eq. 17), in place on the local block.
+fn precondition(w: &mut Mat, rows: &Range<usize>, diag_d: &[f64], theta: &[f64]) {
+    for (j, &th) in theta.iter().enumerate() {
+        let col = w.col_mut(j);
+        for (il, i) in rows.clone().enumerate() {
+            let mut den = diag_d[i] - th;
+            if den.abs() < 1e-3 {
+                den = 1e-3f64.copysign(if den == 0.0 { 1.0 } else { den });
+            }
+            col[il] /= den;
+        }
+    }
+}
+
+/// Leading `n × n` principal submatrix (replicated, tiny).
+fn principal(a: &Mat, n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| a[(i, j)])
+}
+
+/// Generalized Rayleigh–Ritz from the already-reduced replicated Grams
+/// `G = SᵀS`, `A = SᵀHS`: factor `G = LLᵀ`, diagonalize `M = L⁻¹AL⁻ᵀ`, and
+/// return the `k` lowest Ritz values with basis coefficients `C = L⁻ᵀY`
+/// (so `CᵀGC = I` — the updated block is orthonormal with **no** extra
+/// collective). `None` when `G` has lost positive definiteness.
+fn rr_step(g: &Mat, a: &Mat, k: usize) -> Option<(Vec<f64>, Mat)> {
+    let l = cholesky(g).ok()?;
+    let half = solve_lower(&l, a);
+    let mut m = solve_right_lower_transpose(&half, &l);
+    m.symmetrize();
+    let eig = syev(&m);
+    let cols: Vec<usize> = (0..k).collect();
+    let y = eig.vectors.select_cols(&cols);
+    let c = solve_lower_transpose(&l, &y);
+    Some((eig.values[..k].to_vec(), c))
+}
+
 /// Distributed implicit LOBPCG for the lowest `k` eigenpairs of the
 /// (replicated) factored Hamiltonian. SPMD-collective; every rank gets the
 /// same eigenvalues and its own row block of eigenvectors.
@@ -123,8 +193,8 @@ fn dist_cholesky_qr(comm: &Comm, s_loc: &Mat) -> Option<Mat> {
 /// `Ok` with `converged == false` is honest non-convergence (see
 /// [`DistributedEigResult::into_converged`]); `Err` is an iteration breakdown
 /// or an exhausted communication retry. Breakdown guards test replicated
-/// quantities (allreduced norms and Gram matrices), so every rank takes the
-/// same branch and the SPMD collective order never diverges.
+/// quantities (fused-allreduced norms and Gram matrices), so every rank takes
+/// the same branch and the SPMD collective order never diverges.
 pub fn distributed_casida_lobpcg(
     comm: &Comm,
     ham: &IsdfHamiltonian,
@@ -149,37 +219,97 @@ pub fn distributed_casida_lobpcg(
     if let Some(q) = dist_cholesky_qr(comm, &x) {
         x = q;
     }
-    let mut ax = apply_distributed(comm, ham, &rows, &x)?;
-    let mut p: Option<Mat> = None;
-    let mut theta = vec![0.0; k];
+    let mut hx = apply_distributed(comm, ham, &rows, &x)?;
+    // θ₀ from one small Gram (X orthonormal ⇒ diagonal = Rayleigh quotients).
+    let g0 = dist_gram(comm, &x, &hx);
+    let mut theta: Vec<f64> = (0..k).map(|i| g0[(i, i)]).collect();
+    // Current local residual; its norm partials ride the next fused reduce.
+    let mut r = residual(&x, &hx, &theta);
+    let mut p_blk: Option<(Mat, Mat)> = None; // (P, H·P), carried locally
+    let mut prev_norms: Option<Vec<f64>> = None; // previous global ‖r‖²
     let mut best_residual = f64::INFINITY;
     let mut iterations = 0;
     let mut converged = false;
+    // Persistent fused plan; rebuilt only when the subspace width changes
+    // (once when P first appears).
+    let mut plan: Option<ReducePlan> = None;
+    let mut plan_m = 0usize;
 
     for it in 0..opts.max_iter {
         iterations = it + 1;
-        let xtax = dist_gram(comm, &x, &ax);
-        for (i, t) in theta.iter_mut().enumerate() {
-            *t = xtax[(i, i)];
-        }
-        // Residuals and their global norms.
-        let mut r = ax.clone();
-        for (j, &th) in theta.iter().enumerate().take(k) {
-            let xc = x.col(j);
-            for (rv, xv) in r.col_mut(j).iter_mut().zip(xc.iter()) {
-                *rv -= th * xv;
+        // W = preconditioned residual. Columns are scaled by the previous
+        // iteration's global residual norms — replicated, already paid for,
+        // and within a convergence factor of the current norms — to keep the
+        // subspace Gram well-conditioned without a fresh collective.
+        let mut w = r.clone();
+        precondition(&mut w, &rows, &ham.diag_d, &theta);
+        if let Some(n2) = &prev_norms {
+            for (j, n2j) in n2.iter().enumerate().take(k) {
+                let s = n2j.sqrt();
+                if s > 1e-300 {
+                    let inv = 1.0 / s;
+                    for v in w.col_mut(j) {
+                        *v *= inv;
+                    }
+                }
             }
         }
-        let mut norms: Vec<f64> =
-            (0..k).map(|j| r.col(j).iter().map(|v| v * v).sum::<f64>()).collect();
-        comm.allreduce_sum(&mut norms);
+        // Collective 1 of 2: H·W (the only operator application — H·X and
+        // H·P are linear combinations of the previous H·S, formed locally).
+        let hw = apply_distributed(comm, ham, &rows, &w)?;
+
+        // S = [X, W, P], HS = [HX, HW, HP].
+        let pn = p_blk.as_ref().map_or(0, |(pm, _)| pm.ncols());
+        let m = 2 * k + pn;
+        let mut s = Mat::zeros(rows.len(), m);
+        let mut hs = Mat::zeros(rows.len(), m);
+        for j in 0..k {
+            s.col_mut(j).copy_from_slice(x.col(j));
+            s.col_mut(k + j).copy_from_slice(w.col(j));
+            hs.col_mut(j).copy_from_slice(hx.col(j));
+            hs.col_mut(k + j).copy_from_slice(hw.col(j));
+        }
+        if let Some((pm, hpm)) = &p_blk {
+            for j in 0..pn {
+                s.col_mut(2 * k + j).copy_from_slice(pm.col(j));
+                hs.col_mut(2 * k + j).copy_from_slice(hpm.col(j));
+            }
+        }
+
+        // Collective 2 of 2: ONE fused reduce carrying SᵀS, SᵀHS, and the
+        // residual-norm partials of the current X — what the seed spent
+        // three separate latency-bound allreduces on.
+        let plan_ref = match &mut plan {
+            Some(pl) if plan_m == m => {
+                pl.clear();
+                pl
+            }
+            _ => {
+                plan = Some(ReducePlan::new(&[m * m, m * m, k]));
+                plan_m = m;
+                plan.as_mut().expect("plan just installed")
+            }
+        };
+        let g_loc = syrk_tn(&s);
+        let a_loc = gemm_tn(&s, &hs);
+        plan_ref.field_mut(0).copy_from_slice(g_loc.as_slice());
+        plan_ref.field_mut(1).copy_from_slice(a_loc.as_slice());
+        for j in 0..k {
+            plan_ref.field_mut(2)[j] = r.col(j).iter().map(|v| v * v).sum::<f64>();
+        }
+        plan_ref.execute(comm)?;
+
+        // Delayed convergence test: these are the exact global norms of the
+        // residual of the *current* X/θ — the same quantity the seed tested,
+        // one collective later. Passing it returns exactly this iterate.
+        let norms = plan_ref.field(2).to_vec();
         let resid = norms
             .iter()
             .zip(theta.iter())
             .map(|(n2, th)| n2.sqrt() / th.abs().max(1.0))
             .fold(0.0f64, f64::max);
-        // Replicated (allreduced) quantity: every rank sees the same value
-        // and errors out together.
+        // Replicated (fused-allreduced) quantity: every rank sees the same
+        // value and errors out together.
         if !resid.is_finite() {
             return Err(SolveError::Breakdown {
                 stage: "dist_lobpcg",
@@ -202,78 +332,73 @@ pub fn distributed_casida_lobpcg(
             break;
         }
 
-        // Preconditioned residuals (diagonal, row-local; paper Eq. 17).
-        let mut w = r;
-        for (j, &th) in theta.iter().enumerate().take(k) {
-            let col = w.col_mut(j);
-            for (il, i) in rows.clone().enumerate() {
-                let mut den = ham.diag_d[i] - th;
-                if den.abs() < 1e-3 {
-                    den = 1e-3f64.copysign(if den == 0.0 { 1.0 } else { den });
-                }
-                col[il] /= den;
-            }
-        }
-
-        // S = [X, W, P], distributed Cholesky-QR.
-        let pn = p.as_ref().map_or(0, Mat::ncols);
-        let mut s = Mat::zeros(rows.len(), 2 * k + pn);
-        for j in 0..k {
-            s.col_mut(j).copy_from_slice(x.col(j));
-            s.col_mut(k + j).copy_from_slice(w.col(j));
-        }
-        if let Some(pm) = &p {
-            for j in 0..pn {
-                s.col_mut(2 * k + j).copy_from_slice(pm.col(j));
-            }
-        }
-        let s_orth = match dist_cholesky_qr(comm, &s) {
-            Some(q) => q,
-            None => {
-                // Drop the P block and retry once; else bail with best known.
-                let s2 = s.col_block(0, 2 * k);
-                match dist_cholesky_qr(comm, &s2) {
-                    Some(q) => q,
-                    None => break,
-                }
-            }
-        };
-
-        // Rayleigh–Ritz.
-        let a_s = apply_distributed(comm, ham, &rows, &s_orth)?;
-        let mut hs = dist_gram(comm, &s_orth, &a_s);
-        hs.symmetrize();
+        let g = Mat::from_vec(m, m, plan_ref.field(0).to_vec());
+        let a = Mat::from_vec(m, m, plan_ref.field(1).to_vec());
         // Also replicated — a poisoned subspace Gram would send syev into
         // NaN soup on every rank simultaneously; fail typed instead.
-        if hs.as_slice().iter().any(|v| !v.is_finite()) {
+        if g.as_slice().iter().chain(a.as_slice().iter()).any(|v| !v.is_finite()) {
             return Err(SolveError::Breakdown {
                 stage: "dist_lobpcg",
                 iteration: iterations,
                 reason: "non-finite subspace Gram matrix".to_string(),
             });
         }
-        let eig = syev(&hs);
-        let cols: Vec<usize> = (0..k).collect();
-        let coef = eig.vectors.select_cols(&cols);
+        // Generalized Rayleigh–Ritz; on Cholesky breakdown drop the P block
+        // (the leading 2k×2k principal blocks of the *already-reduced* Grams
+        // — recovery costs no collective), else bail with best known.
+        let (msub, step) = match rr_step(&g, &a, k) {
+            Some(st) => (m, st),
+            None => match rr_step(&principal(&g, 2 * k), &principal(&a, 2 * k), k) {
+                Some(st) => (2 * k, st),
+                None => break,
+            },
+        };
+        let (theta_new, coef) = step;
+        let s_use = if msub == m { s } else { s.col_block(0, msub) };
+        let hs_use = if msub == m { hs } else { hs.col_block(0, msub) };
 
         let mut x_new = Mat::zeros(rows.len(), k);
-        gemm(1.0, &s_orth, Transpose::No, &coef, Transpose::No, 0.0, &mut x_new);
-        let mut ax_new = Mat::zeros(rows.len(), k);
-        gemm(1.0, &a_s, Transpose::No, &coef, Transpose::No, 0.0, &mut ax_new);
-        let cx_blk = coef.row_block(0, k);
-        let mut p_new = x_new.clone();
-        gemm(-1.0, &x, Transpose::No, &cx_blk, Transpose::No, 1.0, &mut p_new);
+        gemm(1.0, &s_use, Transpose::No, &coef, Transpose::No, 0.0, &mut x_new);
+        let mut hx_new = Mat::zeros(rows.len(), k);
+        gemm(1.0, &hs_use, Transpose::No, &coef, Transpose::No, 0.0, &mut hx_new);
+
+        // P = S·C_p with the X-block rows of C zeroed (the classic LOBPCG
+        // direction), column-normalized through the replicated Gram:
+        // ‖P_j‖² = (C_pᵀ G C_p)_jj — again no collective.
+        let mut c_p = coef.clone();
+        for j in 0..k {
+            for i in 0..k {
+                c_p[(i, j)] = 0.0;
+            }
+        }
+        let g_use = if msub == m { g } else { principal(&g, msub) };
+        let mut gc_p = Mat::zeros(msub, k);
+        gemm(1.0, &g_use, Transpose::No, &c_p, Transpose::No, 0.0, &mut gc_p);
+        for j in 0..k {
+            let n2: f64 = c_p.col(j).iter().zip(gc_p.col(j)).map(|(a, b)| a * b).sum();
+            if n2 > 1e-300 {
+                let inv = 1.0 / n2.sqrt();
+                for v in c_p.col_mut(j) {
+                    *v *= inv;
+                }
+            }
+        }
+        let mut p_new = Mat::zeros(rows.len(), k);
+        gemm(1.0, &s_use, Transpose::No, &c_p, Transpose::No, 0.0, &mut p_new);
+        let mut hp_new = Mat::zeros(rows.len(), k);
+        gemm(1.0, &hs_use, Transpose::No, &c_p, Transpose::No, 0.0, &mut hp_new);
+
         x = x_new;
-        ax = ax_new;
-        p = Some(p_new);
+        hx = hx_new;
+        p_blk = Some((p_new, hp_new));
+        theta = theta_new;
+        r = residual(&x, &hx, &theta);
+        prev_norms = Some(norms);
     }
 
-    // Final Rayleigh quotients.
-    let xtax = dist_gram(comm, &x, &ax);
-    for (i, t) in theta.iter_mut().enumerate() {
-        *t = xtax[(i, i)];
-    }
-    // Sort ascending (replicated, deterministic).
+    // θ are exact Ritz values of the returned X already (CᵀGC = I in the
+    // generalized step; θ₀ came from the explicit Gram) — the seed's
+    // post-loop Gram collective is gone. Sort ascending (replicated).
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by(|&a, &b| theta[a].partial_cmp(&theta[b]).unwrap());
     let values: Vec<f64> = order.iter().map(|&i| theta[i]).collect();
@@ -407,6 +532,49 @@ mod tests {
         });
         for t in res {
             assert!(t.mpi > 0.0, "distributed solve must register comm time");
+        }
+    }
+
+    #[test]
+    fn two_collectives_per_iteration() {
+        // The communication-avoiding schedule: after warmup, each iteration
+        // costs exactly one H·W reduction plus one fused Gram/norm reduce.
+        let ham = test_ham();
+        let res = spmd(2, |c| {
+            let mut t = StageTimings::default();
+            let short = distributed_casida_lobpcg(
+                c,
+                &ham,
+                2,
+                LobpcgOptions { max_iter: 3, tol: 1e-300 },
+                11,
+                &mut t,
+            )
+            .expect("short run");
+            let calls_short = c.stats().collective_calls;
+            c.reset_stats();
+            let long = distributed_casida_lobpcg(
+                c,
+                &ham,
+                2,
+                LobpcgOptions { max_iter: 8, tol: 1e-300 },
+                11,
+                &mut t,
+            )
+            .expect("long run");
+            (calls_short, c.stats().collective_calls, short.iterations, long.iterations)
+        });
+        // Under `PARCOMM_NO_FUSE=1` the plan degrades to one collective per
+        // field (H·W apply + SᵀS + SᵀHS + norms = 4), same iteration count.
+        let per_iter = if parcomm::fusion_enabled() { 2 } else { 4 };
+        for (calls_short, calls_long, it_short, it_long) in res {
+            assert_eq!(it_short, 3);
+            assert_eq!(it_long, 8);
+            assert_eq!(
+                (calls_long - calls_short) as usize,
+                per_iter * (it_long - it_short),
+                "each extra iteration must cost exactly {per_iter} collectives"
+            );
         }
     }
 }

@@ -12,6 +12,7 @@
 use crate::cost::CostModel;
 use crate::requests::{Algorithm, CommInterval, NbShared, Worker, DEFAULT_SEGMENT_WORDS};
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -28,6 +29,62 @@ pub struct OpStats {
     pub calls: u64,
     pub bytes: u64,
     pub seconds: f64,
+}
+
+/// Number of log₂ message-size buckets in [`MsgHist`]. Bucket `b` counts
+/// calls whose payload is in `(2^(b−1), 2^b]` bytes (bucket 0 holds 0- and
+/// 1-byte calls); the last bucket absorbs everything ≥ 2^(BUCKETS−1).
+/// 24 buckets reach 8 MiB, far beyond any per-call payload in the solve.
+pub const HIST_BUCKETS: usize = 24;
+
+/// Payload threshold below which a collective call is **α-dominated**
+/// (latency-bound): at the default [`CostModel`] and 4 ranks, the allreduce
+/// latency and bandwidth terms cross at ~32 KiB — also the engine's segment
+/// size, so anything under it is a single-segment (pure-latency) op.
+pub const ALPHA_SMALL_BYTES: u64 = 32 * 1024;
+
+/// Per-op log₂ message-size histogram: one row per [`CommStats::per_op`]
+/// label, in the same order. Distinguishes latency-bound (small-payload)
+/// from bandwidth-bound collectives at a glance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MsgHist {
+    /// `counts[op][bucket]` — rows in [`CommStats::per_op`] order.
+    pub counts: [[u64; HIST_BUCKETS]; 11],
+}
+
+impl Default for MsgHist {
+    fn default() -> Self {
+        MsgHist { counts: [[0; HIST_BUCKETS]; 11] }
+    }
+}
+
+impl MsgHist {
+    /// ⌈log₂ bytes⌉ capped to the last bucket; 0 bytes lands in bucket 0.
+    #[inline]
+    pub fn bucket(bytes: u64) -> usize {
+        let b = bytes.max(1).next_power_of_two().trailing_zeros() as usize;
+        b.min(HIST_BUCKETS - 1)
+    }
+
+    /// Upper payload bound (bytes) of bucket `b`.
+    #[inline]
+    pub fn bucket_limit(b: usize) -> u64 {
+        1u64 << b
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, op_index: usize, bytes: u64) {
+        self.counts[op_index][Self::bucket(bytes)] += 1;
+    }
+
+    /// Merge another histogram into this one (per-rank → global rollups).
+    pub fn merge(&mut self, other: &MsgHist) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+                *a += b;
+            }
+        }
+    }
 }
 
 /// Engine-side segment counters. A nonblocking collective is executed as a
@@ -75,6 +132,17 @@ pub struct CommStats {
     pub ialltoallv_nb: OpStats,
     /// Engine segment-step counters (not part of the aggregates above).
     pub seg: SegStats,
+    /// Fused flushes executed by the deferred-reduction scheduler
+    /// ([`crate::batch`]): each flush is one collective that replaced
+    /// `fused_fields / fused_flushes` small ones on average.
+    pub fused_flushes: u64,
+    /// Total pending fields folded into those fused flushes.
+    pub fused_fields: u64,
+    /// Collective calls whose payload was ≤ [`ALPHA_SMALL_BYTES`] — the
+    /// latency-bound population the communication-avoiding path shrinks.
+    pub alpha_calls: u64,
+    /// Per-op log₂ message-size histogram.
+    pub hist: MsgHist,
 }
 
 impl CommStats {
@@ -130,6 +198,18 @@ impl CollOp {
             CollOp::Barrier => &mut stats.barrier,
         }
     }
+
+    /// Row in [`CommStats::per_op`] order (the nonblocking ops follow at 6+).
+    fn index(self) -> usize {
+        match self {
+            CollOp::Allreduce => 0,
+            CollOp::Reduce => 1,
+            CollOp::Bcast => 2,
+            CollOp::Allgatherv => 3,
+            CollOp::Alltoallv => 4,
+            CollOp::Barrier => 5,
+        }
+    }
 }
 
 pub(crate) struct Shared {
@@ -138,6 +218,17 @@ pub(crate) struct Shared {
     pub(crate) model: CostModel,
     /// Cross-rank state of the nonblocking progress engine.
     pub(crate) nb: NbShared,
+    /// Sub-communicator rendezvous for [`Comm::split`], keyed by
+    /// `(split sequence number, color)`. The entry is removed once every
+    /// member of the group has taken its handle.
+    pub(crate) splits: Mutex<HashMap<(u64, u64), SplitEntry>>,
+}
+
+/// One color group being assembled by a [`Comm::split`] call.
+pub(crate) struct SplitEntry {
+    shared: Arc<Shared>,
+    /// Members that have taken their handle; the last one retires the entry.
+    taken: usize,
 }
 
 /// Per-rank communicator handle (not shared across threads).
@@ -153,6 +244,9 @@ pub struct Comm {
     /// Per-rank issue counter; SPMD issue order pairs op `n` here with op
     /// `n` on every other rank.
     pub(crate) next_op: Cell<u64>,
+    /// Per-rank [`Comm::split`] counter; splits pair up across ranks by call
+    /// order exactly like collectives pair by op id.
+    pub(crate) split_seq: Cell<u64>,
     /// Lazily spawned progress worker (joined on drop).
     pub(crate) worker: RefCell<Option<Worker>>,
 }
@@ -195,6 +289,10 @@ impl Comm {
             s.collective_calls += 1;
             s.measured_seconds += seconds;
             s.modeled_seconds += modeled;
+            if bytes as u64 <= ALPHA_SMALL_BYTES {
+                s.alpha_calls += 1;
+            }
+            s.hist.record(op.index(), bytes as u64);
             let slot = op.slot(&mut s);
             slot.calls += 1;
             slot.bytes += bytes as u64;
@@ -204,6 +302,14 @@ impl Comm {
         let mut span = span;
         span.arg("bytes", bytes as f64);
         span.arg("modeled_s", modeled);
+    }
+
+    /// Credit one fused flush of `fields` pending reductions to this rank
+    /// (called by the [`crate::batch`] scheduler).
+    pub(crate) fn note_fused(&self, fields: u64) {
+        let mut s = lock(&self.stats);
+        s.fused_flushes += 1;
+        s.fused_fields += fields;
     }
 
     /// Synchronize all ranks.
@@ -380,6 +486,61 @@ impl Comm {
         let all = self.allgatherv(&[v]);
         all[..self.rank()].iter().sum()
     }
+
+    /// Split this communicator into disjoint sub-communicators: ranks with
+    /// the same `color` form a group; within a group, ranks are ordered by
+    /// `(key, parent rank)` — the MPI `Comm_split` convention.
+    ///
+    /// Collective on the parent (every rank must call it, in the same call
+    /// order). The returned [`Comm`] has its own rank numbering, barrier,
+    /// progress engine, and [`CommStats`], so a sub-group's collectives are
+    /// accounted separately from the parent's and never pair with them.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        // Collective exchange of (color, key): the allgatherv both publishes
+        // every rank's choice and synchronizes the ranks, so all members of
+        // a color reach the rendezvous below.
+        let all = self.allgatherv(&[color as f64, key as f64]);
+        let mut members: Vec<(usize, usize)> = (0..self.size())
+            .filter(|&r| all[2 * r] as usize == color)
+            .map(|r| (all[2 * r + 1] as usize, r))
+            .collect();
+        members.sort_unstable();
+        let group_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("calling rank belongs to its own color group");
+        let group_size = members.len();
+        let shared = {
+            let mut splits = lock(&self.shared.splits);
+            let entry = splits.entry((seq, color as u64)).or_insert_with(|| SplitEntry {
+                shared: Arc::new(Shared {
+                    size: group_size,
+                    barrier: Barrier::new(group_size),
+                    model: self.shared.model,
+                    nb: NbShared::new(self.shared.nb.segment_words),
+                    splits: Mutex::new(HashMap::new()),
+                }),
+                taken: 0,
+            });
+            entry.taken += 1;
+            let shared = Arc::clone(&entry.shared);
+            if entry.taken == group_size {
+                splits.remove(&(seq, color as u64));
+            }
+            shared
+        };
+        Comm {
+            rank: group_rank,
+            shared,
+            stats: Arc::new(Mutex::new(CommStats::default())),
+            timeline: Arc::new(Mutex::new(Vec::new())),
+            next_op: Cell::new(0),
+            split_seq: Cell::new(0),
+            worker: RefCell::new(None),
+        }
+    }
 }
 
 /// Run `f` as an SPMD program on `size` thread-ranks with the default cost
@@ -404,6 +565,7 @@ where
         barrier: Barrier::new(size),
         model,
         nb: NbShared::new(DEFAULT_SEGMENT_WORDS),
+        splits: Mutex::new(HashMap::new()),
     });
     let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
     // An armed fault plan on the launching thread extends to every rank:
@@ -430,6 +592,7 @@ where
                     stats: Arc::new(Mutex::new(CommStats::default())),
                     timeline: Arc::new(Mutex::new(Vec::new())),
                     next_op: Cell::new(0),
+                    split_seq: Cell::new(0),
                     worker: RefCell::new(None),
                 };
                 let out = f(&comm);

@@ -1,0 +1,209 @@
+//! Hierarchical two-level collectives over split communicators.
+//!
+//! At large rank counts a flat ring allreduce pays `O(p)` latency steps. The
+//! two-level schedule — intra-group partial reduce → inter-group exchange
+//! among group leaders → intra-group broadcast — pays `O(g + p/g)` instead,
+//! minimized at `g ≈ √p`. Built on [`Comm::split`]: group membership is
+//! `rank / g`, leaders are the ranks with intra-group rank 0.
+//!
+//! **Determinism caveat:** the two-level fold reassociates the sum (group
+//! partials are formed first, then folded across groups), so results agree
+//! with the flat ring only to rounding (~1 ulp per reassociation). It is
+//! therefore **opt-in**: [`Hierarchy::allreduce_sum_tuned`] uses it only when
+//! the caller's [`CommTuning`] both *allows reassociation* and *predicts a
+//! win* from its α–β model (typically perfsight's fitted constants). The
+//! default tuning keeps the flat, bitwise-deterministic path.
+
+use crate::comm::Comm;
+use crate::cost::CostModel;
+
+/// Message-size/rank-count selection policy for hierarchical collectives,
+/// fed by a fitted α–β model (e.g. `perfsight::fit`'s global Hockney
+/// constants, measured from this machine's own OpStats).
+#[derive(Clone, Copy, Debug)]
+pub struct CommTuning {
+    /// Per-message latency, seconds.
+    pub alpha: f64,
+    /// Per-byte transfer time, seconds.
+    pub beta: f64,
+    /// Permit the reassociating two-level fold. `false` (the default) pins
+    /// every reduction to the flat bitwise-deterministic ring.
+    pub allow_reassociation: bool,
+}
+
+impl Default for CommTuning {
+    fn default() -> Self {
+        let m = CostModel::default();
+        CommTuning { alpha: m.alpha, beta: m.beta, allow_reassociation: false }
+    }
+}
+
+impl CommTuning {
+    fn model(&self) -> CostModel {
+        CostModel { alpha: self.alpha, beta: self.beta }
+    }
+
+    /// Modeled cost of the flat single-level allreduce — the engine's actual
+    /// default algorithm, a segmented ring with **linear** `2(p−1)` latency
+    /// steps (this, not the log-tree Rabenseifner bound, is what the
+    /// hierarchy competes against).
+    pub fn flat_cost(&self, p: usize, bytes: usize) -> f64 {
+        self.model()
+            .ring_allreduce(p, bytes, crate::requests::DEFAULT_SEGMENT_WORDS * 8)
+    }
+
+    /// Modeled cost of the two-level schedule with intra-group size `g`:
+    /// tree-style intra reduce + flat ring across the `⌈p/g⌉` leaders +
+    /// tree-style intra broadcast.
+    pub fn two_level_cost(&self, p: usize, g: usize, bytes: usize) -> f64 {
+        let m = self.model();
+        let groups = p.div_ceil(g.max(1));
+        m.reduce(g, bytes)
+            + m.ring_allreduce(groups, bytes, crate::requests::DEFAULT_SEGMENT_WORDS * 8)
+            + m.bcast(g, bytes)
+    }
+
+    /// Whether the policy selects the two-level schedule for a `bytes`-sized
+    /// allreduce on `p` ranks (group size `g`): reassociation must be
+    /// allowed *and* the α–β model must predict a win.
+    pub fn picks_two_level(&self, p: usize, g: usize, bytes: usize) -> bool {
+        self.allow_reassociation
+            && g > 1
+            && g < p
+            && self.two_level_cost(p, g, bytes) < self.flat_cost(p, bytes)
+    }
+}
+
+/// Cached two-level communicator pair: build once (two collective
+/// [`Comm::split`] calls), reduce many times.
+pub struct Hierarchy<'a> {
+    parent: &'a Comm,
+    group: usize,
+    intra: Comm,
+    /// Leaders' cross-group communicator; non-leaders hold a singleton they
+    /// never reduce on (split is collective on the parent, so every rank
+    /// participates in its construction).
+    inter: Comm,
+}
+
+impl<'a> Hierarchy<'a> {
+    /// Build with the latency-minimizing group size `g ≈ √p`.
+    pub fn new(parent: &'a Comm) -> Self {
+        let g = (parent.size() as f64).sqrt().floor().max(1.0) as usize;
+        Self::with_group(parent, g)
+    }
+
+    /// Build with an explicit intra-group size (collective on `parent`).
+    pub fn with_group(parent: &'a Comm, group: usize) -> Self {
+        let group = group.clamp(1, parent.size());
+        let color = parent.rank() / group;
+        let intra = parent.split(color, parent.rank());
+        let is_leader = intra.rank() == 0;
+        // Leaders share color 0; every other rank gets a unique color (its
+        // parent rank offset past 0), i.e. a singleton communicator.
+        let inter_color = if is_leader { 0 } else { 1 + parent.rank() };
+        let inter = parent.split(inter_color, parent.rank());
+        Hierarchy { parent, group, intra, inter }
+    }
+
+    /// Intra-group size this hierarchy was built with.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Two-level sum-allreduce: intra-group reduce to the leader, leaders
+    /// allreduce across groups, leaders broadcast back. **Reassociates** the
+    /// fold — use [`Hierarchy::allreduce_sum_tuned`] unless the caller has
+    /// explicitly opted in to non-deterministic rounding.
+    pub fn allreduce_sum(&self, buf: &mut [f64]) {
+        if self.parent.size() == 1 {
+            return;
+        }
+        self.intra.reduce_sum(buf, 0);
+        if self.intra.rank() == 0 {
+            self.inter.allreduce_sum(buf);
+        }
+        self.intra.bcast(buf, 0);
+    }
+
+    /// Policy-selected allreduce: the two-level schedule when `tuning` allows
+    /// reassociation and models it faster, else the flat deterministic ring
+    /// on the parent communicator.
+    pub fn allreduce_sum_tuned(&self, buf: &mut [f64], tuning: &CommTuning) {
+        if tuning.picks_two_level(self.parent.size(), self.group, buf.len() * 8) {
+            self.allreduce_sum(buf);
+        } else {
+            self.parent.allreduce_sum(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::spmd;
+
+    #[test]
+    fn two_level_matches_flat_within_rounding() {
+        let p = 6;
+        let res = spmd(p, |c| {
+            let h = Hierarchy::new(c);
+            let mut a = vec![c.rank() as f64 + 0.1, 2.0];
+            h.allreduce_sum(&mut a);
+            let mut b = vec![c.rank() as f64 + 0.1, 2.0];
+            c.allreduce_sum(&mut b);
+            (a, b)
+        });
+        for (a, b) in res {
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() <= 4.0 * f64::EPSILON * y.abs(), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_representable_sums_are_bitwise() {
+        // Integer-valued payloads reassociate without rounding, so the
+        // two-level result must be bit-for-bit the flat result.
+        let res = spmd(9, |c| {
+            let h = Hierarchy::new(c);
+            let mut a = vec![c.rank() as f64, 1.0, 1024.0];
+            h.allreduce_sum(&mut a);
+            a
+        });
+        for a in res {
+            assert_eq!(a, vec![36.0, 9.0, 9216.0]);
+        }
+    }
+
+    #[test]
+    fn default_tuning_stays_flat_and_deterministic() {
+        let res = spmd(4, |c| {
+            let h = Hierarchy::new(c);
+            let tuning = CommTuning::default(); // reassociation NOT allowed
+            let mut a = vec![0.1 * (c.rank() as f64 + 1.0); 3];
+            h.allreduce_sum_tuned(&mut a, &tuning);
+            let mut b = vec![0.1 * (c.rank() as f64 + 1.0); 3];
+            c.allreduce_sum(&mut b);
+            (a, b)
+        });
+        for (a, b) in res {
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "gated policy must stay bitwise flat");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_picks_two_level_only_when_latency_bound() {
+        let t = CommTuning { alpha: 1e-5, beta: 1.25e-10, allow_reassociation: true };
+        // Tiny message at high rank count: latency dominates → two-level wins.
+        assert!(t.picks_two_level(1024, 32, 256));
+        // Huge message: bandwidth dominates and the two-level schedule moves
+        // every byte three times → flat wins.
+        assert!(!t.picks_two_level(1024, 32, 64 << 20));
+        // Gated: without reassociation permission it never picks two-level.
+        let gated = CommTuning { allow_reassociation: false, ..t };
+        assert!(!gated.picks_two_level(1024, 32, 256));
+    }
+}

@@ -12,6 +12,10 @@
 //!   chunked ring / recursive-doubling algorithms ([`requests`]), so
 //!   communication proceeds while the caller computes and the measured
 //!   overlap fraction can be reported ([`overlap`]);
+//! * [`batch`] fuses many pending small reductions into one collective over
+//!   a packed buffer (bitwise-identical per-field results), [`comm::Comm::split`]
+//!   carves disjoint sub-communicators, and [`hier`] builds opt-in two-level
+//!   collectives on top of them — the communication-avoiding layer;
 //! * every collective records **bytes moved and call counts** ([`CommStats`])
 //!   and accrues modeled wall-time from an **α–β (latency–bandwidth) cost
 //!   model** ([`CostModel`]), so rank counts far beyond the host's cores can
@@ -20,15 +24,22 @@
 //!   row-block, column-block, and 2-D block-cyclic, plus the
 //!   `MPI_Alltoall`-based row↔column redistribution of wavefunction matrices.
 
+pub mod batch;
 pub mod comm;
 pub mod cost;
+pub mod hier;
 pub mod layout;
 pub mod overlap;
 pub mod redist;
 pub mod requests;
 
-pub use comm::{spmd, spmd_with_model, Comm, CommStats, OpStats, SegStats};
+pub use batch::{fusion_enabled, set_fusion_enabled, FusedFields, ReduceBatch, ReducePlan};
+pub use comm::{
+    spmd, spmd_with_model, Comm, CommStats, MsgHist, OpStats, SegStats, ALPHA_SMALL_BYTES,
+    HIST_BUCKETS,
+};
 pub use cost::CostModel;
+pub use hier::{CommTuning, Hierarchy};
 pub use layout::{block_cyclic_owner, block_ranges, segment_ranges, BlockCyclic2D, Layout};
 pub use overlap::{overlap_fraction, ComputeInterval, OverlapStats};
 pub use redist::{col_to_row_blocks, row_to_col_blocks};
