@@ -2,17 +2,17 @@
 //! fixed silicon-like workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lrtddft::{problem::silicon_like_problem, solve_with, SolveOptions, Version};
+use lrtddft::{problem::silicon_like_problem, Solver, Version};
 
 fn bench_versions(c: &mut Criterion) {
     let problem = silicon_like_problem(1, 12, 4);
-    let opts = SolveOptions::new().n_states(3);
 
     let mut group = c.benchmark_group("table6_versions");
     group.sample_size(10);
     for v in Version::all() {
+        let solver = Solver::builder().version(v).n_states(3).build();
         group.bench_function(v.label(), |b| {
-            b.iter(|| solve_with(&problem, v, &opts));
+            b.iter(|| solver.solve(&problem).unwrap());
         });
     }
     group.finish();

@@ -9,11 +9,16 @@ use lrtddft::{
     parallel::{distributed_dense_hamiltonian_with, distributed_isdf_hamiltonian_with},
     pipeline::{gram_allreduce, gram_pipelined_reduce},
     problem::{silicon_like_problem, CasidaProblem},
-    solve_with, IsdfRank, SolveOptions, StageTimings, Version,
+    IsdfRank, SolveOptions, Solver, StageTimings, Version,
 };
 use mathkit::Mat;
 use parcomm::{spmd, CostModel};
 use pwdft::{bilayer_graphene, gaussian_dos, scf, water_in_box, Grid, ScfOptions};
+
+/// All serial solves go through the `Solver` facade.
+fn run_solve(p: &CasidaProblem, v: Version, o: &SolveOptions) -> lrtddft::Solution {
+    Solver::builder().version(v).options(*o).build().solve(p).unwrap()
+}
 use std::time::Instant;
 
 /// Problem scale knob for the harness.
@@ -91,7 +96,7 @@ pub fn table4(scale: Scale) -> ExperimentRecord {
     let mut rows = Vec::new();
     for v in Version::all() {
         let t0 = Instant::now();
-        let s = solve_with(&problem, v, &opts);
+        let s = run_solve(&problem, v, &opts);
         let wall = t0.elapsed().as_secs_f64();
         rows.push(vec![
             v.label().to_string(),
@@ -123,8 +128,8 @@ pub fn table4(scale: Scale) -> ExperimentRecord {
 pub fn table5(scale: Scale) -> ExperimentRecord {
     let mut rows = Vec::new();
     let mut run_system = |label: &str, problem: &CasidaProblem, n_mu: usize| {
-        let naive = solve_with(problem, Version::Naive, &SolveOptions::new().n_states(3));
-        let isdf = solve_with(
+        let naive = run_solve(problem, Version::Naive, &SolveOptions::new().n_states(3));
+        let isdf = run_solve(
             problem,
             Version::ImplicitKmeansIsdfLobpcg,
             &SolveOptions::new().n_states(3).rank(IsdfRank::Fixed(n_mu)),
@@ -205,10 +210,10 @@ pub fn table6(scale: Scale) -> ExperimentRecord {
         let problem = silicon_like_problem(n_cells, grid_n, n_c);
         let opts = SolveOptions::new().n_states(8.min(problem.n_cv()));
         let t0 = Instant::now();
-        let naive = solve_with(&problem, Version::Naive, &opts);
+        let naive = run_solve(&problem, Version::Naive, &opts);
         let t_naive = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let fast = solve_with(&problem, Version::ImplicitKmeansIsdfLobpcg, &opts);
+        let fast = run_solve(&problem, Version::ImplicitKmeansIsdfLobpcg, &opts);
         let t_fast = t0.elapsed().as_secs_f64();
         let err = naive
             .energies
@@ -393,8 +398,8 @@ pub fn calibrate(scale: Scale) -> Calibration {
         .unwrap();
     // Diagonalization works measured via the versions API.
     let opts = SolveOptions::new().n_states(8.min(problem.n_cv()));
-    let dense = solve_with(&problem, Version::KmeansIsdf, &opts);
-    let implicit = solve_with(&problem, Version::ImplicitKmeansIsdfLobpcg, &opts);
+    let dense = run_solve(&problem, Version::KmeansIsdf, &opts);
+    let implicit = run_solve(&problem, Version::ImplicitKmeansIsdfLobpcg, &opts);
     Calibration {
         problem_label: label.to_string(),
         n_r: problem.n_r(),
@@ -642,7 +647,7 @@ pub fn ablation(scale: Scale) -> ExperimentRecord {
     {
         use lrtddft::versions::{build_isdf_hamiltonian as bih, PointSelector as PS};
         let reference =
-            solve_with(&problem, Version::Naive, &SolveOptions::new().n_states(1));
+            run_solve(&problem, Version::Naive, &SolveOptions::new().n_states(1));
         for snap in [isdf::SnapRule::NearestCentroid, isdf::SnapRule::MaxWeight] {
             let mut t = StageTimings::default();
             let ham = bih(
@@ -663,10 +668,10 @@ pub fn ablation(scale: Scale) -> ExperimentRecord {
     }
 
     // (b) rank sweep: relative error of the lowest excitation vs N_μ.
-    let reference = solve_with(&problem, Version::Naive, &SolveOptions::new().n_states(1));
+    let reference = run_solve(&problem, Version::Naive, &SolveOptions::new().n_states(1));
     for frac in [4usize, 8, 16, 32] {
         let n_mu = (problem.n_cv() * frac / 32).max(4);
-        let s = solve_with(
+        let s = run_solve(
             &problem,
             Version::ImplicitKmeansIsdfLobpcg,
             &SolveOptions::new().n_states(1).rank(IsdfRank::Fixed(n_mu)),
@@ -767,7 +772,7 @@ pub fn fig9(scale: Scale) -> ExperimentRecord {
         if (d - 2.6).abs() < 1e-9 {
             let problem = CasidaProblem::from_ground_state(&grid, &gs);
             let k = 8.min(problem.n_cv());
-            let sol = solve_with(
+            let sol = run_solve(
                 &problem,
                 Version::ImplicitKmeansIsdfLobpcg,
                 &SolveOptions::new().n_states(k),

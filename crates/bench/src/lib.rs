@@ -18,6 +18,7 @@ pub mod gemm_report;
 pub mod perf_report;
 pub mod report;
 pub mod scaling;
+pub mod serve_report;
 pub mod trace_cmd;
 
 pub use report::{print_table, ExperimentRecord};

@@ -65,6 +65,7 @@ const REPORTS: &[(&str, ReportFn)] = &[
     ("comm-report", |o, q, c| bench::comm_report::run(o, q, c).map_err(|e| e.to_string())),
     ("fault-report", |o, q, c| bench::fault_report::run(o, q, c).map_err(|e| e.to_string())),
     ("gemm-report", |o, q, c| bench::gemm_report::run(o, q, c).map_err(|e| e.to_string())),
+    ("serve-report", |o, q, c| bench::serve_report::run(o, q, c).map_err(|e| e.to_string())),
     ("perf-report", bench::perf_report::run),
 ];
 

@@ -75,7 +75,7 @@ pub fn describe_state(state: &StateCharacter) -> String {
 mod tests {
     use super::*;
     use crate::problem::synthetic_problem;
-    use crate::{solve_with, SolveOptions, Version};
+    use crate::{Solver, Version};
 
     #[test]
     fn pure_single_pair_state() {
@@ -106,7 +106,8 @@ mod tests {
     #[test]
     fn weights_sum_to_one_for_solver_output() {
         let p = synthetic_problem([8, 8, 8], 6.0, 3, 2);
-        let sol = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(4));
+        let sol =
+            Solver::builder().version(Version::Naive).n_states(4).build().solve(&p).unwrap();
         let states = analyze_states(&p, &sol.energies, &sol.coefficients, p.n_cv());
         for s in &states {
             let total: f64 = s.leading.iter().map(|c| c.weight).sum();

@@ -39,6 +39,7 @@ pub mod pipeline;
 pub mod problem;
 pub mod rank;
 pub mod recover;
+pub mod solver;
 pub mod spectrum;
 pub mod timers;
 pub mod versions;
@@ -48,17 +49,18 @@ pub use kernel::HxcKernel;
 pub use metrics::ComplexityEstimate;
 pub use naive::{build_dense_hamiltonian, solve_naive};
 pub use problem::{silicon_like_problem, synthetic_problem, CasidaProblem, KernelKind};
-pub use options::{Eig, Precision, SolveOptions};
+pub use options::{Eig, FusionPolicy, KernelChoice, Precision, SolveOptions};
 pub use rank::IsdfRank;
+pub use solver::{Solver, SolverBuilder};
 pub use spectrum::{
     absorption_spectrum, oscillator_strengths, transition_dipoles, try_absorption_spectrum,
     try_oscillator_strengths,
 };
 pub use timers::StageTimings;
 pub use versions::{
-    build_isdf_hamiltonian, solve_with, try_build_isdf_hamiltonian, IsdfHamiltonian,
-    MixedIsdfHamiltonian, PointSelector, Solution, Version, FIT_RESIDUAL_GUARD,
+    build_isdf_hamiltonian, try_build_isdf_hamiltonian, IsdfHamiltonian, MixedIsdfHamiltonian,
+    PointSelector, Solution, Version, FIT_RESIDUAL_GUARD,
 };
 pub use faultkit::{CommError, NumericalError, SolveError};
 #[allow(deprecated)]
-pub use versions::{solve, SolverParams};
+pub use versions::solve_with;

@@ -4,8 +4,8 @@
 //! carried the serial settings, `distributed_dense_hamiltonian` took a bare
 //! `bool pipelined`, and `distributed_solve_implicit` threaded
 //! `(n_mu, k, seed)` positionally. [`SolveOptions`] collapses all of them
-//! into one consuming builder shared by the serial ([`crate::solve_with`])
-//! and distributed (`crate::parallel::*_with`) entry points:
+//! into one consuming builder shared by the serial and distributed entry
+//! points, fronted by [`crate::Solver`]:
 //!
 //! ```
 //! use lrtddft::{Eig, SolveOptions};
@@ -16,6 +16,11 @@
 //! assert_eq!(opts.n_states, 4);
 //! assert!(opts.pipelined);
 //! ```
+//!
+//! Runtime knobs that used to be env-only (`MATHKIT_KERNEL`,
+//! `PARCOMM_NO_FUSE`) now have typed equivalents ([`KernelChoice`],
+//! [`FusionPolicy`]); the env vars remain as overrides that win over the
+//! programmatic setting, so CI's fallback matrices keep working unchanged.
 
 use crate::rank::IsdfRank;
 use mathkit::lobpcg::LobpcgOptions;
@@ -46,12 +51,45 @@ pub enum Precision {
     MixedRefined,
 }
 
+/// Which dense-kernel SIMD path mathkit dispatches to — the typed
+/// equivalent of the `MATHKIT_KERNEL` env var (which, when set, wins).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Runtime CPU detection picks the best available path.
+    #[default]
+    Auto,
+    /// Force the AVX2+FMA microkernels (panics at dispatch if the CPU
+    /// can't run them).
+    Avx2,
+    /// Force the portable scalar reference kernels.
+    Scalar,
+}
+
+/// Whether batched reductions fuse into one collective — the typed
+/// equivalent of the `PARCOMM_NO_FUSE` env var (which, when set, wins).
+/// Fused and unfused schedules are bitwise identical; unfused pays one
+/// latency (α) per field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FusionPolicy {
+    /// Fuse pending same-op reductions into one wire collective (default).
+    #[default]
+    Fused,
+    /// One collective per field — the reference schedule CI exercises via
+    /// `PARCOMM_NO_FUSE=1`.
+    Unfused,
+}
+
 /// Every knob of a serial or distributed LR-TDDFT solve, with a consuming
 /// builder. `Default` reproduces the legacy `SolverParams::default()`
 /// behavior: 3 states, `IsdfRank::default()` rank policy, 400-iteration
 /// LOBPCG at `tol = 1e-8`, seed `0xcafe`, monolithic (non-pipelined)
 /// reductions, LOBPCG eigensolver.
+///
+/// Non-exhaustive: construct via [`SolveOptions::new`] (or
+/// [`crate::Solver::builder`]) and the builder methods, not a struct
+/// literal, so future knobs can land without breaking downstream code.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct SolveOptions {
     /// Number of excitations to return (`k`).
     pub n_states: usize,
@@ -71,6 +109,10 @@ pub struct SolveOptions {
     /// is bitwise identical to the historical solver; `MixedRefined` runs
     /// f32-storage inner iterations with an f64 polish.
     pub precision: Precision,
+    /// SIMD kernel dispatch policy (`MATHKIT_KERNEL` env wins when set).
+    pub kernel: KernelChoice,
+    /// Reduction fusion policy (`PARCOMM_NO_FUSE` env wins when set).
+    pub fusion: FusionPolicy,
 }
 
 impl Default for SolveOptions {
@@ -83,6 +125,8 @@ impl Default for SolveOptions {
             pipelined: false,
             eigensolver: Eig::Lobpcg,
             precision: Precision::Full,
+            kernel: KernelChoice::Auto,
+            fusion: FusionPolicy::Fused,
         }
     }
 }
@@ -134,17 +178,40 @@ impl SolveOptions {
         self.precision = p;
         self
     }
-}
 
-#[allow(deprecated)]
-impl From<crate::versions::SolverParams> for SolveOptions {
-    fn from(p: crate::versions::SolverParams) -> Self {
-        SolveOptions {
-            n_states: p.n_states,
-            rank: p.rank,
-            lobpcg: p.lobpcg,
-            seed: p.seed,
-            ..Self::default()
+    /// SIMD kernel dispatch policy. Programmatic equivalent of
+    /// `MATHKIT_KERNEL`; the env var, when set, overrides this.
+    pub fn kernel(mut self, k: KernelChoice) -> Self {
+        self.kernel = k;
+        self
+    }
+
+    /// Reduction fusion policy. Programmatic equivalent of
+    /// `PARCOMM_NO_FUSE`; the env var, when set, overrides this.
+    pub fn fusion(mut self, f: FusionPolicy) -> Self {
+        self.fusion = f;
+        self
+    }
+
+    /// Push the process-wide runtime knobs ([`KernelChoice`],
+    /// [`FusionPolicy`]) into mathkit / parcomm. Env vars win: when
+    /// `MATHKIT_KERNEL` or `PARCOMM_NO_FUSE` is set the corresponding
+    /// programmatic setting is ignored, so CI's scalar-fallback and
+    /// unfused-fallback matrices override whatever a caller hard-coded.
+    ///
+    /// Called by the [`crate::Solver`] facade before every solve. These are
+    /// process-wide switches — concurrent solves wanting different policies
+    /// should agree or accept last-writer-wins.
+    pub fn apply_runtime_knobs(&self) {
+        if std::env::var("MATHKIT_KERNEL").is_err() {
+            match self.kernel {
+                KernelChoice::Auto => mathkit::force_kernel(None),
+                KernelChoice::Avx2 => mathkit::force_kernel(Some(mathkit::Kernel::Avx2)),
+                KernelChoice::Scalar => mathkit::force_kernel(Some(mathkit::Kernel::Scalar)),
+            }
+        }
+        if std::env::var("PARCOMM_NO_FUSE").is_err() {
+            parcomm::set_fusion_enabled(self.fusion == FusionPolicy::Fused);
         }
     }
 }
@@ -162,7 +229,9 @@ mod tests {
             .seed(42)
             .pipelined(true)
             .eigensolver(Eig::Syev)
-            .precision(Precision::MixedRefined);
+            .precision(Precision::MixedRefined)
+            .kernel(KernelChoice::Scalar)
+            .fusion(FusionPolicy::Unfused);
         assert_eq!(o.n_states, 7);
         assert!(matches!(o.rank, IsdfRank::Fixed(12)));
         assert_eq!(o.lobpcg.max_iter, 10);
@@ -170,6 +239,8 @@ mod tests {
         assert!(o.pipelined);
         assert_eq!(o.eigensolver, Eig::Syev);
         assert_eq!(o.precision, Precision::MixedRefined);
+        assert_eq!(o.kernel, KernelChoice::Scalar);
+        assert_eq!(o.fusion, FusionPolicy::Unfused);
     }
 
     #[test]
@@ -182,13 +253,30 @@ mod tests {
 
     #[test]
     fn defaults_match_legacy_solver_params() {
-        #[allow(deprecated)]
-        let legacy: SolveOptions = crate::versions::SolverParams::default().into();
+        // Pin the legacy `SolverParams::default()` behaviour the docs
+        // promise: 3 states, seed 0xcafe, 400-iter LOBPCG, monolithic
+        // reductions.
         let fresh = SolveOptions::default();
-        assert_eq!(legacy.n_states, fresh.n_states);
-        assert_eq!(legacy.seed, fresh.seed);
-        assert_eq!(legacy.lobpcg.max_iter, fresh.lobpcg.max_iter);
+        assert_eq!(fresh.n_states, 3);
+        assert_eq!(fresh.seed, 0xcafe);
+        assert_eq!(fresh.lobpcg.max_iter, 400);
         assert!(!fresh.pipelined);
         assert_eq!(fresh.eigensolver, Eig::Lobpcg);
+        assert_eq!(fresh.kernel, KernelChoice::Auto);
+        assert_eq!(fresh.fusion, FusionPolicy::Fused);
+    }
+
+    #[test]
+    fn runtime_knobs_round_trip_when_env_unset() {
+        // Serialized with other kernel/fusion togglers via env checks: if
+        // either env var is set this test degrades to a no-op assertion.
+        if std::env::var("MATHKIT_KERNEL").is_ok() || std::env::var("PARCOMM_NO_FUSE").is_ok() {
+            return;
+        }
+        SolveOptions::new().fusion(FusionPolicy::Unfused).apply_runtime_knobs();
+        assert!(!parcomm::fusion_enabled());
+        SolveOptions::new().apply_runtime_knobs();
+        assert!(parcomm::fusion_enabled());
+        assert_eq!(SolveOptions::default().kernel, KernelChoice::Auto);
     }
 }

@@ -16,7 +16,6 @@ use crate::kernel::HxcKernel;
 use crate::options::{Eig, SolveOptions};
 use crate::parallel_eig::DistributedEigResult;
 use crate::problem::CasidaProblem;
-use crate::rank::IsdfRank;
 use crate::timers::StageTimings;
 use crate::versions::IsdfHamiltonian;
 use faultkit::NumericalError;
@@ -133,16 +132,6 @@ pub fn distributed_dense_hamiltonian_with(
     }
     h.symmetrize();
     (h, timings)
-}
-
-/// Legacy entry point with a bare `pipelined` flag.
-#[deprecated(note = "use distributed_dense_hamiltonian_with with SolveOptions::pipelined")]
-pub fn distributed_dense_hamiltonian(
-    comm: &Comm,
-    problem: &CasidaProblem,
-    pipelined: bool,
-) -> (Mat, StageTimings) {
-    distributed_dense_hamiltonian_with(comm, problem, &SolveOptions::new().pipelined(pipelined))
 }
 
 /// Distributed weighted K-Means (paper §4.2 parallel design): every rank
@@ -438,6 +427,10 @@ pub fn distributed_isdf_hamiltonian_with(
         v
     };
     v_tilde.symmetrize();
+    // Fault-injection point for the distributed build (mirrors the serial
+    // "ham.v_tilde" site): the poison lands on the same element of every
+    // rank's replicated copy, so the matrix stays replicated.
+    faultkit::inject_slice("par.v_tilde", v_tilde.as_mut_slice());
 
     // 6. Coefficients (replicated, from the replicated sampled rows).
     let sp = obskit::span(obskit::Stage::Gemm, "coefficients");
@@ -447,16 +440,6 @@ pub fn distributed_isdf_hamiltonian_with(
     drop(sp);
 
     (IsdfHamiltonian { diag_d: problem.diag_d(), c, v_tilde }, timings)
-}
-
-/// Legacy entry point with a positional `n_mu`.
-#[deprecated(note = "use distributed_isdf_hamiltonian_with with SolveOptions::rank")]
-pub fn distributed_isdf_hamiltonian(
-    comm: &Comm,
-    problem: &CasidaProblem,
-    n_mu: usize,
-) -> (IsdfHamiltonian, StageTimings) {
-    distributed_isdf_hamiltonian_with(comm, problem, &SolveOptions::new().rank(IsdfRank::Fixed(n_mu)))
 }
 
 /// Full distributed solve: ISDF construction (Algorithm 1 + §4) followed by
@@ -471,19 +454,35 @@ pub fn distributed_solve_with(
 ) -> (Vec<f64>, StageTimings) {
     let (ham, mut timings) = distributed_isdf_hamiltonian_with(comm, problem, opts);
     let k = opts.n_states.min(problem.n_cv());
+    let values = distributed_eigensolve(comm, &ham, k, opts, &mut timings);
+    (values, timings)
+}
+
+/// The eigensolver half of [`distributed_solve_with`], split out so the
+/// serving scheduler can amortize one Hamiltonian build across a batch of
+/// same-structure jobs while keeping each job's eigensolve — and therefore
+/// its results — bitwise identical to a solo [`distributed_solve_with`]
+/// run with the same options.
+pub fn distributed_eigensolve(
+    comm: &Comm,
+    ham: &IsdfHamiltonian,
+    k: usize,
+    opts: &SolveOptions,
+    timings: &mut StageTimings,
+) -> Vec<f64> {
     match opts.eigensolver {
         Eig::Lobpcg => {
             let res = crate::parallel_eig::distributed_casida_lobpcg(
                 comm,
-                &ham,
+                ham,
                 k,
                 opts.lobpcg,
                 opts.seed,
-                &mut timings,
+                timings,
             )
             .and_then(DistributedEigResult::into_converged);
             match res {
-                Ok(r) => (r.values, timings),
+                Ok(r) => r.values,
                 Err(_) => {
                     // Every breakdown/convergence guard in the distributed
                     // solver tests replicated quantities, so all ranks land
@@ -494,7 +493,7 @@ pub fn distributed_solve_with(
                     let eig = syev(&ham.to_dense());
                     timings.diag += t0.elapsed().as_secs_f64();
                     drop(sp);
-                    (eig.values[..k].to_vec(), timings)
+                    eig.values[..k].to_vec()
                 }
             }
         }
@@ -506,22 +505,9 @@ pub fn distributed_solve_with(
             let eig = syev(&ham.to_dense());
             timings.diag += t0.elapsed().as_secs_f64();
             drop(sp);
-            (eig.values[..k].to_vec(), timings)
+            eig.values[..k].to_vec()
         }
     }
-}
-
-/// Legacy entry point with positional `(n_mu, k, seed)`.
-#[deprecated(note = "use distributed_solve_with with a SolveOptions builder")]
-pub fn distributed_solve_implicit(
-    comm: &Comm,
-    problem: &CasidaProblem,
-    n_mu: usize,
-    k: usize,
-    seed: u64,
-) -> (Vec<f64>, StageTimings) {
-    let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(k).seed(seed);
-    distributed_solve_with(comm, problem, &opts)
 }
 
 #[inline]
@@ -549,6 +535,7 @@ fn nearest(centroids: &[[f64; 3]], p: [f64; 3]) -> (usize, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rank::IsdfRank;
     use crate::naive::build_dense_hamiltonian;
     use crate::problem::synthetic_problem;
     use mathkit::syev;
@@ -640,11 +627,13 @@ mod tests {
         let p = synthetic_problem([8, 8, 8], 6.0, 3, 2);
         let n_mu = p.n_cv();
         let k = 3;
-        let serial = crate::solve_with(
-            &p,
-            crate::Version::ImplicitKmeansIsdfLobpcg,
-            &SolveOptions::new().n_states(k).rank(IsdfRank::Fixed(n_mu)),
-        );
+        let serial = crate::Solver::builder()
+            .version(crate::Version::ImplicitKmeansIsdfLobpcg)
+            .n_states(k)
+            .rank(IsdfRank::Fixed(n_mu))
+            .build()
+            .solve(&p)
+            .unwrap();
         let opts = SolveOptions::new().n_states(k).rank(IsdfRank::Fixed(n_mu)).seed(9);
         for ranks in [1usize, 3] {
             let res = spmd(ranks, |c| distributed_solve_with(c, &p, &opts).0);
@@ -724,16 +713,30 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_distributed_shims_still_work() {
+    fn shared_build_eigensolve_bitwise_matches_solo_solve() {
+        // The serving scheduler's batching contract: one Hamiltonian build
+        // shared by several jobs, each finishing with its own
+        // `distributed_eigensolve`, must be bitwise identical to each job
+        // running the whole `distributed_solve_with` alone.
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let n_mu = p.n_cv();
-        let old = spmd(2, |c| distributed_solve_implicit(c, &p, n_mu, 2, 9).0);
-        let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(2).seed(9);
-        let new = spmd(2, |c| distributed_solve_with(c, &p, &opts).0);
-        for (o, n) in old.iter().zip(&new) {
-            for (x, y) in o.iter().zip(n) {
-                assert_eq!(x.to_bits(), y.to_bits());
+        let opts_a = SolveOptions::new().rank(IsdfRank::Fixed(p.n_cv())).n_states(2).seed(9);
+        let opts_b = opts_a.n_states(3).eigensolver(Eig::Syev);
+        let solo_a = spmd(2, |c| distributed_solve_with(c, &p, &opts_a).0);
+        let solo_b = spmd(2, |c| distributed_solve_with(c, &p, &opts_b).0);
+        let batched = spmd(2, |c| {
+            // Build once with the batch-key options (rank/seed/pipelined
+            // agree between the two jobs), then eigensolve per job.
+            let (ham, mut t) = distributed_isdf_hamiltonian_with(c, &p, &opts_a);
+            let a = distributed_eigensolve(c, &ham, 2, &opts_a, &mut t);
+            let b = distributed_eigensolve(c, &ham, 3, &opts_b, &mut t);
+            (a, b)
+        });
+        for (rank, (a, b)) in batched.iter().enumerate() {
+            for (x, y) in a.iter().zip(&solo_a[rank]) {
+                assert_eq!(x.to_bits(), y.to_bits(), "job A diverged under batching");
+            }
+            for (x, y) in b.iter().zip(&solo_b[rank]) {
+                assert_eq!(x.to_bits(), y.to_bits(), "job B diverged under batching");
             }
         }
     }

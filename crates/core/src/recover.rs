@@ -376,6 +376,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_matches_solve_with_bitwise_on_clean_path() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
         let o = opts(&p);

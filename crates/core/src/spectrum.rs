@@ -152,7 +152,7 @@ pub fn try_absorption_spectrum(
 mod tests {
     use super::*;
     use crate::problem::synthetic_problem;
-    use crate::{solve_with, SolveOptions, Version};
+    use crate::{Solver, Version};
 
     #[test]
     fn dipoles_have_expected_shape_and_are_finite() {
@@ -167,7 +167,8 @@ mod tests {
     #[test]
     fn oscillator_strengths_nonnegative_for_positive_excitations() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let sol = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(4));
+        let sol =
+            Solver::builder().version(Version::Naive).n_states(4).build().solve(&p).unwrap();
         let f = oscillator_strengths(&p, &sol.energies, &sol.coefficients);
         assert_eq!(f.len(), 4);
         for (i, fi) in f.iter().enumerate() {

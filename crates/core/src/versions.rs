@@ -4,14 +4,12 @@ use crate::kernel::HxcKernel;
 use crate::metrics::ComplexityEstimate;
 use crate::options::SolveOptions;
 use crate::problem::CasidaProblem;
-use crate::rank::IsdfRank;
 use crate::timers::StageTimings;
 use faultkit::{NumericalError, SolveError};
 use isdf::{
     kmeans_points_checked, pair_weights, qrcp_points, IsdfDecomposition, KmeansOptions,
 };
 use mathkit::gemm::{gemm, Transpose};
-use mathkit::lobpcg::LobpcgOptions;
 use mathkit::{gemm_mixed_packed, simd, Mat, MatF32, PackedF32};
 use std::time::Instant;
 
@@ -67,32 +65,6 @@ impl Version {
 
     pub fn uses_lobpcg(&self) -> bool {
         matches!(self, Version::KmeansIsdfLobpcg | Version::ImplicitKmeansIsdfLobpcg)
-    }
-}
-
-/// Knobs shared by all versions.
-#[deprecated(note = "use SolveOptions — one builder for serial and distributed knobs")]
-#[derive(Clone, Copy, Debug)]
-pub struct SolverParams {
-    /// Number of excitations to return (`k`).
-    pub n_states: usize,
-    /// ISDF rank policy.
-    pub rank: IsdfRank,
-    /// LOBPCG settings (versions 4–5).
-    pub lobpcg: LobpcgOptions,
-    /// RNG seed (K-Means init, LOBPCG guess dressing).
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for SolverParams {
-    fn default() -> Self {
-        SolverParams {
-            n_states: 3,
-            rank: IsdfRank::default(),
-            lobpcg: LobpcgOptions { max_iter: 400, tol: 1e-8 },
-            seed: 0xcafe,
-        }
     }
 }
 
@@ -388,12 +360,9 @@ pub fn try_build_isdf_hamiltonian(
     Ok(IsdfHamiltonian { diag_d: problem.diag_d(), c, v_tilde })
 }
 
-/// Solve `problem` with the requested `version`.
-///
-/// The `version` picks the algorithm (Table 4); `opts` supplies the knobs.
-/// `opts.eigensolver`/`opts.pipelined` only affect the distributed entry
-/// points — here the version already fixes the eigensolver and nothing is
-/// distributed.
+/// Solve `problem` with the requested `version` (legacy entry point —
+/// panics on unrecoverable errors).
+#[deprecated(note = "use Solver::builder().version(v).build().solve(problem)")]
 pub fn solve_with(problem: &CasidaProblem, version: Version, opts: &SolveOptions) -> Solution {
     match opts.run(problem, version) {
         Ok(s) => s,
@@ -401,20 +370,20 @@ pub fn solve_with(problem: &CasidaProblem, version: Version, opts: &SolveOptions
     }
 }
 
-/// Solve `problem` with the requested `version` (legacy entry point).
-#[deprecated(note = "use solve_with with a SolveOptions builder")]
-#[allow(deprecated)]
-pub fn solve(problem: &CasidaProblem, version: Version, params: SolverParams) -> Solution {
-    solve_with(problem, version, &params.into())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rank::IsdfRank;
     use crate::problem::synthetic_problem;
+    use crate::solver::Solver;
 
     fn full_rank_opts(p: &CasidaProblem) -> SolveOptions {
         SolveOptions::new().rank(IsdfRank::Fixed(p.n_cv()))
+    }
+
+    /// All solves in this module go through the `Solver` facade.
+    fn run(p: &CasidaProblem, v: Version, o: &SolveOptions) -> Solution {
+        Solver::builder().version(v).options(*o).build().solve(p).unwrap()
     }
 
     #[test]
@@ -423,14 +392,14 @@ mod tests {
         // 2–5 must reproduce the naive spectrum.
         let p = synthetic_problem([8, 8, 8], 6.0, 3, 2);
         let opts = full_rank_opts(&p);
-        let reference = solve_with(&p, Version::Naive, &opts);
+        let reference = run(&p, Version::Naive, &opts);
         for v in [
             Version::QrcpIsdf,
             Version::KmeansIsdf,
             Version::KmeansIsdfLobpcg,
             Version::ImplicitKmeansIsdfLobpcg,
         ] {
-            let s = solve_with(&p, v, &opts);
+            let s = run(&p, v, &opts);
             for i in 0..3 {
                 let rel = (s.energies[i] - reference.energies[i]).abs()
                     / reference.energies[i].abs().max(1e-12);
@@ -485,9 +454,9 @@ mod tests {
         // The paper's headline accuracy claim: low-rank + iterative introduces
         // only tiny relative errors (Table 5: ~0.001%–1%).
         let p = synthetic_problem([8, 8, 8], 6.0, 4, 3);
-        let reference = solve_with(&p, Version::Naive, &full_rank_opts(&p));
+        let reference = run(&p, Version::Naive, &full_rank_opts(&p));
         let reduced = SolveOptions::new().rank(IsdfRank::Fixed(p.n_cv() * 3 / 4));
-        let s = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &reduced);
+        let s = run(&p, Version::ImplicitKmeansIsdfLobpcg, &reduced);
         for i in 0..3 {
             let rel = (s.energies[i] - reference.energies[i]).abs()
                 / reference.energies[i].abs().max(1e-12);
@@ -499,16 +468,16 @@ mod tests {
     fn timing_stages_populated_per_version() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
         let opts = full_rank_opts(&p);
-        let naive = solve_with(&p, Version::Naive, &opts);
+        let naive = run(&p, Version::Naive, &opts);
         assert!(naive.timings.face_split > 0.0);
         assert!(naive.timings.kmeans == 0.0);
-        let km = solve_with(&p, Version::KmeansIsdf, &opts);
+        let km = run(&p, Version::KmeansIsdf, &opts);
         assert!(km.timings.kmeans > 0.0);
         assert!(km.timings.qrcp == 0.0);
         assert!(km.timings.theta > 0.0);
-        let qr = solve_with(&p, Version::QrcpIsdf, &opts);
+        let qr = run(&p, Version::QrcpIsdf, &opts);
         assert!(qr.timings.qrcp > 0.0);
-        let imp = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &opts);
+        let imp = run(&p, Version::ImplicitKmeansIsdfLobpcg, &opts);
         assert!(imp.lobpcg_iterations.is_some());
         assert!(imp.timings.diag > 0.0);
     }
@@ -516,21 +485,21 @@ mod tests {
     #[test]
     fn n_mu_reported() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let s = solve_with(&p, Version::KmeansIsdf, &SolveOptions::new().rank(IsdfRank::Fixed(3)));
+        let s = run(&p, Version::KmeansIsdf, &SolveOptions::new().rank(IsdfRank::Fixed(3)));
         assert_eq!(s.n_mu, 3);
-        let s = solve_with(&p, Version::Naive, &SolveOptions::default());
+        let s = run(&p, Version::Naive, &SolveOptions::default());
         assert_eq!(s.n_mu, 0);
     }
 
     #[test]
     #[allow(deprecated)]
-    fn deprecated_solve_shim_matches_solve_with() {
-        // One release of compatibility: the legacy SolverParams entry point
-        // must route through the same code path.
+    fn deprecated_solve_with_shim_matches_facade() {
+        // One release of compatibility: the legacy panicking entry point
+        // must route through the same code path as the `Solver` facade.
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let params = SolverParams { rank: IsdfRank::Fixed(p.n_cv()), ..Default::default() };
-        let old = solve(&p, Version::KmeansIsdf, params);
-        let new = solve_with(&p, Version::KmeansIsdf, &params.into());
+        let opts = full_rank_opts(&p);
+        let old = solve_with(&p, Version::KmeansIsdf, &opts);
+        let new = run(&p, Version::KmeansIsdf, &opts);
         for (a, b) in old.energies.iter().zip(&new.energies) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -542,9 +511,9 @@ mod tests {
         // excitation relative to the singlet channel.
         let mut p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
         let opts = full_rank_opts(&p);
-        let singlet = solve_with(&p, Version::Naive, &opts);
+        let singlet = run(&p, Version::Naive, &opts);
         p.kernel_kind = crate::problem::KernelKind::Triplet;
-        let triplet = solve_with(&p, Version::Naive, &opts);
+        let triplet = run(&p, Version::Naive, &opts);
         assert!(
             triplet.energies[0] < singlet.energies[0],
             "triplet {} should lie below singlet {}",
@@ -552,7 +521,7 @@ mod tests {
             singlet.energies[0]
         );
         // and the ISDF path honours the channel too
-        let triplet_isdf = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &opts);
+        let triplet_isdf = run(&p, Version::ImplicitKmeansIsdfLobpcg, &opts);
         let rel = (triplet_isdf.energies[0] - triplet.energies[0]).abs()
             / triplet.energies[0].abs().max(1e-12);
         assert!(rel < 1e-5, "ISDF triplet mismatch: rel {rel}");

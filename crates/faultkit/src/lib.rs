@@ -34,6 +34,7 @@ pub use checkpoint::{
 pub use error::{CommError, NumericalError, SolveError};
 pub use hooks::{clear_solve_error_hook, notify_solve_error, set_solve_error_hook};
 pub use plan::{
-    arm, comm_fault, degenerate_seeding, handle, inject_slice, install, is_armed, set_rank,
-    starve_points, Campaign, CommFault, FaultEvent, FaultKind, FaultPlan, FaultSpec, Handle,
+    arm, comm_fault, degenerate_seeding, handle, inject_slice, install, install_scoped, is_armed,
+    set_rank, starve_points, Campaign, CommFault, FaultEvent, FaultKind, FaultPlan, FaultSpec,
+    Handle, InstallGuard,
 };

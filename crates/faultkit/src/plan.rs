@@ -129,6 +129,37 @@ struct ArmedState {
 #[derive(Clone)]
 pub struct Handle(Arc<ArmedState>);
 
+impl Handle {
+    /// Arm `plan` into a detached handle **without** touching the current
+    /// thread's armed state. The serving scheduler builds one of these per
+    /// faulted tenant job and installs it only around that job's execution
+    /// window ([`install_scoped`]), so co-scheduled tenants never see it.
+    pub fn armed(plan: FaultPlan) -> Handle {
+        Handle(Arc::new(ArmedState {
+            plan,
+            counters: Mutex::new(HashMap::new()),
+            consumed: Mutex::new(HashSet::new()),
+            events: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Every fault fired so far, across all ranks, in a stable order
+    /// (rank-major, then firing order). Same contract as
+    /// [`Campaign::events`], but usable from a detached handle.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut ev = lock_events(&self.0);
+        ev.sort_by(|a, b| {
+            (a.rank, &a.site, a.occurrence).cmp(&(b.rank, &b.site, b.occurrence))
+        });
+        ev
+    }
+
+    /// Number of faults fired so far.
+    pub fn fired(&self) -> usize {
+        lock_events(&self.0).len()
+    }
+}
+
 thread_local! {
     static CURRENT: RefCell<Option<Arc<ArmedState>>> = const { RefCell::new(None) };
     static RANK: Cell<usize> = const { Cell::new(0) };
@@ -187,6 +218,29 @@ pub fn handle() -> Option<Handle> {
 /// Install (or clear) an armed plan on the current thread.
 pub fn install(h: Option<Handle>) {
     CURRENT.with(|c| *c.borrow_mut() = h.map(|h| h.0));
+}
+
+/// RAII guard restoring the thread's previously armed plan on drop —
+/// returned by [`install_scoped`].
+pub struct InstallGuard {
+    previous: Option<Arc<ArmedState>>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Install `h` for the lifetime of the returned guard, then restore whatever
+/// was armed before. This is the tenant-isolation primitive: a rank thread
+/// executing a faulted tenant's job scopes that tenant's plan to exactly the
+/// job window, so neighbouring jobs on the same rank run with their own (or
+/// no) plan.
+#[must_use = "dropping the guard immediately restores the previous plan"]
+pub fn install_scoped(h: Option<Handle>) -> InstallGuard {
+    let previous = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), h.map(|h| h.0)));
+    InstallGuard { previous }
 }
 
 /// Tag this thread with its SPMD rank (rank 0 outside SPMD regions).
@@ -395,6 +449,44 @@ mod tests {
         let ev = c.events();
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].rank, 1);
+    }
+
+    #[test]
+    fn detached_handle_does_not_arm_the_creating_thread() {
+        let h = Handle::armed(FaultPlan::new(11).with("d", 0, FaultKind::NanPoison));
+        assert!(!is_armed(), "Handle::armed must not touch thread state");
+        let mut buf = vec![1.0; 4];
+        assert!(!inject_slice("d", &mut buf));
+        install(Some(h.clone()));
+        assert!(inject_slice("d", &mut buf));
+        install(None);
+        assert_eq!(h.fired(), 1);
+        assert_eq!(h.events()[0].site, "d");
+    }
+
+    #[test]
+    fn install_scoped_restores_previous_plan() {
+        let outer = arm(FaultPlan::new(1).with("outer", 0, FaultKind::DegenerateSeeding));
+        let tenant = Handle::armed(FaultPlan::new(2).with("inner", 0, FaultKind::DegenerateSeeding));
+        {
+            let _g = install_scoped(Some(tenant.clone()));
+            assert!(degenerate_seeding("inner")); // tenant plan active
+            assert!(!degenerate_seeding("outer")); // outer plan shadowed
+        }
+        // Guard dropped: outer plan is back and untouched by the inner window.
+        assert!(degenerate_seeding("outer"));
+        assert_eq!(outer.fired(), 1);
+        assert_eq!(tenant.fired(), 1);
+    }
+
+    #[test]
+    fn install_scoped_none_clears_within_window() {
+        let _c = arm(FaultPlan::new(1).with("s", 0, FaultKind::DegenerateSeeding));
+        {
+            let _g = install_scoped(None);
+            assert!(!is_armed());
+        }
+        assert!(is_armed());
     }
 
     #[test]

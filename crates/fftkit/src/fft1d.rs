@@ -255,6 +255,11 @@ fn cached_plan(n: usize) -> Arc<Plan1d> {
     static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Plan1d>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut guard = cache.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(p) = guard.get(&n) {
+        obskit::add_fft_plan_hit();
+        return p.clone();
+    }
+    obskit::add_fft_plan_miss();
     guard.entry(n).or_insert_with(|| Arc::new(Plan1d::new(n))).clone()
 }
 

@@ -14,6 +14,8 @@ use std::sync::Mutex;
 static FLOPS: AtomicU64 = AtomicU64::new(0);
 static BYTES_MOVED: AtomicU64 = AtomicU64::new(0);
 static FFT_CALLS: AtomicU64 = AtomicU64::new(0);
+static FFT_PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static FFT_PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
 static COMM_SEGMENTS: AtomicU64 = AtomicU64::new(0);
 static GEMM_SHAPES: Mutex<Option<HashMap<[u8; 3], u64>>> = Mutex::new(None);
 static KERNEL_DISPATCH: Mutex<Option<HashMap<&'static str, u64>>> = Mutex::new(None);
@@ -39,6 +41,25 @@ pub fn add_bytes_moved(n: u64) {
 pub fn add_fft_calls(n: u64) {
     if enabled() {
         FFT_CALLS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Count a 1-D FFT plan-cache lookup that found an existing plan. Concurrent
+/// same-shape solves share one process-wide plan table; this counter is how
+/// tests and the serving report prove the sharing actually happens.
+#[inline]
+pub fn add_fft_plan_hit() {
+    if enabled() {
+        FFT_PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Count a 1-D FFT plan-cache lookup that had to build a new plan (first
+/// toucher of a length).
+#[inline]
+pub fn add_fft_plan_miss() {
+    if enabled() {
+        FFT_PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -102,6 +123,10 @@ pub struct CounterSnapshot {
     pub flops: u64,
     pub bytes_moved: u64,
     pub fft_calls: u64,
+    /// 1-D FFT plan-cache lookups that reused an existing plan.
+    pub fft_plan_hits: u64,
+    /// 1-D FFT plan-cache lookups that built a new plan.
+    pub fft_plan_misses: u64,
     /// Chunked-collective segment steps run by the comm progress engine.
     pub comm_segments: u64,
     /// GEMM shape histogram, sorted by descending call count.
@@ -136,6 +161,8 @@ pub(crate) fn take_counters() -> CounterSnapshot {
         flops: FLOPS.swap(0, Ordering::Relaxed),
         bytes_moved: BYTES_MOVED.swap(0, Ordering::Relaxed),
         fft_calls: FFT_CALLS.swap(0, Ordering::Relaxed),
+        fft_plan_hits: FFT_PLAN_HITS.swap(0, Ordering::Relaxed),
+        fft_plan_misses: FFT_PLAN_MISSES.swap(0, Ordering::Relaxed),
         comm_segments: COMM_SEGMENTS.swap(0, Ordering::Relaxed),
         gemm_shapes: shapes,
         kernel_dispatch: dispatch,
@@ -197,6 +224,20 @@ mod tests {
         assert_eq!(snap.gemm_shapes[0].m_max, 128);
         // Second take is empty — counters reset.
         assert_eq!(take_counters(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn fft_plan_counters_accumulate_and_reset() {
+        let _g = testutil::exclusive();
+        enable();
+        add_fft_plan_miss();
+        add_fft_plan_hit();
+        add_fft_plan_hit();
+        disable();
+        let snap = take_counters();
+        assert_eq!(snap.fft_plan_hits, 2);
+        assert_eq!(snap.fft_plan_misses, 1);
+        assert_eq!(take_counters().fft_plan_hits, 0);
     }
 
     #[test]

@@ -55,12 +55,12 @@ pub mod span;
 pub mod trace;
 
 pub use counters::{
-    add_bytes_moved, add_comm_segments, add_flops, add_fft_calls, record_gemm_shape,
-    record_kernel_dispatch, CounterSnapshot,
+    add_bytes_moved, add_comm_segments, add_flops, add_fft_calls, add_fft_plan_hit,
+    add_fft_plan_miss, record_gemm_shape, record_kernel_dispatch, CounterSnapshot,
 };
 pub use span::{
-    flush_thread, instant, set_rank, set_thread_label, span, thread_lane, thread_rank, Event,
-    EventKind, Span,
+    current_tenant, flush_thread, instant, set_rank, set_tenant, set_thread_label, span,
+    thread_lane, thread_rank, Event, EventKind, Span,
 };
 pub use trace::{take_trace, RankTrace, Trace};
 

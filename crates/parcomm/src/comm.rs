@@ -77,6 +77,12 @@ impl MsgHist {
         self.counts[op_index][Self::bucket(bytes)] += 1;
     }
 
+    /// Total calls recorded across every op and bucket — a quick "is this
+    /// histogram empty?" probe for stats-window tests and reports.
+    pub fn total_calls(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
     /// Merge another histogram into this one (per-rank → global rollups).
     pub fn merge(&mut self, other: &MsgHist) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -276,9 +282,21 @@ impl Comm {
     }
 
     /// Reset the statistics counters (e.g. between timed phases). One store:
-    /// aggregate, per-op, and per-segment counters clear together.
+    /// aggregate, per-op, per-segment, message-histogram, fused-flush, and
+    /// latency-bound counters all clear together — `CommStats` resets as a
+    /// whole struct, so no field can bleed into the next window.
     pub fn reset_stats(&self) {
         *lock(&self.stats) = CommStats::default();
+    }
+
+    /// Atomically snapshot **and** reset the statistics counters under one
+    /// lock acquisition. This is the per-job stats window primitive for the
+    /// serving scheduler: a `stats()` + `reset_stats()` pair leaves a gap in
+    /// which another collective on a shared progress path could be counted in
+    /// neither window, while `take_stats()` hands every recorded event to
+    /// exactly one window.
+    pub fn take_stats(&self) -> CommStats {
+        std::mem::take(&mut *lock(&self.stats))
     }
 
     fn account(&self, op: CollOp, bytes: usize, t0: Instant, modeled: f64, span: obskit::Span) {
@@ -795,6 +813,49 @@ mod tests {
         });
         for s in res {
             assert_eq!(s, CommStats::default(), "reset must clear every field");
+        }
+    }
+
+    #[test]
+    fn reset_clears_histogram_fused_and_alpha_counters() {
+        // Per-job stats windows in the serving scheduler rely on reset
+        // clearing *every* counter family, including the message-size
+        // histogram, fused-flush credits, and latency-bound call counts —
+        // none may bleed from one tenant's window into the next.
+        let res = spmd(2, |c| {
+            let mut small = vec![1.0; 4]; // under ALPHA_SMALL_BYTES
+            c.allreduce_sum(&mut small);
+            c.note_fused(3);
+            let before = c.stats();
+            assert!(before.alpha_calls >= 1);
+            assert_eq!(before.fused_flushes, 1);
+            assert_eq!(before.fused_fields, 3);
+            assert!(before.hist.total_calls() > 0);
+            c.reset_stats();
+            c.stats()
+        });
+        for s in res {
+            assert_eq!(s.alpha_calls, 0);
+            assert_eq!(s.fused_flushes, 0);
+            assert_eq!(s.fused_fields, 0);
+            assert_eq!(s.hist.total_calls(), 0);
+        }
+    }
+
+    #[test]
+    fn take_stats_snapshots_and_clears_in_one_step() {
+        let res = spmd(2, |c| {
+            let mut buf = vec![1.0; 8];
+            c.allreduce_sum(&mut buf);
+            c.barrier();
+            let window = c.take_stats();
+            (window, c.stats())
+        });
+        for (window, after) in res {
+            assert_eq!(window.collective_calls, 2);
+            assert_eq!(window.bytes_sent, 64);
+            assert!(window.hist.total_calls() > 0);
+            assert_eq!(after, CommStats::default(), "take_stats must leave a fresh window");
         }
     }
 

@@ -1,0 +1,105 @@
+//! TTL result cache keyed by structure hash + solve parameters.
+//!
+//! A hit means some tenant already paid for a bitwise-identical solve
+//! (same structure, same build inputs, same eigensolve knobs — see
+//! [`crate::job::CacheKey`]), so the job completes at submission without
+//! touching a solver group. Faulted jobs bypass the cache entirely, in both
+//! directions: they are never served from it and never populate it.
+
+use crate::job::CacheKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Entry {
+    values: Vec<f64>,
+    inserted: Instant,
+}
+
+pub(crate) struct ResultCache {
+    ttl: Duration,
+    inner: Mutex<HashMap<CacheKey, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss counters, snapshot via [`crate::Service::cache_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+impl ResultCache {
+    pub fn new(ttl: Duration) -> Self {
+        ResultCache {
+            ttl,
+            inner: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look `key` up; expired entries count as misses and are evicted.
+    pub fn get(&self, key: &CacheKey) -> Option<Vec<f64>> {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(e) = g.get(key) {
+            if e.inserted.elapsed() <= self.ttl {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(e.values.clone());
+            }
+            g.remove(key);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert (or refresh) `key`. Later writers win; values for one key are
+    /// bitwise identical by construction, so the race is benign.
+    pub fn put(&self, key: CacheKey, values: Vec<f64>) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.insert(key, Entry { values, inserted: Instant::now() });
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().unwrap_or_else(|p| p.into_inner()).len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{cache_key, JobSpec};
+    use lrtddft::synthetic_problem;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_and_stats() {
+        let cache = ResultCache::new(Duration::from_secs(60));
+        let spec = JobSpec::new(1, Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2)));
+        let key = cache_key(&spec);
+        assert!(cache.get(&key).is_none());
+        cache.put(key, vec![0.1, 0.2]);
+        assert_eq!(cache.get(&key), Some(vec![0.1, 0.2]));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn expired_entries_are_evicted() {
+        let cache = ResultCache::new(Duration::ZERO);
+        let spec = JobSpec::new(1, Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2)));
+        let key = cache_key(&spec);
+        cache.put(key, vec![1.0]);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(cache.get(&key).is_none(), "zero TTL expires immediately");
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

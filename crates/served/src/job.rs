@@ -1,0 +1,333 @@
+//! Jobs, handles, and the hashing that drives batching and result caching.
+
+use lrtddft::{CasidaProblem, SolveOptions, Solver, StageTimings};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tenant identifier. Tenants are accounting + isolation domains: quotas,
+/// trace tags, and fault scopes are all keyed by this.
+pub type TenantId = u64;
+
+/// One unit of work: solve `problem` with `solver`'s options on behalf of
+/// `tenant`. Construct via [`JobSpec::new`] and the with-methods.
+#[derive(Clone)]
+pub struct JobSpec {
+    pub tenant: TenantId,
+    pub problem: Arc<CasidaProblem>,
+    pub solver: Solver,
+    /// Optional fault plan, armed only around this job's execution window
+    /// on every rank of the executing group — never visible to co-scheduled
+    /// tenants. Jobs carrying a plan are never batched with others and
+    /// bypass the result cache entirely.
+    pub fault: Option<faultkit::Handle>,
+}
+
+impl JobSpec {
+    pub fn new(tenant: TenantId, problem: Arc<CasidaProblem>) -> Self {
+        JobSpec { tenant, problem, solver: Solver::builder().build(), fault: None }
+    }
+
+    /// Use this fully-configured [`Solver`] (version is ignored by the
+    /// distributed path; its options drive the solve).
+    pub fn with_solver(mut self, solver: Solver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Arm `plan` for this job only (see [`JobSpec::fault`]).
+    pub fn with_fault_plan(mut self, plan: faultkit::FaultPlan) -> Self {
+        self.fault = Some(faultkit::Handle::armed(plan));
+        self
+    }
+
+    pub(crate) fn opts(&self) -> &SolveOptions {
+        self.solver.options()
+    }
+}
+
+/// Why `submit` refused a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The tenant already has `max_queued_per_tenant` jobs waiting.
+    TenantQueueFull { tenant: TenantId, limit: usize },
+    /// The global queue is at capacity.
+    QueueFull { limit: usize },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::TenantQueueFull { tenant, limit } => {
+                write!(f, "tenant {tenant} already has {limit} queued jobs")
+            }
+            AdmissionError::QueueFull { limit } => write!(f, "queue full ({limit} jobs)"),
+            AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the admission queue.
+    Queued,
+    /// Claimed by a solver group and executing.
+    Running,
+    /// Finished; results available via [`JobHandle::wait`].
+    Completed,
+    /// Cancelled before a group claimed it.
+    Cancelled,
+    /// The service shut down before the job ran.
+    Aborted,
+}
+
+/// What a completed job hands back.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Replicated eigenvalues (lowest `n_states`).
+    pub values: Vec<f64>,
+    /// Stage timings from the executing group's leader rank.
+    pub timings: StageTimings,
+    /// Served from the result cache without touching a solver group.
+    pub cache_hit: bool,
+    /// Number of same-structure jobs that shared this job's Hamiltonian
+    /// build (1 = solo).
+    pub batch_size: usize,
+    /// Collective calls this job's eigensolve issued on the group
+    /// communicator (leader rank's stats window; 0 for cache hits).
+    pub comm_calls: u64,
+    /// Faults that fired during this job (empty unless the job carried a
+    /// fault plan).
+    pub fault_events: Vec<String>,
+}
+
+pub(crate) struct JobInner {
+    pub status: JobStatus,
+    pub result: Option<JobResult>,
+}
+
+/// Shared core of a job: spec + status + completion signalling.
+pub(crate) struct JobCore {
+    pub spec: JobSpec,
+    pub inner: Mutex<JobInner>,
+    pub cv: Condvar,
+    /// Key the scheduler batches and caches by (see [`batch_key`]).
+    pub key: BatchKey,
+}
+
+impl JobCore {
+    pub fn new(spec: JobSpec) -> Arc<Self> {
+        let key = batch_key(&spec);
+        Arc::new(JobCore {
+            spec,
+            inner: Mutex::new(JobInner { status: JobStatus::Queued, result: None }),
+            cv: Condvar::new(),
+            key,
+        })
+    }
+
+    pub fn complete(&self, result: JobResult) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.status = JobStatus::Completed;
+        g.result = Some(result);
+        self.cv.notify_all();
+    }
+
+    pub fn set_status(&self, status: JobStatus) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.status = status;
+        self.cv.notify_all();
+    }
+}
+
+/// Typed handle to a submitted job: poll status, cancel while queued, or
+/// block for the result. Cloneable; all clones observe the same job.
+#[derive(Clone)]
+pub struct JobHandle {
+    pub(crate) core: Arc<JobCore>,
+    pub(crate) queue: Arc<crate::scheduler::SchedulerState>,
+}
+
+impl JobHandle {
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.core.inner.lock().unwrap_or_else(|p| p.into_inner()).status.clone()
+    }
+
+    /// The tenant this job belongs to.
+    pub fn tenant(&self) -> TenantId {
+        self.core.spec.tenant
+    }
+
+    /// Cancel the job if it is still queued. Returns `true` on success;
+    /// `false` if a group already claimed it (running jobs execute
+    /// collectives in lockstep across ranks and cannot be interrupted).
+    pub fn cancel(&self) -> bool {
+        self.queue.cancel(&self.core)
+    }
+
+    /// Block until the job reaches a terminal state. Returns the result for
+    /// completed jobs, `None` for cancelled/aborted ones.
+    pub fn wait(&self) -> Option<JobResult> {
+        let mut g = self.core.inner.lock().unwrap_or_else(|p| p.into_inner());
+        while matches!(g.status, JobStatus::Queued | JobStatus::Running) {
+            g = self.core.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        g.result.clone()
+    }
+
+    /// Like [`JobHandle::wait`] with a deadline. `None` means still pending.
+    pub fn wait_timeout(&self, dur: Duration) -> Option<JobResult> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut g = self.core.inner.lock().unwrap_or_else(|p| p.into_inner());
+        while matches!(g.status, JobStatus::Queued | JobStatus::Running) {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self.core.cv.wait_timeout(g, left).unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+        g.result.clone()
+    }
+}
+
+/// FNV-1a over the problem's defining bytes: dimensions, orbital data,
+/// energies, kernel samples, grid shape, and spin channel. Two problems
+/// with equal hashes are treated as the same structure by batching and the
+/// result cache.
+pub fn structure_hash(p: &CasidaProblem) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(p.n_r());
+    h.usize(p.n_v());
+    h.usize(p.n_c());
+    for d in p.grid.n {
+        h.usize(d);
+    }
+    h.u64(p.kernel_kind as u64);
+    h.f64s(p.psi_v.as_slice());
+    h.f64s(p.psi_c.as_slice());
+    h.f64s(&p.eps_v);
+    h.f64s(&p.eps_c);
+    h.f64s(&p.fxc);
+    h.finish()
+}
+
+/// Everything the Hamiltonian build depends on. Jobs with equal keys (and
+/// no fault plan) can share one distributed build; results stay bitwise
+/// identical because the per-job eigensolve is unchanged (property-tested in
+/// `lrtddft::parallel`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    pub structure: u64,
+    /// ISDF rank resolved at this problem's dimensions.
+    pub n_mu: usize,
+    pub seed: u64,
+    pub pipelined: bool,
+}
+
+pub(crate) fn batch_key(spec: &JobSpec) -> BatchKey {
+    let p = &spec.problem;
+    let o = spec.opts();
+    BatchKey {
+        structure: structure_hash(p),
+        n_mu: o.rank.resolve(p.n_r(), p.n_v(), p.n_c()),
+        seed: o.seed,
+        pipelined: o.pipelined,
+    }
+}
+
+/// Cache key: the batch key plus every knob the eigensolve depends on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub batch: BatchKey,
+    pub n_states: usize,
+    pub eigensolver_syev: bool,
+    pub lobpcg_max_iter: usize,
+    /// `tol` bits — f64 keyed exactly.
+    pub lobpcg_tol_bits: u64,
+}
+
+pub(crate) fn cache_key(spec: &JobSpec) -> CacheKey {
+    let o = spec.opts();
+    CacheKey {
+        batch: batch_key(spec),
+        n_states: o.n_states,
+        eigensolver_syev: matches!(o.eigensolver, lrtddft::Eig::Syev),
+        lobpcg_max_iter: o.lobpcg.max_iter,
+        lobpcg_tol_bits: o.lobpcg.tol.to_bits(),
+    }
+}
+
+/// Minimal FNV-1a accumulator (same constants as faultkit's site hash).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        for v in vs {
+            self.u64(v.to_bits());
+        }
+    }
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrtddft::synthetic_problem;
+
+    #[test]
+    fn structure_hash_distinguishes_problems() {
+        let a = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        let b = synthetic_problem([8, 8, 8], 6.0, 2, 3);
+        let mut c = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        assert_eq!(structure_hash(&a), structure_hash(&c));
+        assert_ne!(structure_hash(&a), structure_hash(&b));
+        c.eps_c[0] += 1e-9; // any bit flip changes the structure
+        assert_ne!(structure_hash(&a), structure_hash(&c));
+    }
+
+    #[test]
+    fn batch_key_ignores_eigensolve_only_knobs() {
+        let p = Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2));
+        let base = JobSpec::new(1, p.clone());
+        let more_states = JobSpec::new(2, p.clone())
+            .with_solver(Solver::builder().n_states(5).build());
+        assert_eq!(batch_key(&base), batch_key(&more_states));
+        let other_seed =
+            JobSpec::new(3, p).with_solver(Solver::builder().seed(99).build());
+        assert_ne!(batch_key(&base), batch_key(&other_seed));
+    }
+
+    #[test]
+    fn cache_key_separates_eigensolve_knobs() {
+        let p = Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2));
+        let a = JobSpec::new(1, p.clone());
+        let b = JobSpec::new(1, p.clone())
+            .with_solver(Solver::builder().n_states(5).build());
+        assert_ne!(cache_key(&a), cache_key(&b));
+        let c = JobSpec::new(2, p); // tenant does NOT key the cache
+        assert_eq!(cache_key(&a), cache_key(&c));
+    }
+}

@@ -1,0 +1,52 @@
+//! # served — solve-as-a-service over split communicators
+//!
+//! A multi-tenant job scheduler for the LR-TDDFT suite. One [`Service`]
+//! owns a pool of thread-ranks, partitions it into disjoint solver groups
+//! with `Comm::split`, and runs an admission-controlled queue in front of
+//! them:
+//!
+//! - **Admission control** — per-tenant quotas and a global queue cap,
+//!   surfaced as typed [`AdmissionError`]s at submit time.
+//! - **Same-shape batching** — queued jobs with the same [`BatchKey`]
+//!   (structure hash, resolved ISDF rank, seed, schedule) share one
+//!   distributed Hamiltonian build; each job keeps its own eigensolve, so
+//!   results stay bitwise identical to solo runs.
+//! - **Result caching** — completed fault-free solves are cached by
+//!   structure hash + solve parameters with a TTL; repeat submissions
+//!   complete at admission without touching a solver group.
+//! - **Tenant isolation** — every job runs under its tenant's obskit trace
+//!   scope, and a tenant's injected fault plan ([`JobSpec::with_fault_plan`])
+//!   is armed only around that job's own execution window on the ranks that
+//!   run it. Faulted jobs are never co-batched and bypass the cache.
+//!
+//! ```no_run
+//! use served::{JobSpec, ServeConfig, Service};
+//! use lrtddft::{synthetic_problem, Solver};
+//! use std::sync::Arc;
+//!
+//! let service = Service::start(ServeConfig::default()); // 4 ranks, 2 groups
+//! let problem = Arc::new(synthetic_problem([12, 12, 12], 8.0, 4, 4));
+//! let job = JobSpec::new(42, problem).with_solver(Solver::builder().n_states(3).build());
+//! let handle = service.submit(job).expect("admitted");
+//! let result = handle.wait().expect("completed");
+//! println!("lowest excitations: {:?}", result.values);
+//! service.shutdown();
+//! ```
+//!
+//! Scope: per-job [`Solver`](lrtddft::Solver) options that feed the solve
+//! (`rank`, `seed`, `n_states`, `eigensolver`, `lobpcg`, `pipelined`) are
+//! honored per job. The process-wide runtime knobs (`kernel`, `fusion`) are
+//! deliberately **not** flipped per job — they are global switches shared
+//! by every tenant; set them once before `Service::start` if needed.
+
+mod cache;
+mod job;
+mod scheduler;
+mod service;
+
+pub use cache::CacheStats;
+pub use job::{
+    structure_hash, AdmissionError, BatchKey, CacheKey, JobHandle, JobResult, JobSpec, JobStatus,
+    TenantId,
+};
+pub use service::{ServeConfig, Service};

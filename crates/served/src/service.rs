@@ -1,0 +1,432 @@
+//! The serving runtime: split communicator groups, group-leader batch
+//! dispatch, per-job tenant scoping, and the public [`Service`] front door.
+//!
+//! Topology: `Service::start` launches one supervisor thread that runs the
+//! whole rank pool as an SPMD program. Every rank computes its group color
+//! (`rank / group_size`) and calls [`parcomm::Comm::split`] exactly once, so
+//! the world communicator partitions into `groups` disjoint solver groups
+//! that never synchronize with each other again. Each group's rank 0 is its
+//! *leader*: leaders compete for batches from the shared admission queue and
+//! publish them to their group through a generation-counted slot; the
+//! followers wait on the slot, then the whole group executes the batch in
+//! lockstep (the solve's collectives are the synchronization).
+//!
+//! Tenant isolation invariants (tested here and in `tests/serving.rs`):
+//!
+//! 1. a job's fault plan is installed via [`faultkit::install_scoped`] only
+//!    for the duration of its own batch, on exactly the ranks of the group
+//!    executing it — a NaN poison or rank stall one tenant injects can never
+//!    fire inside another tenant's solve;
+//! 2. faulted jobs are never co-batched and never touch the result cache;
+//! 3. fault-free results are bitwise identical to a solo
+//!    [`lrtddft::parallel::distributed_solve_with`] run at the same group
+//!    size, whatever batching or scheduling happened around them.
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::job::{cache_key, AdmissionError, JobCore, JobHandle, JobResult, JobSpec};
+use crate::scheduler::SchedulerState;
+use lrtddft::parallel::{distributed_eigensolve, distributed_isdf_hamiltonian_with};
+use lrtddft::IsdfHamiltonian;
+use parcomm::{spmd, Comm};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Service topology and policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Total thread-ranks in the world communicator.
+    pub ranks: usize,
+    /// Disjoint solver groups the world splits into; must divide `ranks`.
+    pub groups: usize,
+    /// Per-tenant admission quota (max queued jobs).
+    pub max_queued_per_tenant: usize,
+    /// Global queue capacity.
+    pub queue_capacity: usize,
+    /// Max same-shape jobs sharing one Hamiltonian build.
+    pub max_batch: usize,
+    /// Result-cache entry lifetime.
+    pub cache_ttl: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            ranks: 4,
+            groups: 2,
+            max_queued_per_tenant: 16,
+            queue_capacity: 256,
+            max_batch: 8,
+            cache_ttl: Duration::from_secs(300),
+        }
+    }
+}
+
+/// What a group leader publishes to its followers.
+#[derive(Clone)]
+enum SlotCmd {
+    Run(Vec<Arc<JobCore>>),
+    Quit,
+}
+
+/// One per group: the leader bumps `generation` and stores the command;
+/// followers wait for the bump. The leader can be at most one batch ahead —
+/// executing a batch requires collectives, which block until the followers
+/// have read the slot and joined — so commands are never lost.
+struct GroupSlot {
+    slot: Mutex<(u64, Option<SlotCmd>)>,
+    cv: Condvar,
+}
+
+impl GroupSlot {
+    fn new() -> Self {
+        GroupSlot { slot: Mutex::new((0, None)), cv: Condvar::new() }
+    }
+
+    fn publish(&self, cmd: SlotCmd) -> u64 {
+        let mut g = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        g.0 += 1;
+        g.1 = Some(cmd);
+        let gen = g.0;
+        drop(g);
+        self.cv.notify_all();
+        gen
+    }
+
+    fn wait_past(&self, seen: u64) -> (u64, SlotCmd) {
+        let mut g = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        while g.0 == seen {
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        (g.0, g.1.clone().expect("published slot always carries a command"))
+    }
+}
+
+/// Multi-tenant solve service. Construct with [`Service::start`], submit
+/// work with [`Service::submit`], stop with [`Service::shutdown`] (or just
+/// drop it — queued jobs still drain).
+pub struct Service {
+    config: ServeConfig,
+    sched: Arc<SchedulerState>,
+    cache: Arc<ResultCache>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Boot the rank pool and start serving. Panics if `groups` does not
+    /// evenly divide `ranks`.
+    pub fn start(config: ServeConfig) -> Service {
+        assert!(config.ranks > 0 && config.groups > 0, "need at least one rank and one group");
+        assert_eq!(
+            config.ranks % config.groups,
+            0,
+            "groups ({}) must divide ranks ({})",
+            config.groups,
+            config.ranks
+        );
+        let sched = Arc::new(SchedulerState::new(
+            config.max_queued_per_tenant,
+            config.queue_capacity,
+            config.max_batch,
+        ));
+        let cache = Arc::new(ResultCache::new(config.cache_ttl));
+        let supervisor = {
+            let sched = Arc::clone(&sched);
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let slots: Vec<GroupSlot> =
+                    (0..config.groups).map(|_| GroupSlot::new()).collect();
+                let group_size = config.ranks / config.groups;
+                spmd(config.ranks, |world| {
+                    worker(world, group_size, &slots, &sched, &cache);
+                });
+            })
+        };
+        Service { config, sched, cache, supervisor: Some(supervisor) }
+    }
+
+    /// Admit a job. Fault-free jobs whose results are already cached
+    /// complete immediately (`cache_hit`, `batch_size == 0`); everything
+    /// else is enqueued subject to the tenant quota and queue capacity.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
+        let core = JobCore::new(spec);
+        let handle = JobHandle { core: Arc::clone(&core), queue: Arc::clone(&self.sched) };
+        if core.spec.fault.is_none() {
+            if let Some(values) = self.cache.get(&cache_key(&core.spec)) {
+                core.complete(JobResult {
+                    values,
+                    timings: Default::default(),
+                    cache_hit: true,
+                    batch_size: 0,
+                    comm_calls: 0,
+                    fault_events: Vec::new(),
+                });
+                return Ok(handle);
+            }
+        }
+        self.sched.submit(core)?;
+        Ok(handle)
+    }
+
+    /// Stop admitting, drain the queue, and join the rank pool.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.sched.shutdown();
+        if let Some(h) = self.supervisor.take() {
+            h.join().expect("serving rank pool panicked");
+        }
+    }
+
+    /// Result-cache hit/miss/entry counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Jobs currently queued (all tenants).
+    pub fn queued_len(&self) -> usize {
+        self.sched.queued_len()
+    }
+
+    /// Jobs currently queued for one tenant (counts against its quota).
+    pub fn queued_for(&self, tenant: crate::job::TenantId) -> usize {
+        self.sched.queued_for(tenant)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Ranks per solver group.
+    pub fn group_size(&self) -> usize {
+        self.config.ranks / self.config.groups
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Per-rank body of the SPMD serving pool.
+fn worker(
+    world: &Comm,
+    group_size: usize,
+    slots: &[GroupSlot],
+    sched: &SchedulerState,
+    cache: &ResultCache,
+) {
+    let color = world.rank() / group_size;
+    // Collective over the world communicator — every rank splits exactly
+    // once, and the groups never synchronize with each other afterwards.
+    let group = world.split(color, world.rank());
+    obskit::set_thread_label(&format!("serve g{color} r{}", group.rank()));
+    let slot = &slots[color];
+    let mut seen = 0u64;
+    loop {
+        let cmd = if group.rank() == 0 {
+            let cmd = match sched.next_batch() {
+                Some(batch) => SlotCmd::Run(batch),
+                None => SlotCmd::Quit,
+            };
+            seen = slot.publish(cmd.clone());
+            cmd
+        } else {
+            let (gen, cmd) = slot.wait_past(seen);
+            seen = gen;
+            cmd
+        };
+        match cmd {
+            SlotCmd::Run(batch) => execute_batch(&group, &batch, cache),
+            SlotCmd::Quit => break,
+        }
+    }
+}
+
+/// Run one batch on every rank of a group: a single shared Hamiltonian
+/// build, then one eigensolve per job. Results are bitwise identical to
+/// per-job solo runs because the build is deterministic in the batch key
+/// and the eigensolve path is untouched (pinned by
+/// `shared_build_eigensolve_bitwise_matches_solo_solve` in `lrtddft`).
+fn execute_batch(group: &Comm, batch: &[Arc<JobCore>], cache: &ResultCache) {
+    let lead = &batch[0].spec;
+    // Solo faulted job (the scheduler never co-batches fault plans): arm the
+    // tenant's plan on this rank for exactly this batch. For clean batches
+    // this *clears* any ambient plan — belt and braces for isolation.
+    let _fault_window = faultkit::install_scoped(lead.fault.clone());
+    obskit::set_tenant(Some(lead.tenant));
+
+    group.take_stats(); // discard idle-window stats; build gets a fresh window
+    let opts0 = *lead.opts();
+    let (ham, build_timings) = distributed_isdf_hamiltonian_with(group, &lead.problem, &opts0);
+    let build_stats = group.take_stats();
+    // An injected fault can leave non-finite entries in the replicated
+    // factors; every rank sees the same copy, so all ranks agree to skip the
+    // eigensolve (dense fallbacks on NaN do not terminate) and fail the job.
+    let healthy = ham_is_finite(&ham);
+
+    for core in batch {
+        let spec = &core.spec;
+        obskit::set_tenant(Some(spec.tenant));
+        let opts = *spec.opts();
+        let k = opts.n_states.min(spec.problem.n_cv());
+        let mut timings = build_timings;
+        let values = if healthy {
+            distributed_eigensolve(group, &ham, k, &opts, &mut timings)
+        } else {
+            vec![f64::NAN; k]
+        };
+        let eig_stats = group.take_stats();
+        if group.rank() == 0 {
+            let fault_events = spec
+                .fault
+                .as_ref()
+                .map(|h| h.events().iter().map(|e| e.render()).collect())
+                .unwrap_or_default();
+            if spec.fault.is_none() && healthy {
+                cache.put(cache_key(spec), values.clone());
+            }
+            core.complete(JobResult {
+                values,
+                timings,
+                cache_hit: false,
+                batch_size: batch.len(),
+                comm_calls: build_stats.collective_calls + eig_stats.collective_calls,
+                fault_events,
+            });
+        }
+        // Followers only participate in the collectives; the leader owns
+        // handle completion and cache population.
+    }
+    obskit::set_tenant(None);
+}
+
+fn ham_is_finite(ham: &IsdfHamiltonian) -> bool {
+    ham.diag_d.iter().all(|v| v.is_finite())
+        && ham.c.as_slice().iter().all(|v| v.is_finite())
+        && ham.v_tilde.as_slice().iter().all(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobStatus;
+    use lrtddft::parallel::distributed_solve_with;
+    use lrtddft::{synthetic_problem, Solver};
+
+    fn small_config() -> ServeConfig {
+        ServeConfig { ranks: 2, groups: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn served_results_match_solo_distributed_solve_bitwise() {
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let solver = Solver::builder().n_states(2).seed(11).build();
+        let opts = *solver.options();
+        let solo = spmd(2, |c| distributed_solve_with(c, &problem, &opts));
+
+        let service = Service::start(small_config());
+        let h = service
+            .submit(JobSpec::new(7, Arc::clone(&problem)).with_solver(solver))
+            .unwrap();
+        let res = h.wait().expect("job completed");
+        assert_eq!(res.values, solo[0].0, "served values must be bitwise solo-identical");
+        assert!(!res.cache_hit);
+        assert_eq!(res.batch_size, 1);
+        assert!(res.comm_calls > 0, "eigensolve window should record collectives");
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeat_submission_is_served_from_cache() {
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let service = Service::start(small_config());
+        let first = service.submit(JobSpec::new(1, Arc::clone(&problem))).unwrap();
+        let cold = first.wait().expect("first run completes");
+        assert!(!cold.cache_hit);
+
+        let second = service.submit(JobSpec::new(2, Arc::clone(&problem))).unwrap();
+        assert_eq!(second.status(), JobStatus::Completed, "hit completes at submit");
+        let warm = second.wait().expect("cache hit carries a result");
+        assert!(warm.cache_hit);
+        assert_eq!(warm.values, cold.values);
+        assert_eq!(warm.batch_size, 0);
+        let stats = service.cache_stats();
+        assert!(stats.hits >= 1 && stats.entries >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn quota_violations_surface_at_submit() {
+        let config = ServeConfig {
+            ranks: 2,
+            groups: 1,
+            max_queued_per_tenant: 1,
+            ..Default::default()
+        };
+        let service = Service::start(config);
+        // Distinct seeds defeat both the cache and same-key batching, and
+        // enough copies guarantee one is still queued when we overflow.
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let mut handles = Vec::new();
+        let mut refused = 0;
+        for i in 0..12u64 {
+            let spec = JobSpec::new(1, Arc::clone(&problem))
+                .with_solver(Solver::builder().seed(1000 + i).build());
+            match service.submit(spec) {
+                Ok(h) => handles.push(h),
+                Err(AdmissionError::TenantQueueFull { tenant, limit }) => {
+                    assert_eq!((tenant, limit), (1, 1));
+                    refused += 1;
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        assert!(refused > 0, "quota of 1 must refuse at least one of 12 rapid submits");
+        for h in handles {
+            assert!(h.wait().is_some());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs() {
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let service = Service::start(small_config());
+        let handles: Vec<_> = (0..3u64)
+            .map(|i| {
+                let spec = JobSpec::new(i, Arc::clone(&problem))
+                    .with_solver(Solver::builder().seed(i).build());
+                service.submit(spec).unwrap()
+            })
+            .collect();
+        service.shutdown();
+        for h in handles {
+            assert_eq!(h.status(), JobStatus::Completed);
+        }
+    }
+
+    #[test]
+    fn two_groups_serve_disjoint_jobs() {
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let service = Service::start(ServeConfig { ranks: 4, groups: 2, ..Default::default() });
+        assert_eq!(service.group_size(), 2);
+        let solver_a = Solver::builder().seed(1).build();
+        let solver_b = Solver::builder().seed(2).build();
+        let opts_a = *solver_a.options();
+        let opts_b = *solver_b.options();
+        let a = service.submit(JobSpec::new(1, Arc::clone(&problem)).with_solver(solver_a));
+        let b = service.submit(JobSpec::new(2, Arc::clone(&problem)).with_solver(solver_b));
+        let ra = a.unwrap().wait().expect("job a");
+        let rb = b.unwrap().wait().expect("job b");
+        // Group size is 2 either way, so solo runs at 2 ranks are the oracle.
+        let solo_a = spmd(2, |c| distributed_solve_with(c, &problem, &opts_a));
+        let solo_b = spmd(2, |c| distributed_solve_with(c, &problem, &opts_b));
+        assert_eq!(ra.values, solo_a[0].0);
+        assert_eq!(rb.values, solo_b[0].0);
+        service.shutdown();
+    }
+}

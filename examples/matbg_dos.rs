@@ -9,7 +9,7 @@
 //! hybridization → extra spectral weight near the Fermi level) and
 //! D = 4.0 Å (decoupled layers).
 
-use lrtddft::{solve_with, CasidaProblem, SolveOptions, Version};
+use lrtddft::{CasidaProblem, Solver, Version};
 use pwdft::{bilayer_graphene, gaussian_dos, scf, Grid, ScfOptions};
 
 fn sparkline(values: &[f64]) -> String {
@@ -53,11 +53,12 @@ fn main() {
         // Excited-state DOS (paper Fig. 9b) via the implicit solver.
         let problem = CasidaProblem::from_ground_state(&grid, &gs);
         let k = 6.min(problem.n_cv());
-        let sol = solve_with(
-            &problem,
-            Version::ImplicitKmeansIsdfLobpcg,
-            &SolveOptions::new().n_states(k),
-        );
+        let sol = Solver::builder()
+            .version(Version::ImplicitKmeansIsdfLobpcg)
+            .n_states(k)
+            .build()
+            .solve(&problem)
+            .expect("excited-state solve failed");
         println!(
             "lowest excitations (Ha): {}",
             sol.energies

@@ -8,7 +8,7 @@
 //! solver version of paper Table 4, and prints the lowest three excitation
 //! energies plus stage timings — a one-minute tour of the whole API.
 
-use lrtddft::{problem::silicon_like_problem, solve_with, SolveOptions, Version};
+use lrtddft::{problem::silicon_like_problem, Solver, Version};
 
 fn main() {
     // A Si8-shaped workload: 16 valence + 4 conduction orbitals on a 12³
@@ -22,12 +22,12 @@ fn main() {
         problem.n_cv()
     );
 
-    let opts = SolveOptions::new().n_states(3);
     let mut reference: Option<Vec<f64>> = None;
 
     for version in Version::all() {
+        let solver = Solver::builder().version(version).n_states(3).build();
         let t0 = std::time::Instant::now();
-        let sol = solve_with(&problem, version, &opts);
+        let sol = solver.solve(&problem).expect("solve failed");
         let wall = t0.elapsed().as_secs_f64();
         let errs: Vec<String> = match &reference {
             None => sol.energies.iter().map(|_| "ref".to_string()).collect(),

@@ -7,7 +7,7 @@
 //! ```
 
 use lrtddft::parallel::{distributed_dense_hamiltonian_with, distributed_isdf_hamiltonian_with};
-use lrtddft::{IsdfRank, SolveOptions};
+use lrtddft::{IsdfRank, Solver};
 use lrtddft::problem::silicon_like_problem;
 use parcomm::spmd;
 
@@ -24,13 +24,15 @@ fn main() {
     // per-rank stage/communication breakdown.
     println!("\n-- real SPMD runs (thread ranks, simulated MPI collectives) --");
     println!("{:>5} | {:>10} | {:>10} | {:>10} | {:>12}", "ranks", "face+theta", "fft (s)", "gemm (s)", "comm calls");
+    let naive_solver = Solver::builder().pipelined(true).build();
+    let isdf_solver = Solver::builder().rank(IsdfRank::Fixed(n_mu)).build();
     for ranks in [1usize, 2, 4] {
         let naive = spmd(ranks, |c| {
-            let (_, t) = distributed_dense_hamiltonian_with(c, &problem, &SolveOptions::new().pipelined(true));
+            let (_, t) = distributed_dense_hamiltonian_with(c, &problem, naive_solver.options());
             (t, c.stats())
         });
         let isdf = spmd(ranks, |c| {
-            let (_, t) = distributed_isdf_hamiltonian_with(c, &problem, &SolveOptions::new().rank(IsdfRank::Fixed(n_mu)));
+            let (_, t) = distributed_isdf_hamiltonian_with(c, &problem, isdf_solver.options());
             (t, c.stats())
         });
         let (tn, sn) = &naive[0];
@@ -67,8 +69,8 @@ fn bench_calibration(
     n_mu: usize,
 ) -> bench::scaling::ScalingStudy {
     use bench::scaling::{CommPattern, ScalingStudy, Stage};
-    let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu));
-    let t = spmd(1, |c| distributed_isdf_hamiltonian_with(c, problem, &opts).1)
+    let solver = Solver::builder().rank(IsdfRank::Fixed(n_mu)).build();
+    let t = spmd(1, |c| distributed_isdf_hamiltonian_with(c, problem, solver.options()).1)
         .pop()
         .unwrap();
     ScalingStudy::new(

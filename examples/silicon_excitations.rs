@@ -9,8 +9,8 @@
 //! from pseudopotentials to the Casida solve happens in this workspace.
 
 use lrtddft::{
-    analyze_states, describe_state, oscillator_strengths, solve_with, CasidaProblem, IsdfRank,
-    SolveOptions, Version,
+    analyze_states, describe_state, oscillator_strengths, CasidaProblem, IsdfRank, Solver,
+    Version,
 };
 use pwdft::{scf, silicon_supercell, total_energy, Grid, ScfOptions};
 
@@ -51,17 +51,22 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let naive = solve_with(&problem, Version::Naive, &SolveOptions::new().n_states(5));
+    let naive = Solver::builder()
+        .version(Version::Naive)
+        .n_states(5)
+        .build()
+        .solve(&problem)
+        .expect("naive solve failed");
     let t_naive = t0.elapsed().as_secs_f64();
 
     let t0 = std::time::Instant::now();
-    let fast = solve_with(
-        &problem,
-        Version::ImplicitKmeansIsdfLobpcg,
-        &SolveOptions::new()
-            .n_states(5)
-            .rank(IsdfRank::Fixed((problem.n_cv() * 3 / 4).max(8))),
-    );
+    let fast = Solver::builder()
+        .version(Version::ImplicitKmeansIsdfLobpcg)
+        .n_states(5)
+        .rank(IsdfRank::Fixed((problem.n_cv() * 3 / 4).max(8)))
+        .build()
+        .solve(&problem)
+        .expect("ISDF solve failed");
     let t_fast = t0.elapsed().as_secs_f64();
 
     println!("\n  state |   naive (Ha) | ISDF-LOBPCG (Ha) | rel. error");

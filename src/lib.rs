@@ -10,7 +10,9 @@
 //! * [`pwdft`] — the plane-wave Kohn–Sham DFT ground-state substrate;
 //! * [`mathkit`] — dense linear algebra (GEMM, SYEV, QRCP, LOBPCG);
 //! * [`fftkit`] — FFTs and the periodic Poisson solver;
-//! * [`parcomm`] — the simulated-MPI SPMD runtime.
+//! * [`parcomm`] — the simulated-MPI SPMD runtime;
+//! * [`served`] — multi-tenant solve-as-a-service scheduler over split
+//!   communicators.
 //!
 //! Start with `examples/quickstart.rs`.
 
@@ -20,3 +22,4 @@ pub use lrtddft;
 pub use mathkit;
 pub use parcomm;
 pub use pwdft;
+pub use served;

@@ -1,7 +1,13 @@
 //! Cross-crate integration: SCF ground state → Casida problem → all five
 //! solver versions, on a real (small) first-principles system.
 
-use lrtddft::{solve_with, CasidaProblem, IsdfRank, SolveOptions, Version};
+use lrtddft::{CasidaProblem, IsdfRank, SolveOptions, Solver, Version};
+
+/// All solves go through the `Solver` facade.
+fn run(p: &CasidaProblem, v: Version, o: &SolveOptions) -> lrtddft::Solution {
+    Solver::builder().version(v).options(*o).build().solve(p).unwrap()
+}
+
 use pwdft::{scf, silicon_supercell, water_in_box, Grid, ScfOptions};
 
 fn si8_problem() -> CasidaProblem {
@@ -25,7 +31,7 @@ fn si8_problem() -> CasidaProblem {
 fn si8_five_versions_agree_at_full_rank() {
     let p = si8_problem();
     let opts = SolveOptions::new().n_states(3).rank(IsdfRank::Fixed(p.n_cv()));
-    let reference = solve_with(&p, Version::Naive, &opts);
+    let reference = run(&p, Version::Naive, &opts);
     assert!(reference.energies[0] > 0.0, "excitations must be positive for a gapped system");
     for v in [
         Version::QrcpIsdf,
@@ -33,7 +39,7 @@ fn si8_five_versions_agree_at_full_rank() {
         Version::KmeansIsdfLobpcg,
         Version::ImplicitKmeansIsdfLobpcg,
     ] {
-        let s = solve_with(&p, v, &opts);
+        let s = run(&p, v, &opts);
         for i in 0..3 {
             let rel =
                 (s.energies[i] - reference.energies[i]).abs() / reference.energies[i].abs();
@@ -51,8 +57,8 @@ fn si8_five_versions_agree_at_full_rank() {
 #[test]
 fn si8_reduced_rank_error_is_small_paper_table5_shape() {
     let p = si8_problem();
-    let reference = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(3));
-    let reduced = solve_with(
+    let reference = run(&p, Version::Naive, &SolveOptions::new().n_states(3));
+    let reduced = run(
         &p,
         Version::ImplicitKmeansIsdfLobpcg,
         &SolveOptions::new().n_states(3).rank(IsdfRank::Fixed((p.n_cv() * 7 / 8).max(8))),
@@ -90,7 +96,7 @@ fn water_end_to_end_runs() {
     );
     let p = CasidaProblem::from_ground_state(&grid, &gs);
     assert_eq!(p.n_v(), 4);
-    let sol = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &SolveOptions::new().n_states(2));
+    let sol = run(&p, Version::ImplicitKmeansIsdfLobpcg, &SolveOptions::new().n_states(2));
     assert_eq!(sol.energies.len(), 2);
     assert!(sol.energies[0] > 0.0);
     assert!(sol.energies[0] <= sol.energies[1]);
@@ -107,7 +113,7 @@ fn excitations_exceed_none_of_bare_gap_bounds() {
         .diag_d()
         .into_iter()
         .fold(f64::INFINITY, f64::min);
-    let sol = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(1));
+    let sol = run(&p, Version::Naive, &SolveOptions::new().n_states(1));
     let e0 = sol.energies[0];
     assert!(e0 > 0.2 * bare_min, "excitation collapsed: {e0} vs bare {bare_min}");
     assert!(e0 < 5.0 * bare_min.max(1e-3), "excitation blew up: {e0} vs bare {bare_min}");

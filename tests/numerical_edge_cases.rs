@@ -3,7 +3,13 @@
 //! module-level unit tests don't reach.
 
 use fftkit::{Complex, Fft3};
-use lrtddft::{solve_with, IsdfRank, SolveOptions, Version};
+use lrtddft::{CasidaProblem, IsdfRank, SolveOptions, Solver, Version};
+
+/// All solves go through the `Solver` facade.
+fn run(p: &CasidaProblem, v: Version, o: &SolveOptions) -> lrtddft::Solution {
+    Solver::builder().version(v).options(*o).build().solve(p).unwrap()
+}
+
 use mathkit::Mat;
 use parcomm::CostModel;
 use pwdft::{erfc, gaussian_dos, Cell, Grid, Species};
@@ -94,7 +100,7 @@ fn solver_with_single_state_and_minimal_rank() {
     let p = lrtddft::problem::synthetic_problem([4, 4, 4], 5.0, 2, 2);
     // k = 1, N_mu = 1: extreme truncation must still run and stay finite,
     // bounded below by something positive for this gapped problem.
-    let s = solve_with(
+    let s = run(
         &p,
         Version::ImplicitKmeansIsdfLobpcg,
         &SolveOptions::new().n_states(1).rank(IsdfRank::Fixed(1)),
@@ -128,7 +134,7 @@ fn rank_factor_extremes() {
 fn version_solutions_share_problem_dimensions() {
     let p = lrtddft::problem::synthetic_problem([4, 4, 4], 5.0, 2, 2);
     for v in Version::all() {
-        let s = solve_with(&p, v, &SolveOptions::new().n_states(2));
+        let s = run(&p, v, &SolveOptions::new().n_states(2));
         assert_eq!(s.coefficients.nrows(), p.n_cv(), "{:?}", v);
         assert_eq!(s.coefficients.ncols(), 2);
         assert_eq!(s.complexity.version_label, v.label());

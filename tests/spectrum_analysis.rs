@@ -3,15 +3,21 @@
 
 use lrtddft::{
     absorption_spectrum, analyze_states, oscillator_strengths, problem::silicon_like_problem,
-    solve_with, transition_dipoles, SolveOptions, Version,
+    transition_dipoles, CasidaProblem, SolveOptions, Solver, Version,
 };
+
+/// All solves go through the `Solver` facade.
+fn run(p: &CasidaProblem, v: Version, o: &SolveOptions) -> lrtddft::Solution {
+    Solver::builder().version(v).options(*o).build().solve(p).unwrap()
+}
+
 
 #[test]
 fn spectra_consistent_between_naive_and_implicit() {
     let p = silicon_like_problem(1, 12, 4);
     let opts = SolveOptions::new().n_states(4).rank(lrtddft::IsdfRank::Fixed(p.n_cv()));
-    let a = solve_with(&p, Version::Naive, &opts);
-    let b = solve_with(&p, Version::ImplicitKmeansIsdfLobpcg, &opts);
+    let a = run(&p, Version::Naive, &opts);
+    let b = run(&p, Version::ImplicitKmeansIsdfLobpcg, &opts);
     let fa = oscillator_strengths(&p, &a.energies, &a.coefficients);
     let fb = oscillator_strengths(&p, &b.energies, &b.coefficients);
     for i in 0..4 {
@@ -32,7 +38,7 @@ fn spectra_consistent_between_naive_and_implicit() {
 #[test]
 fn absorption_spectrum_peaks_at_bright_states() {
     let p = silicon_like_problem(1, 12, 4);
-    let sol = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(6));
+    let sol = run(&p, Version::Naive, &SolveOptions::new().n_states(6));
     let f = oscillator_strengths(&p, &sol.energies, &sol.coefficients);
     let (brightest, _) = f
         .iter()
@@ -81,7 +87,7 @@ fn analysis_identifies_band_edge_transition() {
     // The lowest bare transition is (highest valence → lowest conduction);
     // with a modest kernel the lowest excited state keeps that character.
     let p = silicon_like_problem(1, 12, 4);
-    let sol = solve_with(&p, Version::Naive, &SolveOptions::new().n_states(1));
+    let sol = run(&p, Version::Naive, &SolveOptions::new().n_states(1));
     let states = analyze_states(&p, &sol.energies, &sol.coefficients, 5);
     let lead = &states[0].leading[0];
     // dominant pair involves the top valence band
