@@ -40,7 +40,6 @@
 //!    fitted constants.
 
 use crate::report::json;
-use lrtddft::parallel::distributed_solve_with;
 use lrtddft::pipeline::{gram_allreduce, gram_pipelined_reduce};
 use lrtddft::{silicon_like_problem, IsdfRank, SolveOptions};
 use mathkit::Mat;
@@ -280,7 +279,8 @@ fn solve_side(fused: bool) -> SolveSide {
     parcomm::set_fusion_enabled(fused);
     let per_rank = spmd(4, |c| {
         let o = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(k).seed(0xcafe);
-        let (vals, _t) = distributed_solve_with(c, &problem, &o);
+        let (vals, _t) =
+            lrtddft::Solver::builder().options(o).build().solve_distributed(c, &problem);
         (vals, c.stats())
     });
     parcomm::set_fusion_enabled(was);

@@ -19,9 +19,8 @@
 
 use crate::report::json;
 use faultkit::{arm, FaultKind, FaultPlan};
-use lrtddft::parallel::distributed_solve_with;
 use lrtddft::problem::{synthetic_problem, CasidaProblem};
-use lrtddft::{IsdfRank, SolveOptions, Version};
+use lrtddft::{IsdfRank, SolveOptions, Solver, Version};
 use parcomm::spmd;
 use std::io::Write;
 use std::path::Path;
@@ -158,8 +157,8 @@ fn opts(p: &CasidaProblem, seed: u64) -> SolveOptions {
 fn baseline(p: &CasidaProblem, case: &Case, seed: u64) -> Vec<f64> {
     if case.distributed {
         let o = opts(p, seed);
-        let mut vals =
-            spmd(COMM_RANKS, |c| distributed_solve_with(c, p, &o.pipelined(true)).0);
+        let solver = Solver::builder().options(o.pipelined(true)).build();
+        let mut vals = spmd(COMM_RANKS, |c| solver.solve_distributed(c, p).0);
         vals.pop().expect("at least one rank")
     } else {
         o_run(p, case.version, seed).expect("fault-free baseline must solve").0
@@ -171,7 +170,7 @@ fn o_run(
     version: Version,
     seed: u64,
 ) -> Result<(Vec<f64>, Vec<String>), String> {
-    match opts(p, seed).run(p, version) {
+    match Solver::builder().version(version).options(opts(p, seed)).build().solve(p) {
         Ok(s) => Ok((s.energies, s.recovery)),
         Err(e) => Err(e.to_string()),
     }
@@ -184,10 +183,9 @@ fn run_case(p: &CasidaProblem, case: &Case, base: &[f64], plan_seed: u64) -> Cas
     let solved: Result<(Vec<f64>, Vec<String>), String> = if case.distributed {
         // `spmd` re-installs this thread's armed plan on every rank thread,
         // so the drops/delays fire symmetrically from the one shared plan.
-        let o = opts(p, plan_seed);
+        let solver = Solver::builder().options(opts(p, plan_seed).pipelined(true)).build();
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut vals =
-                spmd(COMM_RANKS, |c| distributed_solve_with(c, p, &o.pipelined(true)).0);
+            let mut vals = spmd(COMM_RANKS, |c| solver.solve_distributed(c, p).0);
             vals.pop().expect("at least one rank")
         }));
         match caught {

@@ -10,6 +10,7 @@
 //!   this host has one) are extrapolated — see DESIGN.md §2.
 //! * [`report`] — fixed-width table printing and JSON result records.
 
+pub mod chaos_report;
 pub mod comm_report;
 pub mod experiments;
 pub mod fault_report;

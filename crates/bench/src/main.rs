@@ -61,6 +61,7 @@ type ReportFn = fn(&Path, bool, bool) -> Result<(), String>;
 /// Every report subcommand: name → entry point. The usage string below is
 /// generated from this table, so it cannot drift.
 const REPORTS: &[(&str, ReportFn)] = &[
+    ("chaos-report", |o, q, c| bench::chaos_report::run(o, q, c).map_err(|e| e.to_string())),
     ("fft-report", |o, q, c| bench::fft_report::run(o, q, c).map_err(|e| e.to_string())),
     ("comm-report", |o, q, c| bench::comm_report::run(o, q, c).map_err(|e| e.to_string())),
     ("fault-report", |o, q, c| bench::fault_report::run(o, q, c).map_err(|e| e.to_string())),

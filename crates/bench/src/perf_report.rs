@@ -25,7 +25,6 @@
 //! `BENCH_gemm/fft/fault.json` records, exiting non-zero on regression.
 
 use crate::report::{json, print_table};
-use lrtddft::parallel::distributed_solve_with;
 use lrtddft::{silicon_like_problem, IsdfRank, SolveOptions, StageTimings, Version};
 use mathkit::{gemm, Mat, Transpose};
 use obskit::Stage;
@@ -93,7 +92,8 @@ pub fn run(out: &Path, quick: bool, check: bool) -> Result<(), String> {
     let t0 = Instant::now();
     let per_rank: Vec<(StageTimings, CommStats)> = spmd(RANKS, |c| {
         let o = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(k).seed(0xcafe);
-        let (_vals, t) = distributed_solve_with(c, &problem, &o);
+        let (_vals, t) =
+            lrtddft::Solver::builder().options(o).build().solve_distributed(c, &problem);
         (t, c.stats())
     });
     let wall_seconds = t0.elapsed().as_secs_f64();
@@ -248,7 +248,11 @@ fn fault_and_dump(
         faultkit::FaultPlan::new(0x5eed).with("lobpcg.w", 0, faultkit::FaultKind::NanPoison),
     );
     let o = SolveOptions::new().rank(IsdfRank::Fixed(problem.n_cv())).n_states(3).seed(7);
-    let solved = o.run(problem, Version::ImplicitKmeansIsdfLobpcg);
+    let solved = lrtddft::Solver::builder()
+        .version(Version::ImplicitKmeansIsdfLobpcg)
+        .options(o)
+        .build()
+        .solve(problem);
     faultkit::clear_solve_error_hook();
     let fired = campaign.fired();
     drop(campaign);

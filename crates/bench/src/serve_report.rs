@@ -27,9 +27,8 @@
 //!    fire inside the attacker's window. `--check` gates on zero
 //!    cross-tenant contaminations and zero unfired plans.
 
-use crate::report::json;
+use crate::report::{json, quantile};
 use faultkit::{FaultKind, FaultPlan};
-use lrtddft::parallel::distributed_solve_with;
 use lrtddft::{synthetic_problem, CasidaProblem, Solver};
 use parcomm::spmd;
 use served::{JobSpec, ServeConfig, Service};
@@ -75,15 +74,6 @@ fn workload(quick: bool) -> Workload {
 
 fn config() -> ServeConfig {
     ServeConfig { ranks: RANKS, groups: GROUPS, ..Default::default() }
-}
-
-/// `q`-th percentile of client latencies (nearest-rank on the sorted list).
-fn percentile(sorted_s: &[f64], q: f64) -> f64 {
-    if sorted_s.is_empty() {
-        return f64::NAN;
-    }
-    let idx = ((q * sorted_s.len() as f64).ceil() as usize).clamp(1, sorted_s.len()) - 1;
-    sorted_s[idx]
 }
 
 // ---- 1. mixed-tenant workload ----------------------------------------------
@@ -145,8 +135,8 @@ fn mixed_workload(w: &Workload) -> MixedResult {
         jobs: n,
         wall_s,
         throughput: n as f64 / wall_s,
-        p50_s: percentile(&lat, 0.50),
-        p99_s: percentile(&lat, 0.99),
+        p50_s: quantile(&lat, 0.50),
+        p99_s: quantile(&lat, 0.99),
         cache_hits,
         mean_batch: ran.iter().sum::<usize>() as f64 / ran.len().max(1) as f64,
     }
@@ -349,11 +339,9 @@ pub fn run(out_dir: &Path, quick: bool, check: bool) -> std::io::Result<()> {
     // ---- fault-isolation campaign -------------------------------------------
     // Fault-free oracle at the group size: what every victim must reproduce
     // bit for bit, whatever the attacker injects next to them.
-    let victim_opts = *JobSpec::new(1, Arc::clone(&stream_problem)).solver.options();
+    let victim_solver = JobSpec::new(1, Arc::clone(&stream_problem)).solver;
     let oracle =
-        spmd(RANKS / GROUPS, |c| distributed_solve_with(c, &stream_problem, &victim_opts))[0]
-            .0
-            .clone();
+        spmd(RANKS / GROUPS, |c| victim_solver.solve_distributed(c, &stream_problem).0)[0].clone();
     let trials: Vec<FaultTrial> =
         fault_cases().into_iter().map(|case| fault_trial(case, &stream_problem, &oracle)).collect();
     let rows: Vec<Vec<String>> = trials

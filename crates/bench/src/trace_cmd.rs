@@ -17,7 +17,7 @@
 //! non-zero (used by CI).
 
 use crate::report::{json, print_table};
-use lrtddft::parallel::{distributed_dense_hamiltonian_with, distributed_solve_with};
+use lrtddft::parallel::distributed_dense_hamiltonian_with;
 use lrtddft::{silicon_like_problem, IsdfRank, SolveOptions, StageTimings, Version};
 use mathkit::syev;
 use parcomm::{spmd, CommStats};
@@ -74,7 +74,8 @@ pub fn run_trace(opts: &TraceOptions) -> Result<(), String> {
     let per_rank: Vec<(StageTimings, CommStats)> = match version {
         Version::ImplicitKmeansIsdfLobpcg => spmd(opts.ranks, |c| {
             let o = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(k).seed(0xcafe);
-            let (_vals, t) = distributed_solve_with(c, &problem, &o);
+            let (_vals, t) =
+                lrtddft::Solver::builder().options(o).build().solve_distributed(c, &problem);
             (t, c.stats())
         }),
         Version::Naive => spmd(opts.ranks, |c| {

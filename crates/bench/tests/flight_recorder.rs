@@ -55,7 +55,11 @@ proptest! {
             faultkit::FaultPlan::new(seed).with("lobpcg.w", 0, faultkit::FaultKind::NanPoison),
         );
         let o = SolveOptions::new().rank(IsdfRank::Fixed(problem.n_cv())).n_states(2).seed(seed);
-        let solved = o.run(&problem, Version::ImplicitKmeansIsdfLobpcg);
+        let solved = lrtddft::Solver::builder()
+            .version(Version::ImplicitKmeansIsdfLobpcg)
+            .options(o)
+            .build()
+            .solve(&problem);
         faultkit::clear_solve_error_hook();
         prop_assert!(campaign.fired() > 0, "fault plan never fired");
         drop(campaign);

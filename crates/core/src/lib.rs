@@ -51,6 +51,7 @@ pub use naive::{build_dense_hamiltonian, solve_naive};
 pub use problem::{silicon_like_problem, synthetic_problem, CasidaProblem, KernelKind};
 pub use options::{Eig, FusionPolicy, KernelChoice, Precision, SolveOptions};
 pub use rank::IsdfRank;
+pub use recover::degrade;
 pub use solver::{Solver, SolverBuilder};
 pub use spectrum::{
     absorption_spectrum, oscillator_strengths, transition_dipoles, try_absorption_spectrum,
@@ -62,5 +63,3 @@ pub use versions::{
     PointSelector, Solution, Version, FIT_RESIDUAL_GUARD,
 };
 pub use faultkit::{CommError, NumericalError, SolveError};
-#[allow(deprecated)]
-pub use versions::solve_with;

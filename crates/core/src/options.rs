@@ -113,6 +113,13 @@ pub struct SolveOptions {
     pub kernel: KernelChoice,
     /// Reduction fusion policy (`PARCOMM_NO_FUSE` env wins when set).
     pub fusion: FusionPolicy,
+    /// Degradation marker. `Some(label)` means this option set is a
+    /// deliberate downgrade to a cheaper configuration (one rung of
+    /// [`crate::recover::degrade`], applied by the serving scheduler under
+    /// deadline pressure or a circuit-breaker probe); the label is recorded
+    /// in `Solution::recovery` so a degraded answer is never silent. `None`
+    /// (the default) leaves the clean path untouched.
+    pub degraded: Option<&'static str>,
 }
 
 impl Default for SolveOptions {
@@ -127,6 +134,7 @@ impl Default for SolveOptions {
             precision: Precision::Full,
             kernel: KernelChoice::Auto,
             fusion: FusionPolicy::Fused,
+            degraded: None,
         }
     }
 }
@@ -193,6 +201,13 @@ impl SolveOptions {
         self
     }
 
+    /// Mark this option set as a deliberate downgrade (see
+    /// [`SolveOptions::degraded`]). The label lands in `Solution::recovery`.
+    pub fn degraded(mut self, label: &'static str) -> Self {
+        self.degraded = Some(label);
+        self
+    }
+
     /// Push the process-wide runtime knobs ([`KernelChoice`],
     /// [`FusionPolicy`]) into mathkit / parcomm. Env vars win: when
     /// `MATHKIT_KERNEL` or `PARCOMM_NO_FUSE` is set the corresponding
@@ -231,7 +246,8 @@ mod tests {
             .eigensolver(Eig::Syev)
             .precision(Precision::MixedRefined)
             .kernel(KernelChoice::Scalar)
-            .fusion(FusionPolicy::Unfused);
+            .fusion(FusionPolicy::Unfused)
+            .degraded("rank-floor");
         assert_eq!(o.n_states, 7);
         assert!(matches!(o.rank, IsdfRank::Fixed(12)));
         assert_eq!(o.lobpcg.max_iter, 10);
@@ -241,6 +257,8 @@ mod tests {
         assert_eq!(o.precision, Precision::MixedRefined);
         assert_eq!(o.kernel, KernelChoice::Scalar);
         assert_eq!(o.fusion, FusionPolicy::Unfused);
+        assert_eq!(o.degraded, Some("rank-floor"));
+        assert_eq!(SolveOptions::default().degraded, None);
     }
 
     #[test]

@@ -446,8 +446,9 @@ pub fn distributed_isdf_hamiltonian_with(
 /// the eigensolver `opts.eigensolver` picks — distributed matrix-free
 /// LOBPCG ([`Eig::Lobpcg`], paper Table 4 row 5) or a replicated dense SYEV
 /// on the factored Hamiltonian ([`Eig::Syev`]). Returns replicated
-/// eigenvalues plus this rank's timings.
-pub fn distributed_solve_with(
+/// eigenvalues plus this rank's timings. External callers go through
+/// [`crate::Solver::solve_distributed`], which fronts this.
+pub(crate) fn distributed_solve_with(
     comm: &Comm,
     problem: &CasidaProblem,
     opts: &SolveOptions,

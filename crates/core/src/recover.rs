@@ -1,8 +1,8 @@
 //! Self-healing solver ladders: the `Result`-returning solve entry point.
 //!
-//! [`SolveOptions::run`] executes the same pipeline as
-//! [`solve_with`](crate::versions::solve_with) but reports failures as typed
-//! [`SolveError`]s and heals transient ones along two ladders:
+//! `SolveOptions::run` (reached through [`crate::Solver::solve`]) executes
+//! the solve pipeline, reports failures as typed [`SolveError`]s, and heals
+//! transient ones along two ladders:
 //!
 //! * **build ladder** — the ISDF Hamiltonian assembly
 //!   ([`try_build_isdf_hamiltonian`]) already recovers point starvation and
@@ -18,14 +18,15 @@
 //! Every rung taken is recorded in [`Solution::recovery`] so campaigns (and
 //! users) can see *how* a solve healed, not just that it did.
 //!
-//! The fault-free path is bitwise-identical to the historical `solve_with`:
-//! rung 1 performs exactly the operations the old code performed, and later
-//! rungs only engage after a failure.
+//! The fault-free path is bitwise-identical to the pre-ladder solver: rung 1
+//! performs exactly the operations the old code performed, and later rungs
+//! only engage after a failure.
 
 use crate::lobpcg_driver::{casida_preconditioner, initial_guess, solve_casida_lobpcg};
 use crate::metrics::ComplexityEstimate;
 use crate::naive::solve_naive;
-use crate::options::{Precision, SolveOptions};
+use crate::options::{Eig, Precision, SolveOptions};
+use crate::rank::IsdfRank;
 use crate::problem::CasidaProblem;
 use crate::timers::StageTimings;
 use crate::versions::{
@@ -50,13 +51,21 @@ impl SolveOptions {
     /// failures through the recovery ladders and reporting unrecoverable
     /// ones as typed errors.
     ///
-    /// On a clean run this is bitwise-identical to
-    /// [`solve_with`](crate::versions::solve_with) (which is now a panicking
-    /// wrapper over this method); rungs taken are listed in
-    /// [`Solution::recovery`].
-    pub fn run(&self, problem: &CasidaProblem, version: Version) -> Result<Solution, SolveError> {
+    /// On a clean run this is bitwise-identical to the pre-ladder solver;
+    /// rungs taken are listed in [`Solution::recovery`]. External callers
+    /// reach this through the [`crate::Solver`] facade.
+    pub(crate) fn run(
+        &self,
+        problem: &CasidaProblem,
+        version: Version,
+    ) -> Result<Solution, SolveError> {
         let mut timings = StageTimings::default();
         let mut recovery = Vec::new();
+        // A degraded option set must never produce a silently-degraded
+        // answer: the marker lands in the recovery log before anything runs.
+        if let Some(label) = self.degraded {
+            recovery.push(format!("degraded: {label}"));
+        }
         let k = self.n_states.min(problem.n_cv());
         let n_mu = self.rank.resolve(problem.n_r(), problem.n_v(), problem.n_c());
         let complexity = ComplexityEstimate::for_version(
@@ -177,6 +186,39 @@ impl SolveOptions {
             }
         }
     }
+}
+
+/// One rung down the graceful-degradation ladder: the next-cheaper
+/// configuration for `opts` at `problem`'s dimensions, or `None` when every
+/// rung has been taken. This is what the serving scheduler walks under
+/// deadline pressure or for a circuit-breaker half-open probe; a direct
+/// caller can walk it too. Rungs, in order:
+///
+/// 1. `Full` → [`Precision::MixedRefined`] — f32-storage inner LOBPCG
+///    iterations with an f64 polish (serial LOBPCG path; the distributed
+///    path ignores precision, so the served scheduler pairs this rung with
+///    the next one);
+/// 2. ISDF rank dropped to the `min(N_r, N_v·N_c)` floor — the cheapest
+///    basis that still spans the transition space;
+/// 3. LOBPCG → the direct dense finisher ([`Eig::Syev`]) — skips iterative
+///    work entirely and lands where the PR-5 eig ladder
+///    (Davidson → dense SYEV) would bottom out, without burning the
+///    iterations first.
+///
+/// Every rung stamps [`SolveOptions::degraded`], so the downgrade is
+/// recorded in `Solution::recovery` and job outcomes — never silent.
+pub fn degrade(opts: &SolveOptions, problem: &CasidaProblem) -> Option<SolveOptions> {
+    if opts.precision == Precision::Full {
+        return Some(opts.precision(Precision::MixedRefined).degraded("mixed-precision"));
+    }
+    let floor = (problem.n_v() * problem.n_c()).min(problem.n_r()).max(1);
+    if opts.rank.resolve(problem.n_r(), problem.n_v(), problem.n_c()) > floor {
+        return Some(opts.rank(IsdfRank::Fixed(floor)).degraded("rank-floor"));
+    }
+    if opts.eigensolver == Eig::Lobpcg {
+        return Some(opts.eigensolver(Eig::Syev).degraded("direct-eig"));
+    }
+    None
 }
 
 /// ISDF-build ladder: one typed failure earns one clean rebuild (injected
@@ -376,17 +418,34 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn run_matches_solve_with_bitwise_on_clean_path() {
+    fn degraded_marker_lands_in_recovery_before_anything_runs() {
         let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let o = opts(&p);
-        for v in Version::all() {
-            let a = o.run(&p, v).expect("run");
-            let b = crate::versions::solve_with(&p, v, &o);
-            for (x, y) in a.energies.iter().zip(&b.energies) {
-                assert_eq!(x.to_bits(), y.to_bits(), "{v:?}");
-            }
+        let s = opts(&p)
+            .degraded("rank-floor")
+            .run(&p, Version::KmeansIsdf)
+            .expect("degraded run solves");
+        assert_eq!(s.recovery.first().map(String::as_str), Some("degraded: rank-floor"));
+    }
+
+    #[test]
+    fn degrade_ladder_walks_precision_then_rank_then_eigensolver() {
+        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
+        let o = opts(&p).eigensolver(Eig::Lobpcg);
+        let first = crate::recover::degrade(&o, &p).expect("full precision has a rung");
+        assert_eq!(first.degraded, Some("mixed-precision"));
+        assert_eq!(first.precision, Precision::MixedRefined);
+        let mut cur = first;
+        let mut labels = vec![cur.degraded.unwrap()];
+        while let Some(next) = crate::recover::degrade(&cur, &p) {
+            labels.push(next.degraded.unwrap());
+            cur = next;
         }
+        assert_eq!(labels.last().copied(), Some("direct-eig"), "{labels:?}");
+        assert_eq!(cur.eigensolver, Eig::Syev);
+        assert!(
+            crate::recover::degrade(&cur, &p).is_none(),
+            "ladder floor reached: no further downgrade"
+        );
     }
 
     #[test]

@@ -162,6 +162,14 @@ impl SolverBuilder {
         self
     }
 
+    /// Mark the configuration as a deliberate downgrade (see
+    /// [`SolveOptions::degraded`]); the label is recorded in
+    /// `Solution::recovery` and surfaced in served job outcomes.
+    pub fn degraded(mut self, label: &'static str) -> Self {
+        self.solver.opts = self.solver.opts.degraded(label);
+        self
+    }
+
     /// Finish configuration.
     pub fn build(self) -> Solver {
         self.solver

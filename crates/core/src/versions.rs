@@ -2,7 +2,6 @@
 
 use crate::kernel::HxcKernel;
 use crate::metrics::ComplexityEstimate;
-use crate::options::SolveOptions;
 use crate::problem::CasidaProblem;
 use crate::timers::StageTimings;
 use faultkit::{NumericalError, SolveError};
@@ -360,19 +359,10 @@ pub fn try_build_isdf_hamiltonian(
     Ok(IsdfHamiltonian { diag_d: problem.diag_d(), c, v_tilde })
 }
 
-/// Solve `problem` with the requested `version` (legacy entry point —
-/// panics on unrecoverable errors).
-#[deprecated(note = "use Solver::builder().version(v).build().solve(problem)")]
-pub fn solve_with(problem: &CasidaProblem, version: Version, opts: &SolveOptions) -> Solution {
-    match opts.run(problem, version) {
-        Ok(s) => s,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::SolveOptions;
     use crate::rank::IsdfRank;
     use crate::problem::synthetic_problem;
     use crate::solver::Solver;
@@ -489,20 +479,6 @@ mod tests {
         assert_eq!(s.n_mu, 3);
         let s = run(&p, Version::Naive, &SolveOptions::default());
         assert_eq!(s.n_mu, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_solve_with_shim_matches_facade() {
-        // One release of compatibility: the legacy panicking entry point
-        // must route through the same code path as the `Solver` facade.
-        let p = synthetic_problem([8, 8, 8], 6.0, 2, 2);
-        let opts = full_rank_opts(&p);
-        let old = solve_with(&p, Version::KmeansIsdf, &opts);
-        let new = run(&p, Version::KmeansIsdf, &opts);
-        for (a, b) in old.energies.iter().zip(&new.energies) {
-            assert_eq!(a.to_bits(), b.to_bits());
-        }
     }
 
     #[test]

@@ -51,12 +51,17 @@
 pub mod chrome;
 pub mod counters;
 pub mod flight;
+pub mod serve;
 pub mod span;
 pub mod trace;
 
 pub use counters::{
     add_bytes_moved, add_comm_segments, add_flops, add_fft_calls, add_fft_plan_hit,
     add_fft_plan_miss, record_gemm_shape, record_kernel_dispatch, CounterSnapshot,
+};
+pub use serve::{
+    add_serve_breaker_open, add_serve_deadline_miss, add_serve_degraded, add_serve_group_unhealthy,
+    add_serve_retry, serve_counters, take_serve_counters, ServeCounters,
 };
 pub use span::{
     current_tenant, flush_thread, instant, set_rank, set_tenant, set_thread_label, span,

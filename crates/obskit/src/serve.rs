@@ -1,0 +1,115 @@
+//! Service-resilience counters (`serve.*`).
+//!
+//! Unlike the tracing counters in [`crate::counters`], these are **always
+//! on**: retries, breaker trips, and deadline misses are rare, operator-facing
+//! events that must be visible even when span tracing is disabled (the chaos
+//! soak measures latency and must not pay tracing overhead to count them).
+//! Each adder is one relaxed `fetch_add` on a static atomic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+static BREAKER_OPEN: AtomicU64 = AtomicU64::new(0);
+static DEGRADED: AtomicU64 = AtomicU64::new(0);
+static DEADLINE_MISS: AtomicU64 = AtomicU64::new(0);
+static GROUP_UNHEALTHY: AtomicU64 = AtomicU64::new(0);
+
+/// Count a failed job being re-queued for another attempt (`serve.retries`).
+#[inline]
+pub fn add_serve_retry() {
+    RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count a per-tenant circuit breaker transitioning closed → open
+/// (`serve.breaker_open`).
+#[inline]
+pub fn add_serve_breaker_open() {
+    BREAKER_OPEN.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count a job executed with a degraded (cheaper) configuration
+/// (`serve.degraded`).
+#[inline]
+pub fn add_serve_degraded() {
+    DEGRADED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count a job that missed its deadline — expired in the queue or delivered
+/// late (`serve.deadline_miss`).
+#[inline]
+pub fn add_serve_deadline_miss() {
+    DEADLINE_MISS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count a solver group being marked unhealthy by the stall detector
+/// (`serve.group_unhealthy`).
+#[inline]
+pub fn add_serve_group_unhealthy() {
+    GROUP_UNHEALTHY.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time snapshot of the `serve.*` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Jobs re-queued after a recoverable failure (`serve.retries`).
+    pub retries: u64,
+    /// Closed → open breaker transitions (`serve.breaker_open`).
+    pub breaker_open: u64,
+    /// Jobs run with a degraded configuration (`serve.degraded`).
+    pub degraded: u64,
+    /// Deadline misses — queue expiry or late delivery (`serve.deadline_miss`).
+    pub deadline_miss: u64,
+    /// Stall-detector unhealthy markings (`serve.group_unhealthy`).
+    pub group_unhealthy: u64,
+}
+
+/// Snapshot without resetting.
+pub fn serve_counters() -> ServeCounters {
+    ServeCounters {
+        retries: RETRIES.load(Ordering::Relaxed),
+        breaker_open: BREAKER_OPEN.load(Ordering::Relaxed),
+        degraded: DEGRADED.load(Ordering::Relaxed),
+        deadline_miss: DEADLINE_MISS.load(Ordering::Relaxed),
+        group_unhealthy: GROUP_UNHEALTHY.load(Ordering::Relaxed),
+    }
+}
+
+/// Snapshot and reset — one measurement window ends, the next begins.
+pub fn take_serve_counters() -> ServeCounters {
+    ServeCounters {
+        retries: RETRIES.swap(0, Ordering::Relaxed),
+        breaker_open: BREAKER_OPEN.swap(0, Ordering::Relaxed),
+        degraded: DEGRADED.swap(0, Ordering::Relaxed),
+        deadline_miss: DEADLINE_MISS.swap(0, Ordering::Relaxed),
+        group_unhealthy: GROUP_UNHEALTHY.swap(0, Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_counters_count_without_tracing_enabled() {
+        // Process-global; serialize against other serve-counter users via
+        // the span test lock (which also guarantees tracing stays off).
+        let _g = crate::span::testutil::exclusive();
+        let _ = take_serve_counters();
+        assert!(!crate::enabled());
+        add_serve_retry();
+        add_serve_retry();
+        add_serve_breaker_open();
+        add_serve_degraded();
+        add_serve_deadline_miss();
+        add_serve_group_unhealthy();
+        let snap = serve_counters();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.breaker_open, 1);
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.deadline_miss, 1);
+        assert_eq!(snap.group_unhealthy, 1);
+        // take() resets; a second take is empty.
+        assert_eq!(take_serve_counters(), snap);
+        assert_eq!(take_serve_counters(), ServeCounters::default());
+    }
+}

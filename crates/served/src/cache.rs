@@ -1,10 +1,17 @@
-//! TTL result cache keyed by structure hash + solve parameters.
+//! Bounded TTL result cache keyed by structure hash + solve parameters.
 //!
 //! A hit means some tenant already paid for a bitwise-identical solve
 //! (same structure, same build inputs, same eigensolve knobs — see
 //! [`crate::job::CacheKey`]), so the job completes at submission without
 //! touching a solver group. Faulted jobs bypass the cache entirely, in both
-//! directions: they are never served from it and never populate it.
+//! directions: they are never served from it and never populate it; the
+//! same holds for degraded results and breaker probes (the cache key does
+//! not encode the degradation ladder, so a degraded answer under a clean
+//! key would poison later full-cost lookups).
+//!
+//! The cache is bounded two ways: entries older than the TTL are purged on
+//! every insert (a quiet cache cannot hoard dead entries), and a hard
+//! capacity evicts the least-recently-used live entry once full.
 
 use crate::job::CacheKey;
 use std::collections::HashMap;
@@ -15,60 +22,105 @@ use std::time::{Duration, Instant};
 struct Entry {
     values: Vec<f64>,
     inserted: Instant,
+    /// Logical timestamp of the last hit (or the insert); smallest = LRU.
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, Entry>,
+    /// Monotonic use counter backing `last_used`.
+    tick: u64,
 }
 
 pub(crate) struct ResultCache {
     ttl: Duration,
-    inner: Mutex<HashMap<CacheKey, Entry>>,
+    /// Max live entries; inserting into a full cache evicts the LRU entry.
+    capacity: usize,
+    inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-/// Hit/miss counters, snapshot via [`crate::Service::cache_stats`].
+/// Cache counters, snapshot via [`crate::Service::cache_stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub entries: usize,
+    /// Entries removed to make room (LRU) or purged past their TTL.
+    pub evictions: u64,
 }
 
 impl ResultCache {
-    pub fn new(ttl: Duration) -> Self {
+    pub fn new(ttl: Duration, capacity: usize) -> Self {
         ResultCache {
             ttl,
-            inner: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner { map: HashMap::new(), tick: 0 }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Look `key` up; expired entries count as misses and are evicted.
+    /// Look `key` up; a hit refreshes its LRU position. Expired entries
+    /// count as misses and are evicted.
     pub fn get(&self, key: &CacheKey) -> Option<Vec<f64>> {
         let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(e) = g.get(key) {
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(e) = g.map.get_mut(key) {
             if e.inserted.elapsed() <= self.ttl {
+                e.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(e.values.clone());
             }
-            g.remove(key);
+            g.map.remove(key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
     /// Insert (or refresh) `key`. Later writers win; values for one key are
-    /// bitwise identical by construction, so the race is benign.
+    /// bitwise identical by construction, so the race is benign. Every
+    /// insert first purges expired entries, then — if still at capacity —
+    /// evicts the least-recently-used live entry.
     pub fn put(&self, key: CacheKey, values: Vec<f64>) {
         let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        g.insert(key, Entry { values, inserted: Instant::now() });
+        g.tick += 1;
+        let tick = g.tick;
+
+        let before = g.map.len();
+        g.map.retain(|_, e| e.inserted.elapsed() <= self.ttl);
+        let purged = before - g.map.len();
+        if purged > 0 {
+            self.evictions.fetch_add(purged as u64, Ordering::Relaxed);
+        }
+
+        if g.map.len() >= self.capacity && !g.map.contains_key(&key) {
+            // O(n) scan is fine at serving-cache sizes (hundreds).
+            if let Some(lru) = g
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                g.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        g.map.insert(key, Entry { values, inserted: Instant::now(), last_used: tick });
     }
 
     pub fn stats(&self) -> CacheStats {
-        let entries = self.inner.lock().unwrap_or_else(|p| p.into_inner()).len();
+        let entries = self.inner.lock().unwrap_or_else(|p| p.into_inner()).map.len();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,26 +132,75 @@ mod tests {
     use lrtddft::synthetic_problem;
     use std::sync::Arc;
 
+    fn key_for(n_states: usize) -> CacheKey {
+        let solver = lrtddft::Solver::builder().n_states(n_states).build();
+        let spec = JobSpec::new(1, Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2)))
+            .with_solver(solver);
+        cache_key(&spec)
+    }
+
     #[test]
     fn round_trip_and_stats() {
-        let cache = ResultCache::new(Duration::from_secs(60));
-        let spec = JobSpec::new(1, Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2)));
-        let key = cache_key(&spec);
+        let cache = ResultCache::new(Duration::from_secs(60), 16);
+        let key = key_for(3);
         assert!(cache.get(&key).is_none());
         cache.put(key, vec![0.1, 0.2]);
         assert_eq!(cache.get(&key), Some(vec![0.1, 0.2]));
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!((s.hits, s.misses, s.entries, s.evictions), (1, 1, 1, 0));
     }
 
     #[test]
     fn expired_entries_are_evicted() {
-        let cache = ResultCache::new(Duration::ZERO);
-        let spec = JobSpec::new(1, Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2)));
-        let key = cache_key(&spec);
+        let cache = ResultCache::new(Duration::ZERO, 16);
+        let key = key_for(3);
         cache.put(key, vec![1.0]);
         std::thread::sleep(Duration::from_millis(2));
         assert!(cache.get(&key).is_none(), "zero TTL expires immediately");
-        assert_eq!(cache.stats().entries, 0);
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = ResultCache::new(Duration::from_secs(60), 2);
+        let (a, b, c) = (key_for(1), key_for(2), key_for(3));
+        cache.put(a, vec![1.0]);
+        cache.put(b, vec![2.0]);
+        // Touch `a` so `b` becomes LRU, then overflow.
+        assert!(cache.get(&a).is_some());
+        cache.put(c, vec![3.0]);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(&a).is_some(), "recently-used entry survives");
+        assert!(cache.get(&c).is_some(), "new entry present");
+        assert!(cache.get(&b).is_none(), "LRU entry evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_purges_expired_before_evicting_live() {
+        let cache = ResultCache::new(Duration::from_millis(10), 2);
+        let (a, b, c) = (key_for(1), key_for(2), key_for(3));
+        cache.put(a, vec![1.0]);
+        std::thread::sleep(Duration::from_millis(15));
+        cache.put(b, vec![2.0]); // purges expired `a` in passing
+        cache.put(c, vec![3.0]); // fits without touching live `b`
+        assert!(cache.get(&b).is_some(), "live entry kept: expired one made room");
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1, "only the expired entry was dropped");
+    }
+
+    #[test]
+    fn refreshing_existing_key_does_not_evict() {
+        let cache = ResultCache::new(Duration::from_secs(60), 2);
+        let (a, b) = (key_for(1), key_for(2));
+        cache.put(a, vec![1.0]);
+        cache.put(b, vec![2.0]);
+        cache.put(a, vec![1.0]); // refresh in place at capacity
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.get(&b).is_some());
     }
 }

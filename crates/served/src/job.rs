@@ -1,8 +1,9 @@
 //! Jobs, handles, and the hashing that drives batching and result caching.
 
 use lrtddft::{CasidaProblem, SolveOptions, Solver, StageTimings};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tenant identifier. Tenants are accounting + isolation domains: quotas,
 /// trace tags, and fault scopes are all keyed by this.
@@ -20,11 +21,25 @@ pub struct JobSpec {
     /// tenants. Jobs carrying a plan are never batched with others and
     /// bypass the result cache entirely.
     pub fault: Option<faultkit::Handle>,
+    /// Optional deadline, measured from submission. An expired job is
+    /// completed as [`JobOutcome::DeadlineExceeded`] at claim time instead
+    /// of occupying a solver group; a job finishing after its deadline is
+    /// still delivered, marked [`JobResult::deadline_missed`]. A job whose
+    /// remaining budget at claim time is below the configured pressure
+    /// window may be downgraded to a cheaper configuration (labeled in
+    /// [`JobResult::degraded`] — never silently).
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
     pub fn new(tenant: TenantId, problem: Arc<CasidaProblem>) -> Self {
-        JobSpec { tenant, problem, solver: Solver::builder().build(), fault: None }
+        JobSpec {
+            tenant,
+            problem,
+            solver: Solver::builder().build(),
+            fault: None,
+            deadline: None,
+        }
     }
 
     /// Use this fully-configured [`Solver`] (version is ignored by the
@@ -37,6 +52,13 @@ impl JobSpec {
     /// Arm `plan` for this job only (see [`JobSpec::fault`]).
     pub fn with_fault_plan(mut self, plan: faultkit::FaultPlan) -> Self {
         self.fault = Some(faultkit::Handle::armed(plan));
+        self
+    }
+
+    /// Give this job `budget` from submission to delivery (see
+    /// [`JobSpec::deadline`]).
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
         self
     }
 
@@ -54,6 +76,10 @@ pub enum AdmissionError {
     QueueFull { limit: usize },
     /// The service is shutting down.
     ShuttingDown,
+    /// The tenant's circuit breaker is open: `failures` consecutive jobs
+    /// failed terminally, so the tenant's load is shed at admission until
+    /// the cooldown elapses and a half-open probe succeeds.
+    CircuitOpen { tenant: TenantId, failures: u32 },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -64,6 +90,10 @@ impl std::fmt::Display for AdmissionError {
             }
             AdmissionError::QueueFull { limit } => write!(f, "queue full ({limit} jobs)"),
             AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
+            AdmissionError::CircuitOpen { tenant, failures } => write!(
+                f,
+                "tenant {tenant} circuit breaker open after {failures} consecutive failure(s)"
+            ),
         }
     }
 }
@@ -73,12 +103,15 @@ impl std::error::Error for AdmissionError {}
 /// Where a job is in its lifecycle.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JobStatus {
-    /// Waiting in the admission queue.
+    /// Waiting in the admission queue (first attempt or a retry backoff).
     Queued,
     /// Claimed by a solver group and executing.
     Running,
     /// Finished; results available via [`JobHandle::wait`].
     Completed,
+    /// Failed terminally: the retry budget is exhausted or the deadline
+    /// expired. Details via [`JobHandle::outcome`].
+    Failed,
     /// Cancelled before a group claimed it.
     Cancelled,
     /// The service shut down before the job ran.
@@ -100,14 +133,54 @@ pub struct JobResult {
     /// Collective calls this job's eigensolve issued on the group
     /// communicator (leader rank's stats window; 0 for cache hits).
     pub comm_calls: u64,
-    /// Faults that fired during this job (empty unless the job carried a
-    /// fault plan).
+    /// Faults that fired during this job (accumulated across retry
+    /// attempts; empty unless the job carried a fault plan).
     pub fault_events: Vec<String>,
+    /// Execution attempts this result took (1 = solved first try; >1 means
+    /// the retry policy re-queued and healed a recoverable failure).
+    pub attempts: u32,
+    /// `Some(label)` when the scheduler downgraded this job to a cheaper
+    /// configuration (deadline pressure or a breaker half-open probe); the
+    /// same label appears in `Solution::recovery` on the direct path. A
+    /// degraded result is never served from or inserted into the cache.
+    pub degraded: Option<String>,
+    /// The job finished after its deadline (delivered anyway, counted in
+    /// `serve.deadline_miss`).
+    pub deadline_missed: bool,
+}
+
+/// Terminal state of a job, from [`JobHandle::outcome`]. Richer than
+/// [`JobHandle::wait`] (which only yields results): failures carry their
+/// typed error rendering and attempt count, deadline expiries how long the
+/// job waited.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Solved (possibly degraded or after retries — see the fields of
+    /// [`JobResult`]).
+    Completed(JobResult),
+    /// The retry budget is exhausted; `error` is the last
+    /// [`faultkit::SolveError`] rendering.
+    Failed { error: String, attempts: u32 },
+    /// The deadline expired before a solver group could run the job.
+    DeadlineExceeded { waited: Duration },
+    /// Cancelled via [`JobHandle::cancel`] while queued.
+    Cancelled,
+    /// The service shut down before the job ran.
+    Aborted,
+}
+
+pub(crate) struct JobFailure {
+    pub error: String,
+    pub deadline_exceeded: bool,
+    pub waited: Duration,
 }
 
 pub(crate) struct JobInner {
     pub status: JobStatus,
     pub result: Option<JobResult>,
+    pub failure: Option<JobFailure>,
+    /// Times a solver group claimed this job (bumped by `set_running`).
+    pub attempts: u32,
 }
 
 /// Shared core of a job: spec + status + completion signalling.
@@ -117,6 +190,17 @@ pub(crate) struct JobCore {
     pub cv: Condvar,
     /// Key the scheduler batches and caches by (see [`batch_key`]).
     pub key: BatchKey,
+    /// When the job entered the service (deadlines count from here).
+    pub submitted: Instant,
+    /// Run alone: set for re-queued retries (a fresh job must never rejoin
+    /// its old batch) and for breaker half-open probes.
+    pub solo: AtomicBool,
+    /// Claimed with its deadline budget under the pressure window — the
+    /// executing group downgrades it (degradation ladder) to land in time.
+    pub pressured: AtomicBool,
+    /// Half-open circuit-breaker probe: bypasses the result cache so the
+    /// probe exercises a real solve, and runs solo.
+    pub probe: AtomicBool,
 }
 
 impl JobCore {
@@ -124,10 +208,33 @@ impl JobCore {
         let key = batch_key(&spec);
         Arc::new(JobCore {
             spec,
-            inner: Mutex::new(JobInner { status: JobStatus::Queued, result: None }),
+            inner: Mutex::new(JobInner {
+                status: JobStatus::Queued,
+                result: None,
+                failure: None,
+                attempts: 0,
+            }),
             cv: Condvar::new(),
             key,
+            submitted: Instant::now(),
+            solo: AtomicBool::new(false),
+            pressured: AtomicBool::new(false),
+            probe: AtomicBool::new(false),
         })
+    }
+
+    /// Absolute deadline, if the spec carries a budget.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.spec.deadline.map(|d| self.submitted + d)
+    }
+
+    /// May this job share a batch? Fault plans, retries, probes, and
+    /// pressured (to-be-degraded) jobs all run alone.
+    pub fn batchable(&self) -> bool {
+        self.spec.fault.is_none()
+            && !self.solo.load(Ordering::Relaxed)
+            && !self.pressured.load(Ordering::Relaxed)
+            && !self.probe.load(Ordering::Relaxed)
     }
 
     pub fn complete(&self, result: JobResult) {
@@ -135,6 +242,33 @@ impl JobCore {
         g.status = JobStatus::Completed;
         g.result = Some(result);
         self.cv.notify_all();
+    }
+
+    /// Terminal failure: retry budget exhausted (`deadline_exceeded` false)
+    /// or expired in the queue (`deadline_exceeded` true).
+    pub fn fail(&self, error: String, deadline_exceeded: bool) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.status = JobStatus::Failed;
+        g.failure = Some(JobFailure {
+            error,
+            deadline_exceeded,
+            waited: self.submitted.elapsed(),
+        });
+        self.cv.notify_all();
+    }
+
+    /// Mark claimed-and-executing; returns the attempt number (1-based).
+    pub fn set_running(&self) -> u32 {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.status = JobStatus::Running;
+        g.attempts += 1;
+        let attempts = g.attempts;
+        self.cv.notify_all();
+        attempts
+    }
+
+    pub fn attempts(&self) -> u32 {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).attempts
     }
 
     pub fn set_status(&self, status: JobStatus) {
@@ -171,13 +305,38 @@ impl JobHandle {
     }
 
     /// Block until the job reaches a terminal state. Returns the result for
-    /// completed jobs, `None` for cancelled/aborted ones.
+    /// completed jobs, `None` for failed/cancelled/aborted ones (use
+    /// [`JobHandle::outcome`] for the typed terminal state).
     pub fn wait(&self) -> Option<JobResult> {
         let mut g = self.core.inner.lock().unwrap_or_else(|p| p.into_inner());
         while matches!(g.status, JobStatus::Queued | JobStatus::Running) {
             g = self.core.cv.wait(g).unwrap_or_else(|p| p.into_inner());
         }
         g.result.clone()
+    }
+
+    /// Block until the job reaches a terminal state and return it, typed.
+    pub fn outcome(&self) -> JobOutcome {
+        let mut g = self.core.inner.lock().unwrap_or_else(|p| p.into_inner());
+        while matches!(g.status, JobStatus::Queued | JobStatus::Running) {
+            g = self.core.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        match g.status {
+            JobStatus::Completed => {
+                JobOutcome::Completed(g.result.clone().expect("completed jobs carry a result"))
+            }
+            JobStatus::Failed => {
+                let f = g.failure.as_ref().expect("failed jobs carry a failure record");
+                if f.deadline_exceeded {
+                    JobOutcome::DeadlineExceeded { waited: f.waited }
+                } else {
+                    JobOutcome::Failed { error: f.error.clone(), attempts: g.attempts }
+                }
+            }
+            JobStatus::Cancelled => JobOutcome::Cancelled,
+            JobStatus::Aborted => JobOutcome::Aborted,
+            JobStatus::Queued | JobStatus::Running => unreachable!("loop exits on terminal"),
+        }
     }
 
     /// Like [`JobHandle::wait`] with a deadline. `None` means still pending.

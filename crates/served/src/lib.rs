@@ -41,12 +41,27 @@
 
 mod cache;
 mod job;
+mod resilience;
 mod scheduler;
 mod service;
 
 pub use cache::CacheStats;
 pub use job::{
-    structure_hash, AdmissionError, BatchKey, CacheKey, JobHandle, JobResult, JobSpec, JobStatus,
-    TenantId,
+    structure_hash, AdmissionError, BatchKey, CacheKey, JobHandle, JobOutcome, JobResult, JobSpec,
+    JobStatus, TenantId,
 };
+pub use resilience::ResilienceConfig;
 pub use service::{ServeConfig, Service};
+
+#[cfg(test)]
+pub(crate) mod testsync {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The faultkit solve-error hook and the `serve.group_unhealthy`
+    /// counter are process-global; stall-detector tests serialize here.
+    static STALL: Mutex<()> = Mutex::new(());
+
+    pub fn stall_exclusive() -> MutexGuard<'static, ()> {
+        STALL.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}

@@ -1,0 +1,434 @@
+//! Service-level resilience policies: retry/backoff, per-tenant circuit
+//! breakers, and solver-group health tracking.
+//!
+//! Everything here is deliberately deterministic-friendly: the retry jitter
+//! is seeded (SplitMix64 over `seed ^ tenant ^ attempt`, the same generator
+//! family faultkit and the K-Means seeding use), breaker transitions are
+//! driven by counted failures plus an explicit cooldown, and the stall
+//! detector compares a leader-owned heartbeat against a configured timeout —
+//! so a chaos campaign re-run under the same seed takes the same decisions.
+//!
+//! The deadline/backoff arithmetic mirrors [`parcomm`]'s `RetryPolicy`
+//! (bounded attempts, per-attempt backoff growing with the attempt index);
+//! it lives here rather than reusing that type because job backoff delays
+//! re-*queueing* (scheduler side), not re-*polling* (request side).
+
+use crate::job::TenantId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Resilience policy knobs, one copy per [`crate::ServeConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceConfig {
+    /// Total execution attempts per job (1 = no retries). A recoverable
+    /// failure with budget left re-queues the job (solo, after backoff);
+    /// without budget it fails terminally.
+    pub retry_max_attempts: u32,
+    /// Base re-queue delay; attempt `k`'s delay is `base · 2^(k-1)` plus
+    /// seeded jitter in `[0, base)`.
+    pub retry_backoff: Duration,
+    /// Jitter seed. Same seed + same tenant + same attempt ⇒ same delay.
+    pub retry_jitter_seed: u64,
+    /// Consecutive terminal failures that open a tenant's breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds load before admitting one half-open
+    /// probe.
+    pub breaker_cooldown: Duration,
+    /// Deadline pressure window: a job claimed with less than this much
+    /// budget remaining is downgraded (degradation ladder) instead of run
+    /// at full cost.
+    pub pressure_window: Duration,
+    /// Leader heartbeat staleness after which a busy group is marked
+    /// unhealthy.
+    pub stall_timeout: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry_max_attempts: 3,
+            retry_backoff: Duration::from_millis(2),
+            retry_jitter_seed: 0x5eed,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(200),
+            pressure_window: Duration::from_millis(50),
+            stall_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic exponential backoff with seeded jitter: attempt `k`
+/// (1-based count of attempts already made) waits `base · 2^(k-1) + jitter`,
+/// jitter uniform in `[0, base)` from SplitMix64 over
+/// `seed ^ tenant ^ attempt`.
+pub(crate) fn retry_delay(cfg: &ResilienceConfig, tenant: TenantId, attempt: u32) -> Duration {
+    let base = cfg.retry_backoff;
+    let exp = base.saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
+    let jitter_ns = if base.is_zero() {
+        0
+    } else {
+        splitmix64(cfg.retry_jitter_seed ^ tenant ^ u64::from(attempt)) % base.as_nanos() as u64
+    };
+    exp + Duration::from_nanos(jitter_ns)
+}
+
+/// What the breaker says about an admission attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Admit {
+    /// Breaker closed (or no history): admit normally.
+    Normal,
+    /// Breaker was open and the cooldown elapsed: admit exactly this job as
+    /// the half-open probe (runs solo, bypasses the cache, may be degraded).
+    Probe,
+}
+
+enum BreakerPhase {
+    Closed,
+    Open { since: Instant },
+    /// One probe is in flight; everything else is shed until it resolves.
+    HalfOpen,
+}
+
+struct BreakerState {
+    phase: BreakerPhase,
+    consecutive_failures: u32,
+}
+
+/// Per-tenant circuit breakers: closed → open after `breaker_threshold`
+/// consecutive terminal failures → (cooldown) → half-open, admitting one
+/// probe → closed on success, re-open on failure. Retried-then-solved and
+/// degraded-but-solved both count as success; only terminal failures trip
+/// the breaker.
+pub(crate) struct Breakers {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<HashMap<TenantId, BreakerState>>,
+}
+
+impl Breakers {
+    pub fn new(cfg: &ResilienceConfig) -> Self {
+        Breakers {
+            threshold: cfg.breaker_threshold.max(1),
+            cooldown: cfg.breaker_cooldown,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admission check. `Err(failures)` means shed the job (breaker open).
+    pub fn admit(&self, tenant: TenantId) -> Result<Admit, u32> {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(s) = g.get_mut(&tenant) else { return Ok(Admit::Normal) };
+        match s.phase {
+            BreakerPhase::Closed => Ok(Admit::Normal),
+            BreakerPhase::Open { since } => {
+                if since.elapsed() >= self.cooldown {
+                    s.phase = BreakerPhase::HalfOpen;
+                    Ok(Admit::Probe)
+                } else {
+                    Err(s.consecutive_failures)
+                }
+            }
+            BreakerPhase::HalfOpen => Err(s.consecutive_failures),
+        }
+    }
+
+    /// A job for `tenant` reached a successful terminal state.
+    pub fn record_success(&self, tenant: TenantId) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(s) = g.get_mut(&tenant) {
+            s.phase = BreakerPhase::Closed;
+            s.consecutive_failures = 0;
+        }
+    }
+
+    /// A job for `tenant` failed terminally. Returns `true` when this
+    /// failure opened (or re-opened) the breaker; the caller counts the
+    /// transition (`serve.breaker_open`).
+    pub fn record_failure(&self, tenant: TenantId) -> bool {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let s = g.entry(tenant).or_insert(BreakerState {
+            phase: BreakerPhase::Closed,
+            consecutive_failures: 0,
+        });
+        s.consecutive_failures += 1;
+        match s.phase {
+            BreakerPhase::Closed if s.consecutive_failures >= self.threshold => {
+                s.phase = BreakerPhase::Open { since: Instant::now() };
+                true
+            }
+            // A failed half-open probe re-opens immediately.
+            BreakerPhase::HalfOpen => {
+                s.phase = BreakerPhase::Open { since: Instant::now() };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The admitted probe never started (its queue submission failed).
+    /// Rewind half-open to open-with-expired-cooldown so the *next*
+    /// admission attempt becomes the probe instead of shedding forever.
+    pub fn abort_probe(&self, tenant: TenantId) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(s) = g.get_mut(&tenant) {
+            if matches!(s.phase, BreakerPhase::HalfOpen) {
+                let lapsed = Instant::now().checked_sub(self.cooldown).unwrap_or_else(Instant::now);
+                s.phase = BreakerPhase::Open { since: lapsed };
+            }
+        }
+    }
+
+    /// Is `tenant`'s breaker currently shedding load?
+    #[cfg(test)]
+    pub fn is_open(&self, tenant: TenantId) -> bool {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        matches!(
+            g.get(&tenant).map(|s| &s.phase),
+            Some(BreakerPhase::Open { .. } | BreakerPhase::HalfOpen)
+        )
+    }
+}
+
+struct GroupState {
+    /// Nanoseconds since `epoch` of the leader's last heartbeat.
+    beat_ns: AtomicU64,
+    /// The leader is inside a batch (heartbeats while idle-blocking on the
+    /// queue are not required).
+    busy: AtomicBool,
+    healthy: AtomicBool,
+}
+
+/// Leader heartbeats plus the stall detector that consumes them. The leader
+/// of group `g` calls [`GroupHealth::beat`] at every dispatch-loop turn and
+/// brackets batch execution with [`GroupHealth::set_busy`]; a monitor thread
+/// calls [`GroupHealth::check`] periodically. A group that is busy with a
+/// stale heartbeat is marked unhealthy (counted in `serve.group_unhealthy`
+/// and raised through [`faultkit::notify_solve_error`] as
+/// [`faultkit::SolveError::GroupStalled`]); because every leader pulls from
+/// the one shared queue, a wedged group's queue share drains to the healthy
+/// survivors with no rebalancing step. A resumed heartbeat flips the group
+/// back to healthy.
+pub(crate) struct GroupHealth {
+    epoch: Instant,
+    stall_timeout: Duration,
+    groups: Vec<GroupState>,
+}
+
+impl GroupHealth {
+    pub fn new(groups: usize, cfg: &ResilienceConfig) -> Self {
+        let epoch = Instant::now();
+        GroupHealth {
+            epoch,
+            stall_timeout: cfg.stall_timeout,
+            groups: (0..groups)
+                .map(|_| GroupState {
+                    beat_ns: AtomicU64::new(0),
+                    busy: AtomicBool::new(false),
+                    healthy: AtomicBool::new(true),
+                })
+                .collect(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    pub fn beat(&self, group: usize) {
+        self.groups[group].beat_ns.store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    pub fn set_busy(&self, group: usize, busy: bool) {
+        self.beat(group);
+        self.groups[group].busy.store(busy, Ordering::Relaxed);
+    }
+
+    #[cfg(test)]
+    pub fn healthy(&self, group: usize) -> bool {
+        self.groups[group].healthy.load(Ordering::Relaxed)
+    }
+
+    pub fn unhealthy_count(&self) -> usize {
+        self.groups.iter().filter(|g| !g.healthy.load(Ordering::Relaxed)).count()
+    }
+
+    /// One detector sweep. Marks busy groups with stale heartbeats
+    /// unhealthy (counting and raising each transition) and recovers groups
+    /// whose heartbeat resumed. Returns the groups newly marked unhealthy.
+    pub fn check(&self) -> Vec<usize> {
+        let now = self.now_ns();
+        let stall_ns = self.stall_timeout.as_nanos() as u64;
+        let mut newly_unhealthy = Vec::new();
+        for (i, s) in self.groups.iter().enumerate() {
+            let stale = now.saturating_sub(s.beat_ns.load(Ordering::Relaxed));
+            let wedged = s.busy.load(Ordering::Relaxed) && stale > stall_ns;
+            if wedged && s.healthy.swap(false, Ordering::Relaxed) {
+                obskit::add_serve_group_unhealthy();
+                faultkit::notify_solve_error(&faultkit::SolveError::GroupStalled {
+                    group: i,
+                    stalled: Duration::from_nanos(stale),
+                });
+                newly_unhealthy.push(i);
+            } else if !wedged {
+                s.healthy.store(true, Ordering::Relaxed);
+            }
+        }
+        newly_unhealthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ResilienceConfig {
+        ResilienceConfig::default()
+    }
+
+    #[test]
+    fn retry_delay_grows_exponentially_and_is_deterministic() {
+        let c = ResilienceConfig { retry_backoff: Duration::from_millis(4), ..cfg() };
+        let d1 = retry_delay(&c, 7, 1);
+        let d2 = retry_delay(&c, 7, 2);
+        let d3 = retry_delay(&c, 7, 3);
+        // base·2^(k-1) ≤ delay < base·2^(k-1) + base
+        assert!(d1 >= Duration::from_millis(4) && d1 < Duration::from_millis(8), "{d1:?}");
+        assert!(d2 >= Duration::from_millis(8) && d2 < Duration::from_millis(12), "{d2:?}");
+        assert!(d3 >= Duration::from_millis(16) && d3 < Duration::from_millis(20), "{d3:?}");
+        // Same inputs ⇒ same jitter; different tenant ⇒ (generically)
+        // different jitter but same bounds.
+        assert_eq!(d1, retry_delay(&c, 7, 1));
+        let other = retry_delay(&c, 8, 1);
+        assert!(other >= Duration::from_millis(4) && other < Duration::from_millis(8));
+    }
+
+    #[test]
+    fn zero_backoff_is_zero_delay() {
+        let c = ResilienceConfig { retry_backoff: Duration::ZERO, ..cfg() };
+        assert_eq!(retry_delay(&c, 1, 1), Duration::ZERO);
+        assert_eq!(retry_delay(&c, 1, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let c = ResilienceConfig {
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(10),
+            ..cfg()
+        };
+        let b = Breakers::new(&c);
+        assert_eq!(b.admit(1), Ok(Admit::Normal));
+        assert!(!b.record_failure(1));
+        assert!(!b.record_failure(1));
+        assert_eq!(b.admit(1), Ok(Admit::Normal), "below threshold stays closed");
+        assert!(b.record_failure(1), "third consecutive failure opens");
+        assert!(b.is_open(1));
+        assert_eq!(b.admit(1), Err(3), "open breaker sheds load");
+        assert_eq!(b.admit(2), Ok(Admit::Normal), "other tenants unaffected");
+
+        std::thread::sleep(Duration::from_millis(12));
+        assert_eq!(b.admit(1), Ok(Admit::Probe), "cooldown elapsed: one probe");
+        assert_eq!(b.admit(1), Err(3), "only one probe while half-open");
+        b.record_success(1);
+        assert_eq!(b.admit(1), Ok(Admit::Normal), "probe success closes");
+        assert!(!b.is_open(1));
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let c = ResilienceConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(5),
+            ..cfg()
+        };
+        let b = Breakers::new(&c);
+        assert!(b.record_failure(9));
+        std::thread::sleep(Duration::from_millis(7));
+        assert_eq!(b.admit(9), Ok(Admit::Probe));
+        assert!(b.record_failure(9), "failed probe re-opens (a counted transition)");
+        assert_eq!(b.admit(9), Err(2));
+    }
+
+    #[test]
+    fn aborted_probe_lets_the_next_admit_probe_again() {
+        let c = ResilienceConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(5),
+            ..cfg()
+        };
+        let b = Breakers::new(&c);
+        assert!(b.record_failure(3));
+        std::thread::sleep(Duration::from_millis(7));
+        assert_eq!(b.admit(3), Ok(Admit::Probe));
+        b.abort_probe(3); // probe was shed at the queue, never ran
+        assert_eq!(b.admit(3), Ok(Admit::Probe), "slot is immediately re-offered");
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let c = ResilienceConfig { breaker_threshold: 2, ..cfg() };
+        let b = Breakers::new(&c);
+        assert!(!b.record_failure(4));
+        b.record_success(4);
+        assert!(!b.record_failure(4), "streak restarted; one failure is below threshold");
+        assert!(b.record_failure(4));
+    }
+
+    #[test]
+    fn stall_detector_flags_busy_stale_groups_and_recovers() {
+        // The hook and the group_unhealthy counter are process-global;
+        // serialize with the service-level stall test.
+        let _x = crate::testsync::stall_exclusive();
+        let c = ResilienceConfig { stall_timeout: Duration::from_millis(20), ..cfg() };
+        let h = GroupHealth::new(2, &c);
+        h.beat(0);
+        h.beat(1);
+        assert_eq!(h.check(), Vec::<usize>::new(), "fresh heartbeats are healthy");
+
+        // Group 0 goes busy then silent; group 1 keeps beating.
+        h.set_busy(0, true);
+        std::thread::sleep(Duration::from_millis(30));
+        h.beat(1);
+        let before = obskit::serve_counters().group_unhealthy;
+        let seen = std::sync::Mutex::new(Vec::new());
+        // Hook observes the typed stall event.
+        struct HookGuard;
+        impl Drop for HookGuard {
+            fn drop(&mut self) {
+                faultkit::clear_solve_error_hook();
+            }
+        }
+        let _g = HookGuard;
+        // Leak a 'static reference for the hook's lifetime (test-only).
+        let seen_ref: &'static std::sync::Mutex<Vec<String>> = Box::leak(Box::new(seen));
+        faultkit::set_solve_error_hook(move |e| {
+            if matches!(e, faultkit::SolveError::GroupStalled { .. }) {
+                seen_ref.lock().unwrap().push(e.to_string());
+            }
+        });
+        assert_eq!(h.check(), vec![0]);
+        assert!(!h.healthy(0));
+        assert!(h.healthy(1));
+        assert_eq!(h.unhealthy_count(), 1);
+        assert_eq!(obskit::serve_counters().group_unhealthy, before + 1);
+        assert_eq!(h.check(), Vec::<usize>::new(), "already-unhealthy is not re-counted");
+        let events = seen_ref.lock().unwrap().clone();
+        assert_eq!(events.len(), 1, "stall raised exactly once: {events:?}");
+        assert!(events[0].contains("group 0"), "{events:?}");
+
+        // Heartbeat resumes (batch finished): recovered.
+        h.set_busy(0, false);
+        h.check();
+        assert!(h.healthy(0));
+        assert_eq!(h.unhealthy_count(), 0);
+    }
+}

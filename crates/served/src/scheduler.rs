@@ -1,19 +1,46 @@
-//! Admission-controlled job queue with per-tenant quotas and same-shape
-//! batching.
+//! Admission-controlled job queue with per-tenant quotas, same-shape
+//! batching, deadline enforcement, and retry re-queueing.
 //!
 //! One `SchedulerState` is shared by every solver-group leader: leaders
 //! block in [`SchedulerState::next_batch`], and whichever leader wins the
-//! lock claims the head-of-line job plus up to `max_batch - 1` queued jobs
-//! with the same [`BatchKey`] — those share one distributed Hamiltonian
+//! lock claims the first *eligible* job plus up to `max_batch - 1` queued
+//! jobs with the same [`BatchKey`] — those share one distributed Hamiltonian
 //! build. Jobs carrying a fault plan are always claimed solo so an injected
 //! fault can never ride along with another tenant's work.
+//!
+//! Resilience hooks at claim time:
+//!
+//! - A job whose deadline already passed is failed terminally
+//!   ([`JobStatus::Failed`], surfaced as `JobOutcome::DeadlineExceeded`)
+//!   without occupying a solver group, and counted in `serve.deadline_miss`.
+//! - A job whose remaining budget is under `pressure_window` is flagged
+//!   *pressured* and claimed solo; the executing leader downgrades it on the
+//!   degradation ladder instead of running it at full cost.
+//! - Retried jobs re-enter via [`SchedulerState::requeue`] with a backoff
+//!   (`not_before`): already admitted, they bypass quotas/capacity/shutdown,
+//!   but they are marked solo so a *fresh* attempt can never rejoin (or
+//!   absorb into) the batch shape that just failed.
 
 use crate::job::{AdmissionError, JobCore, JobStatus, TenantId};
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+struct Queued {
+    core: Arc<JobCore>,
+    /// Retry backoff: not claimable before this instant.
+    not_before: Option<Instant>,
+}
+
+impl Queued {
+    fn eligible(&self, now: Instant) -> bool {
+        self.not_before.is_none_or(|t| t <= now)
+    }
+}
 
 struct QueueInner {
-    queue: VecDeque<Arc<JobCore>>,
+    queue: VecDeque<Queued>,
     shutdown: bool,
 }
 
@@ -27,16 +54,25 @@ pub(crate) struct SchedulerState {
     pub queue_capacity: usize,
     /// Max same-shape jobs per shared-build batch.
     pub max_batch: usize,
+    /// Jobs claimed with less than this much deadline budget left are
+    /// flagged pressured (degraded by the executing group).
+    pub pressure_window: Duration,
 }
 
 impl SchedulerState {
-    pub fn new(max_queued_per_tenant: usize, queue_capacity: usize, max_batch: usize) -> Self {
+    pub fn new(
+        max_queued_per_tenant: usize,
+        queue_capacity: usize,
+        max_batch: usize,
+        pressure_window: Duration,
+    ) -> Self {
         SchedulerState {
             inner: Mutex::new(QueueInner { queue: VecDeque::new(), shutdown: false }),
             cv: Condvar::new(),
             max_queued_per_tenant,
             queue_capacity,
             max_batch: max_batch.max(1),
+            pressure_window,
         }
     }
 
@@ -55,25 +91,39 @@ impl SchedulerState {
             return Err(AdmissionError::QueueFull { limit: self.queue_capacity });
         }
         let tenant = core.spec.tenant;
-        let queued = g.queue.iter().filter(|j| j.spec.tenant == tenant).count();
+        let queued = g.queue.iter().filter(|j| j.core.spec.tenant == tenant).count();
         if queued >= self.max_queued_per_tenant {
             return Err(AdmissionError::TenantQueueFull {
                 tenant,
                 limit: self.max_queued_per_tenant,
             });
         }
-        g.queue.push_back(core);
+        g.queue.push_back(Queued { core, not_before: None });
         drop(g);
         self.cv.notify_all();
         Ok(())
     }
 
+    /// Re-queue an already-admitted job for another attempt after `delay`.
+    /// Bypasses quotas, capacity, and the shutdown gate (graceful drain must
+    /// still finish admitted work); marks the job solo so the fresh attempt
+    /// can never rejoin its old batch.
+    pub fn requeue(&self, core: Arc<JobCore>, delay: Duration) {
+        core.solo.store(true, Ordering::Relaxed);
+        core.set_status(JobStatus::Queued);
+        let mut g = self.lock();
+        g.queue.push_back(Queued { core, not_before: Some(Instant::now() + delay) });
+        drop(g);
+        self.cv.notify_all();
+    }
+
     /// Remove `core` from the queue if it is still waiting. Running jobs
     /// cannot be cancelled: their group executes collectives in lockstep
-    /// and pulling one rank out would wedge the others.
+    /// and pulling one rank out would wedge the others. The queue lock makes
+    /// cancel-vs-claim exactly-once: whichever side removes the entry wins.
     pub fn cancel(&self, core: &Arc<JobCore>) -> bool {
         let mut g = self.lock();
-        let Some(pos) = g.queue.iter().position(|j| Arc::ptr_eq(j, core)) else {
+        let Some(pos) = g.queue.iter().position(|j| Arc::ptr_eq(&j.core, core)) else {
             return false;
         };
         g.queue.remove(pos);
@@ -82,23 +132,57 @@ impl SchedulerState {
         true
     }
 
-    /// Block until work is available, then claim the head-of-line job plus
-    /// every queued same-key fault-free job (up to `max_batch`). Returns
+    /// Block until work is available, then claim the first eligible job plus
+    /// every queued same-key batchable twin (up to `max_batch`). Expired
+    /// deadlines are failed in passing; pressured claims run solo. Returns
     /// `None` once the service is shut down *and* the queue is drained —
     /// shutdown is graceful; admitted jobs still run.
     pub fn next_batch(&self) -> Option<Vec<Arc<JobCore>>> {
         let mut g = self.lock();
         loop {
-            if let Some(head) = g.queue.pop_front() {
+            let now = Instant::now();
+
+            // Deadline sweep: fail every queued job whose deadline already
+            // passed. Collect first, fail outside the queue scan.
+            let mut expired = Vec::new();
+            let mut i = 0;
+            while i < g.queue.len() {
+                let past = g.queue[i].core.deadline().is_some_and(|d| d <= now);
+                if past {
+                    expired.push(g.queue.remove(i).expect("index in range").core);
+                } else {
+                    i += 1;
+                }
+            }
+            if !expired.is_empty() {
+                drop(g);
+                for core in expired {
+                    obskit::add_serve_deadline_miss();
+                    core.fail("deadline expired while queued".into(), true);
+                }
+                g = self.lock();
+                continue; // re-scan under a fresh lock
+            }
+
+            if let Some(pos) = g.queue.iter().position(|j| j.eligible(now)) {
+                let head = g.queue.remove(pos).expect("index in range").core;
+                let pressured = head
+                    .deadline()
+                    .is_some_and(|d| d.saturating_duration_since(now) < self.pressure_window);
+                if pressured {
+                    head.pressured.store(true, Ordering::Relaxed);
+                }
                 let mut batch = vec![head];
-                // A faulted head runs solo; fault-free heads absorb queued
-                // twins so the whole batch shares one Hamiltonian build.
-                if batch[0].spec.fault.is_none() {
+                // A solo head (fault plan, retry, probe, pressured) runs
+                // alone; otherwise absorb queued batchable twins so the
+                // whole batch shares one Hamiltonian build.
+                if batch[0].batchable() && !pressured {
                     let key = batch[0].key;
                     let mut i = 0;
                     while i < g.queue.len() && batch.len() < self.max_batch {
-                        if g.queue[i].key == key && g.queue[i].spec.fault.is_none() {
-                            batch.push(g.queue.remove(i).expect("index in range"));
+                        let j = &g.queue[i];
+                        if j.core.key == key && j.core.batchable() && j.eligible(now) {
+                            batch.push(g.queue.remove(i).expect("index in range").core);
                         } else {
                             i += 1;
                         }
@@ -106,14 +190,33 @@ impl SchedulerState {
                 }
                 drop(g);
                 for job in &batch {
-                    job.set_status(JobStatus::Running);
+                    job.set_running();
                 }
                 return Some(batch);
             }
-            if g.shutdown {
+
+            if g.queue.is_empty() && g.shutdown {
                 return None;
             }
-            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            // Nothing eligible: sleep until the earliest backoff expires (or
+            // a submit/requeue/shutdown wakes us).
+            let next_ready = g
+                .queue
+                .iter()
+                .filter_map(|j| j.not_before)
+                .min()
+                .map(|t| t.saturating_duration_since(now));
+            match next_ready {
+                Some(wait) if !wait.is_zero() => {
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(g, wait)
+                        .unwrap_or_else(|p| p.into_inner());
+                    g = guard;
+                }
+                Some(_) => {} // backoff just expired: loop re-scans
+                None => g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner()),
+            }
         }
     }
 
@@ -131,23 +234,42 @@ impl SchedulerState {
 
     /// Jobs currently waiting for one tenant.
     pub fn queued_for(&self, tenant: TenantId) -> usize {
-        self.lock().queue.iter().filter(|j| j.spec.tenant == tenant).count()
+        self.lock().queue.iter().filter(|j| j.core.spec.tenant == tenant).count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::JobSpec;
+    use crate::job::{JobOutcome, JobSpec};
     use lrtddft::synthetic_problem;
+
+    fn sched(max_per_tenant: usize, capacity: usize, max_batch: usize) -> SchedulerState {
+        SchedulerState::new(max_per_tenant, capacity, max_batch, Duration::from_millis(50))
+    }
 
     fn spec(tenant: TenantId, n_c: usize) -> JobSpec {
         JobSpec::new(tenant, Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, n_c)))
     }
 
+    fn outcome_of(core: &Arc<JobCore>) -> JobOutcome {
+        let g = core.inner.lock().unwrap();
+        match g.status {
+            JobStatus::Failed => {
+                let f = g.failure.as_ref().unwrap();
+                if f.deadline_exceeded {
+                    JobOutcome::DeadlineExceeded { waited: f.waited }
+                } else {
+                    JobOutcome::Failed { error: f.error.clone(), attempts: g.attempts }
+                }
+            }
+            ref s => panic!("not failed: {s:?}"),
+        }
+    }
+
     #[test]
     fn quota_and_capacity_are_enforced() {
-        let s = SchedulerState::new(2, 3, 8);
+        let s = sched(2, 3, 8);
         assert!(s.submit(JobCore::new(spec(1, 2))).is_ok());
         assert!(s.submit(JobCore::new(spec(1, 2))).is_ok());
         assert_eq!(
@@ -165,7 +287,7 @@ mod tests {
 
     #[test]
     fn next_batch_groups_same_key_jobs_and_leaves_others() {
-        let s = SchedulerState::new(8, 64, 8);
+        let s = sched(8, 64, 8);
         s.submit(JobCore::new(spec(1, 2))).unwrap();
         s.submit(JobCore::new(spec(2, 3))).unwrap(); // different structure
         s.submit(JobCore::new(spec(3, 2))).unwrap(); // same key as head
@@ -174,6 +296,7 @@ mod tests {
         assert_eq!(batch[0].spec.tenant, 1);
         assert_eq!(batch[1].spec.tenant, 3);
         assert!(batch.iter().all(|j| j.key == batch[0].key));
+        assert!(batch.iter().all(|j| j.attempts() == 1), "claim counts an attempt");
         // The mismatched job is untouched and next in line.
         let rest = s.next_batch().unwrap();
         assert_eq!(rest.len(), 1);
@@ -182,7 +305,7 @@ mod tests {
 
     #[test]
     fn max_batch_caps_the_claim() {
-        let s = SchedulerState::new(64, 64, 2);
+        let s = sched(64, 64, 2);
         for t in 0..4 {
             s.submit(JobCore::new(spec(t, 2))).unwrap();
         }
@@ -192,7 +315,7 @@ mod tests {
 
     #[test]
     fn faulted_jobs_never_share_a_batch() {
-        let s = SchedulerState::new(8, 64, 8);
+        let s = sched(8, 64, 8);
         let faulted = spec(1, 2).with_fault_plan(
             faultkit::FaultPlan::new(7).with("par.v_tilde", 0, faultkit::FaultKind::NanPoison),
         );
@@ -207,7 +330,7 @@ mod tests {
 
     #[test]
     fn clean_head_skips_queued_faulted_twin() {
-        let s = SchedulerState::new(8, 64, 8);
+        let s = sched(8, 64, 8);
         s.submit(JobCore::new(spec(1, 2))).unwrap();
         let faulted = spec(2, 2).with_fault_plan(
             faultkit::FaultPlan::new(7).with("par.v_tilde", 0, faultkit::FaultKind::NanPoison),
@@ -221,7 +344,7 @@ mod tests {
 
     #[test]
     fn cancel_only_works_while_queued() {
-        let s = SchedulerState::new(8, 64, 8);
+        let s = sched(8, 64, 8);
         let core = JobCore::new(spec(1, 2));
         s.submit(core.clone()).unwrap();
         let claimed = s.next_batch().unwrap();
@@ -238,11 +361,145 @@ mod tests {
 
     #[test]
     fn shutdown_drains_then_returns_none() {
-        let s = SchedulerState::new(8, 64, 8);
+        let s = sched(8, 64, 8);
         s.submit(JobCore::new(spec(1, 2))).unwrap();
         s.shutdown();
         assert_eq!(s.submit(JobCore::new(spec(2, 2))), Err(AdmissionError::ShuttingDown));
         assert!(s.next_batch().is_some(), "queued work survives shutdown");
+        assert!(s.next_batch().is_none());
+    }
+
+    #[test]
+    fn expired_deadline_fails_at_claim_time_without_occupying_a_group() {
+        let before = obskit::serve_counters().deadline_miss;
+        let s = sched(8, 64, 8);
+        let dead = JobCore::new(spec(1, 2).with_deadline(Duration::ZERO));
+        let live = JobCore::new(spec(2, 3));
+        s.submit(dead.clone()).unwrap();
+        s.submit(live.clone()).unwrap();
+        let batch = s.next_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(Arc::ptr_eq(&batch[0], &live), "expired job never reaches a group");
+        match outcome_of(&dead) {
+            JobOutcome::DeadlineExceeded { .. } => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // Counters are process-global; other tests may bump them too.
+        assert!(obskit::serve_counters().deadline_miss > before);
+    }
+
+    #[test]
+    fn pressured_claim_runs_solo_and_is_flagged() {
+        let s = sched(8, 64, 8);
+        // 20ms of budget < the 50ms pressure window, but not yet expired.
+        let tight = JobCore::new(spec(1, 2).with_deadline(Duration::from_millis(20)));
+        let twin = JobCore::new(spec(2, 2)); // same key, would normally batch
+        s.submit(tight.clone()).unwrap();
+        s.submit(twin.clone()).unwrap();
+        let batch = s.next_batch().unwrap();
+        assert_eq!(batch.len(), 1, "pressured job must not drag twins into a degrade");
+        assert!(Arc::ptr_eq(&batch[0], &tight));
+        assert!(tight.pressured.load(Ordering::Relaxed));
+        assert!(!twin.pressured.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn requeued_job_waits_out_backoff_and_runs_solo() {
+        let s = sched(8, 64, 8);
+        let retry = JobCore::new(spec(1, 2));
+        s.submit(retry.clone()).unwrap();
+        assert_eq!(s.next_batch().unwrap().len(), 1);
+        s.requeue(retry.clone(), Duration::from_millis(30));
+        // A same-key twin submitted after the requeue is claimed first: the
+        // retry is still backing off, and when it runs it must be solo.
+        let twin = JobCore::new(spec(2, 2));
+        s.submit(twin.clone()).unwrap();
+        let first = s.next_batch().unwrap();
+        assert_eq!(first.len(), 1);
+        assert!(Arc::ptr_eq(&first[0], &twin), "backing-off retry is skipped");
+        let start = Instant::now();
+        let second = s.next_batch().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25), "waited out the backoff");
+        assert_eq!(second.len(), 1);
+        assert!(Arc::ptr_eq(&second[0], &retry));
+        assert_eq!(retry.attempts(), 2, "requeue + reclaim is a second attempt");
+        assert!(!retry.batchable(), "retries stay solo");
+    }
+
+    #[test]
+    fn concurrent_submit_during_drain_never_hangs_and_loses_no_job() {
+        // Race 8 submitter threads against shutdown: every submit either
+        // lands (and is later claimed) or gets the typed ShuttingDown error;
+        // the drain accounts for exactly the accepted jobs.
+        for round in 0..20 {
+            let s = Arc::new(sched(64, 64, 1));
+            let accepted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let submitters: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let s = Arc::clone(&s);
+                    let accepted = Arc::clone(&accepted);
+                    std::thread::spawn(move || match s.submit(JobCore::new(spec(t, 2))) {
+                        Ok(()) => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(AdmissionError::ShuttingDown) => {}
+                        Err(e) => panic!("unexpected admission error: {e}"),
+                    })
+                })
+                .collect();
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            s.shutdown();
+            for t in submitters {
+                t.join().unwrap();
+            }
+            let mut claimed = 0;
+            while let Some(batch) = s.next_batch() {
+                claimed += batch.len();
+            }
+            assert_eq!(claimed, accepted.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn cancel_racing_claim_is_exactly_once() {
+        for _ in 0..50 {
+            let s = Arc::new(sched(8, 64, 8));
+            let core = JobCore::new(spec(1, 2));
+            s.submit(core.clone()).unwrap();
+            // Shutdown first so the claimer returns None instead of blocking
+            // when cancel wins the race.
+            s.shutdown();
+            let claimer = {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.next_batch().is_some())
+            };
+            let cancelled = s.cancel(&core);
+            let claimed = claimer.join().unwrap();
+            assert!(
+                cancelled ^ claimed,
+                "exactly one side must win (cancelled={cancelled}, claimed={claimed})"
+            );
+            let status = core.inner.lock().unwrap().status.clone();
+            if cancelled {
+                assert_eq!(status, JobStatus::Cancelled);
+            } else {
+                assert_eq!(status, JobStatus::Running);
+            }
+        }
+    }
+
+    #[test]
+    fn requeue_bypasses_shutdown_gate_for_graceful_drain() {
+        let s = sched(8, 64, 8);
+        let core = JobCore::new(spec(1, 2));
+        s.submit(core.clone()).unwrap();
+        assert_eq!(s.next_batch().unwrap().len(), 1);
+        s.shutdown();
+        s.requeue(core.clone(), Duration::ZERO);
+        let batch = s.next_batch().expect("admitted retry drains after shutdown");
+        assert!(Arc::ptr_eq(&batch[0], &core));
         assert!(s.next_batch().is_none());
     }
 }

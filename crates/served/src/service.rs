@@ -11,25 +11,46 @@
 //! followers wait on the slot, then the whole group executes the batch in
 //! lockstep (the solve's collectives are the synchronization).
 //!
+//! Resilience (PR 10): per-job deadlines are enforced at claim time by the
+//! scheduler; recoverable failures are re-queued as fresh solo jobs under a
+//! seeded exponential backoff until the attempt budget runs out; terminal
+//! failures feed per-tenant circuit breakers that shed load at admission;
+//! deadline-pressured jobs and breaker probes are downgraded on the
+//! degradation ladder ([`lrtddft::degrade`]) — always labeled, never
+//! silently; and a monitor thread runs the stall detector over leader
+//! heartbeats, marking wedged groups unhealthy (their queue share drains to
+//! the surviving groups because every leader pulls from the one shared
+//! queue).
+//!
+//! SPMD symmetry: all resilience *decisions* (deadline expiry, degradation,
+//! retry, breaker transitions) are taken by the leader **before** publishing
+//! a batch or after the batch's collectives complete — never divergently in
+//! the middle of a solve. The published [`RunJob`] carries the effective
+//! per-job options so every rank of the group executes the identical
+//! collective sequence.
+//!
 //! Tenant isolation invariants (tested here and in `tests/serving.rs`):
 //!
 //! 1. a job's fault plan is installed via [`faultkit::install_scoped`] only
 //!    for the duration of its own batch, on exactly the ranks of the group
 //!    executing it — a NaN poison or rank stall one tenant injects can never
 //!    fire inside another tenant's solve;
-//! 2. faulted jobs are never co-batched and never touch the result cache;
-//! 3. fault-free results are bitwise identical to a solo
-//!    [`lrtddft::parallel::distributed_solve_with`] run at the same group
-//!    size, whatever batching or scheduling happened around them.
+//! 2. faulted jobs are never co-batched and never touch the result cache
+//!    (nor do degraded results or breaker probes);
+//! 3. fault-free full-cost results are bitwise identical to a solo
+//!    [`lrtddft::Solver::solve_distributed`] run at the same group size,
+//!    whatever batching, retries, or scheduling happened around them.
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::job::{cache_key, AdmissionError, JobCore, JobHandle, JobResult, JobSpec};
+use crate::resilience::{retry_delay, Admit, Breakers, GroupHealth, ResilienceConfig};
 use crate::scheduler::SchedulerState;
 use lrtddft::parallel::{distributed_eigensolve, distributed_isdf_hamiltonian_with};
-use lrtddft::IsdfHamiltonian;
+use lrtddft::{CasidaProblem, IsdfHamiltonian, NumericalError, SolveError, SolveOptions};
 use parcomm::{spmd, Comm};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service topology and policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +67,10 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Result-cache entry lifetime.
     pub cache_ttl: Duration,
+    /// Result-cache entry cap (LRU eviction past this).
+    pub cache_capacity: usize,
+    /// Retry/breaker/deadline/stall policy.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -57,14 +82,28 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             max_batch: 8,
             cache_ttl: Duration::from_secs(300),
+            cache_capacity: 256,
+            resilience: ResilienceConfig::default(),
         }
     }
+}
+
+/// One job as the leader published it: the core plus the *effective*
+/// options every rank must use (degraded for pressured/probe claims). The
+/// options ride in the slot so followers never re-derive — and thus never
+/// diverge from — the leader's decision.
+#[derive(Clone)]
+struct RunJob {
+    core: Arc<JobCore>,
+    opts: SolveOptions,
+    /// Ladder label when `opts` are a downgrade of the spec's options.
+    degraded: Option<&'static str>,
 }
 
 /// What a group leader publishes to its followers.
 #[derive(Clone)]
 enum SlotCmd {
-    Run(Vec<Arc<JobCore>>),
+    Run(Vec<RunJob>),
     Quit,
 }
 
@@ -101,6 +140,15 @@ impl GroupSlot {
     }
 }
 
+/// State shared by every rank of the pool plus the monitor thread.
+struct Shared {
+    sched: Arc<SchedulerState>,
+    cache: Arc<ResultCache>,
+    breakers: Arc<Breakers>,
+    health: Arc<GroupHealth>,
+    resilience: ResilienceConfig,
+}
+
 /// Multi-tenant solve service. Construct with [`Service::start`], submit
 /// work with [`Service::submit`], stop with [`Service::shutdown`] (or just
 /// drop it — queued jobs still drain).
@@ -108,7 +156,11 @@ pub struct Service {
     config: ServeConfig,
     sched: Arc<SchedulerState>,
     cache: Arc<ResultCache>,
+    breakers: Arc<Breakers>,
+    health: Arc<GroupHealth>,
     supervisor: Option<std::thread::JoinHandle<()>>,
+    monitor: Option<std::thread::JoinHandle<()>>,
+    monitor_stop: Arc<AtomicBool>,
 }
 
 impl Service {
@@ -127,43 +179,95 @@ impl Service {
             config.max_queued_per_tenant,
             config.queue_capacity,
             config.max_batch,
+            config.resilience.pressure_window,
         ));
-        let cache = Arc::new(ResultCache::new(config.cache_ttl));
+        let cache = Arc::new(ResultCache::new(config.cache_ttl, config.cache_capacity));
+        let breakers = Arc::new(Breakers::new(&config.resilience));
+        let health = Arc::new(GroupHealth::new(config.groups, &config.resilience));
         let supervisor = {
-            let sched = Arc::clone(&sched);
-            let cache = Arc::clone(&cache);
+            let shared = Shared {
+                sched: Arc::clone(&sched),
+                cache: Arc::clone(&cache),
+                breakers: Arc::clone(&breakers),
+                health: Arc::clone(&health),
+                resilience: config.resilience,
+            };
             std::thread::spawn(move || {
                 let slots: Vec<GroupSlot> =
                     (0..config.groups).map(|_| GroupSlot::new()).collect();
                 let group_size = config.ranks / config.groups;
                 spmd(config.ranks, |world| {
-                    worker(world, group_size, &slots, &sched, &cache);
+                    worker(world, group_size, &slots, &shared);
                 });
             })
         };
-        Service { config, sched, cache, supervisor: Some(supervisor) }
+        let monitor_stop = Arc::new(AtomicBool::new(false));
+        let monitor = {
+            let health = Arc::clone(&health);
+            let stop = Arc::clone(&monitor_stop);
+            let tick = (config.resilience.stall_timeout / 4).max(Duration::from_millis(5));
+            Some(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    health.check();
+                    std::thread::park_timeout(tick);
+                }
+            }))
+        };
+        Service {
+            config,
+            sched,
+            cache,
+            breakers,
+            health,
+            supervisor: Some(supervisor),
+            monitor,
+            monitor_stop,
+        }
     }
 
-    /// Admit a job. Fault-free jobs whose results are already cached
-    /// complete immediately (`cache_hit`, `batch_size == 0`); everything
-    /// else is enqueued subject to the tenant quota and queue capacity.
+    /// Admit a job. The tenant's circuit breaker is consulted first (an
+    /// open breaker sheds the job with [`AdmissionError::CircuitOpen`]; a
+    /// half-open one admits it as the probe). Fault-free jobs whose results
+    /// are already cached complete immediately (`cache_hit`,
+    /// `batch_size == 0`); everything else is enqueued subject to the
+    /// tenant quota and queue capacity.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
         let core = JobCore::new(spec);
         let handle = JobHandle { core: Arc::clone(&core), queue: Arc::clone(&self.sched) };
-        if core.spec.fault.is_none() {
-            if let Some(values) = self.cache.get(&cache_key(&core.spec)) {
-                core.complete(JobResult {
-                    values,
-                    timings: Default::default(),
-                    cache_hit: true,
-                    batch_size: 0,
-                    comm_calls: 0,
-                    fault_events: Vec::new(),
-                });
-                return Ok(handle);
+        let tenant = core.spec.tenant;
+        match self.breakers.admit(tenant) {
+            Ok(Admit::Normal) => {
+                if core.spec.fault.is_none() {
+                    if let Some(values) = self.cache.get(&cache_key(&core.spec)) {
+                        core.complete(JobResult {
+                            values,
+                            timings: Default::default(),
+                            cache_hit: true,
+                            batch_size: 0,
+                            comm_calls: 0,
+                            fault_events: Vec::new(),
+                            attempts: 0,
+                            degraded: None,
+                            deadline_missed: false,
+                        });
+                        return Ok(handle);
+                    }
+                }
             }
+            // Probes bypass the cache (a probe must exercise a real solve)
+            // and run solo.
+            Ok(Admit::Probe) => core.probe.store(true, Ordering::Relaxed),
+            Err(failures) => return Err(AdmissionError::CircuitOpen { tenant, failures }),
         }
-        self.sched.submit(core)?;
+        if let Err(e) = self.sched.submit(Arc::clone(&core)) {
+            if core.probe.load(Ordering::Relaxed) {
+                // The probe never made it into the queue; rewind the breaker
+                // so the next admission attempt becomes the probe instead of
+                // shedding forever.
+                self.breakers.abort_probe(tenant);
+            }
+            return Err(e);
+        }
         Ok(handle)
     }
 
@@ -177,9 +281,14 @@ impl Service {
         if let Some(h) = self.supervisor.take() {
             h.join().expect("serving rank pool panicked");
         }
+        self.monitor_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.monitor.take() {
+            h.thread().unpark();
+            h.join().expect("health monitor panicked");
+        }
     }
 
-    /// Result-cache hit/miss/entry counters.
+    /// Result-cache hit/miss/entry/eviction counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -192,6 +301,11 @@ impl Service {
     /// Jobs currently queued for one tenant (counts against its quota).
     pub fn queued_for(&self, tenant: crate::job::TenantId) -> usize {
         self.sched.queued_for(tenant)
+    }
+
+    /// Solver groups currently flagged unhealthy by the stall detector.
+    pub fn unhealthy_groups(&self) -> usize {
+        self.health.unhealthy_count()
     }
 
     /// The active configuration.
@@ -212,24 +326,20 @@ impl Drop for Service {
 }
 
 /// Per-rank body of the SPMD serving pool.
-fn worker(
-    world: &Comm,
-    group_size: usize,
-    slots: &[GroupSlot],
-    sched: &SchedulerState,
-    cache: &ResultCache,
-) {
+fn worker(world: &Comm, group_size: usize, slots: &[GroupSlot], shared: &Shared) {
     let color = world.rank() / group_size;
     // Collective over the world communicator — every rank splits exactly
     // once, and the groups never synchronize with each other afterwards.
     let group = world.split(color, world.rank());
     obskit::set_thread_label(&format!("serve g{color} r{}", group.rank()));
     let slot = &slots[color];
+    let leader = group.rank() == 0;
     let mut seen = 0u64;
     loop {
-        let cmd = if group.rank() == 0 {
-            let cmd = match sched.next_batch() {
-                Some(batch) => SlotCmd::Run(batch),
+        let cmd = if leader {
+            shared.health.beat(color);
+            let cmd = match shared.sched.next_batch() {
+                Some(batch) => SlotCmd::Run(prepare(batch)),
                 None => SlotCmd::Quit,
             };
             seen = slot.publish(cmd.clone());
@@ -240,10 +350,60 @@ fn worker(
             cmd
         };
         match cmd {
-            SlotCmd::Run(batch) => execute_batch(&group, &batch, cache),
+            SlotCmd::Run(batch) => {
+                if leader {
+                    shared.health.set_busy(color, true);
+                }
+                execute_batch(&group, &batch, shared);
+                if leader {
+                    shared.health.set_busy(color, false);
+                }
+            }
             SlotCmd::Quit => break,
         }
     }
+}
+
+/// Leader-side batch preparation: freeze each job's effective options.
+/// Pressured and probe jobs (always claimed solo) walk the degradation
+/// ladder; everything else runs its spec options untouched — the clean path
+/// must stay bitwise identical.
+fn prepare(batch: Vec<Arc<JobCore>>) -> Vec<RunJob> {
+    batch
+        .into_iter()
+        .map(|core| {
+            let opts = *core.spec.opts();
+            let cheaper = (core.pressured.load(Ordering::Relaxed)
+                || core.probe.load(Ordering::Relaxed))
+            .then(|| degrade_for_distributed(&opts, &core.spec.problem))
+            .flatten();
+            match cheaper {
+                Some(d) => RunJob { core, opts: d, degraded: d.degraded },
+                None => RunJob { core, opts, degraded: None },
+            }
+        })
+        .collect()
+}
+
+/// Walk [`lrtddft::degrade`] until a rung actually changes what the
+/// *distributed* path computes (a smaller resolved ISDF rank or a different
+/// eigensolver). The first rung — mixed precision — only affects the serial
+/// path, so stopping there would label a downgrade that never happened;
+/// skip past it instead. `None` when no distributed-visible downgrade
+/// exists (already at the ladder floor): the job then runs at full cost.
+fn degrade_for_distributed(opts: &SolveOptions, problem: &CasidaProblem) -> Option<SolveOptions> {
+    let (n_r, n_v, n_c) = (problem.n_r(), problem.n_v(), problem.n_c());
+    let base_rank = opts.rank.resolve(n_r, n_v, n_c);
+    let mut cur = *opts;
+    while let Some(next) = lrtddft::degrade(&cur, problem) {
+        let visible = next.rank.resolve(n_r, n_v, n_c) != base_rank
+            || next.eigensolver != opts.eigensolver;
+        cur = next;
+        if visible {
+            return Some(cur);
+        }
+    }
+    None
 }
 
 /// Run one batch on every rank of a group: a single shared Hamiltonian
@@ -251,57 +411,111 @@ fn worker(
 /// per-job solo runs because the build is deterministic in the batch key
 /// and the eigensolve path is untouched (pinned by
 /// `shared_build_eigensolve_bitwise_matches_solo_solve` in `lrtddft`).
-fn execute_batch(group: &Comm, batch: &[Arc<JobCore>], cache: &ResultCache) {
-    let lead = &batch[0].spec;
+fn execute_batch(group: &Comm, batch: &[RunJob], shared: &Shared) {
+    let lead = &batch[0];
     // Solo faulted job (the scheduler never co-batches fault plans): arm the
     // tenant's plan on this rank for exactly this batch. For clean batches
     // this *clears* any ambient plan — belt and braces for isolation.
-    let _fault_window = faultkit::install_scoped(lead.fault.clone());
-    obskit::set_tenant(Some(lead.tenant));
+    let _fault_window = faultkit::install_scoped(lead.core.spec.fault.clone());
+    obskit::set_tenant(Some(lead.core.spec.tenant));
 
     group.take_stats(); // discard idle-window stats; build gets a fresh window
-    let opts0 = *lead.opts();
-    let (ham, build_timings) = distributed_isdf_hamiltonian_with(group, &lead.problem, &opts0);
+    let (ham, build_timings) =
+        distributed_isdf_hamiltonian_with(group, &lead.core.spec.problem, &lead.opts);
     let build_stats = group.take_stats();
     // An injected fault can leave non-finite entries in the replicated
     // factors; every rank sees the same copy, so all ranks agree to skip the
     // eigensolve (dense fallbacks on NaN do not terminate) and fail the job.
     let healthy = ham_is_finite(&ham);
 
-    for core in batch {
-        let spec = &core.spec;
+    for job in batch {
+        let spec = &job.core.spec;
         obskit::set_tenant(Some(spec.tenant));
-        let opts = *spec.opts();
-        let k = opts.n_states.min(spec.problem.n_cv());
+        let k = job.opts.n_states.min(spec.problem.n_cv());
         let mut timings = build_timings;
         let values = if healthy {
-            distributed_eigensolve(group, &ham, k, &opts, &mut timings)
+            distributed_eigensolve(group, &ham, k, &job.opts, &mut timings)
         } else {
             vec![f64::NAN; k]
         };
         let eig_stats = group.take_stats();
         if group.rank() == 0 {
-            let fault_events = spec
-                .fault
-                .as_ref()
-                .map(|h| h.events().iter().map(|e| e.render()).collect())
-                .unwrap_or_default();
-            if spec.fault.is_none() && healthy {
-                cache.put(cache_key(spec), values.clone());
-            }
-            core.complete(JobResult {
-                values,
-                timings,
-                cache_hit: false,
-                batch_size: batch.len(),
-                comm_calls: build_stats.collective_calls + eig_stats.collective_calls,
-                fault_events,
-            });
+            let comm_calls = build_stats.collective_calls + eig_stats.collective_calls;
+            finish_job(job, values, timings, batch.len(), comm_calls, shared);
         }
         // Followers only participate in the collectives; the leader owns
-        // handle completion and cache population.
+        // completion, retry, breaker, and cache decisions.
     }
     obskit::set_tenant(None);
+}
+
+/// Leader-only terminal/retry decision for one executed job. A non-finite
+/// result with attempt budget left re-queues the job as a fresh solo entry
+/// under seeded exponential backoff; without budget it fails terminally and
+/// feeds the tenant's breaker. A finite result completes the job — with its
+/// retry count, degrade label, and deadline verdict on the record.
+fn finish_job(
+    job: &RunJob,
+    values: Vec<f64>,
+    timings: lrtddft::StageTimings,
+    batch_size: usize,
+    comm_calls: u64,
+    shared: &Shared,
+) {
+    let core = &job.core;
+    let spec = &core.spec;
+    let tenant = spec.tenant;
+    let attempts = core.attempts();
+    if values.iter().all(|v| v.is_finite()) {
+        shared.breakers.record_success(tenant);
+        let deadline_missed = core.deadline().is_some_and(|d| Instant::now() > d);
+        if deadline_missed {
+            obskit::add_serve_deadline_miss();
+        }
+        if job.degraded.is_some() {
+            obskit::add_serve_degraded();
+        }
+        // Only clean, full-cost results may populate the cache: the key
+        // does not encode fault plans or the degradation ladder, and probes
+        // must keep exercising real solves.
+        if spec.fault.is_none()
+            && job.degraded.is_none()
+            && !core.probe.load(Ordering::Relaxed)
+        {
+            shared.cache.put(cache_key(spec), values.clone());
+        }
+        let fault_events = spec
+            .fault
+            .as_ref()
+            .map(|h| h.events().iter().map(|e| e.render()).collect())
+            .unwrap_or_default();
+        core.complete(JobResult {
+            values,
+            timings,
+            cache_hit: false,
+            batch_size,
+            comm_calls,
+            fault_events,
+            attempts,
+            degraded: job.degraded.map(str::to_owned),
+            deadline_missed,
+        });
+    } else if attempts < shared.resilience.retry_max_attempts.max(1) {
+        obskit::add_serve_retry();
+        shared
+            .sched
+            .requeue(Arc::clone(core), retry_delay(&shared.resilience, tenant, attempts));
+    } else {
+        let err: SolveError = NumericalError::NonFinite {
+            site: format!("serve.solve attempt {attempts}"),
+            index: 0,
+        }
+        .into();
+        if shared.breakers.record_failure(tenant) {
+            obskit::add_serve_breaker_open();
+        }
+        core.fail(err.to_string(), false);
+    }
 }
 
 fn ham_is_finite(ham: &IsdfHamiltonian) -> bool {
@@ -313,29 +527,37 @@ fn ham_is_finite(ham: &IsdfHamiltonian) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::JobStatus;
-    use lrtddft::parallel::distributed_solve_with;
+    use crate::job::{JobOutcome, JobStatus};
+    use faultkit::{FaultKind, FaultPlan};
     use lrtddft::{synthetic_problem, Solver};
 
     fn small_config() -> ServeConfig {
         ServeConfig { ranks: 2, groups: 1, ..Default::default() }
     }
 
+    fn solo_oracle(problem: &Arc<CasidaProblem>, solver: &Solver, ranks: usize) -> Vec<f64> {
+        let problem = Arc::clone(problem);
+        let solver = *solver;
+        spmd(ranks, move |c| solver.solve_distributed(c, &problem).0)[0].clone()
+    }
+
     #[test]
     fn served_results_match_solo_distributed_solve_bitwise() {
         let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
         let solver = Solver::builder().n_states(2).seed(11).build();
-        let opts = *solver.options();
-        let solo = spmd(2, |c| distributed_solve_with(c, &problem, &opts));
+        let solo = solo_oracle(&problem, &solver, 2);
 
         let service = Service::start(small_config());
         let h = service
             .submit(JobSpec::new(7, Arc::clone(&problem)).with_solver(solver))
             .unwrap();
         let res = h.wait().expect("job completed");
-        assert_eq!(res.values, solo[0].0, "served values must be bitwise solo-identical");
+        assert_eq!(res.values, solo, "served values must be bitwise solo-identical");
         assert!(!res.cache_hit);
         assert_eq!(res.batch_size, 1);
+        assert_eq!(res.attempts, 1);
+        assert_eq!(res.degraded, None);
+        assert!(!res.deadline_missed);
         assert!(res.comm_calls > 0, "eigensolve window should record collectives");
         service.shutdown();
     }
@@ -416,17 +638,185 @@ mod tests {
         assert_eq!(service.group_size(), 2);
         let solver_a = Solver::builder().seed(1).build();
         let solver_b = Solver::builder().seed(2).build();
-        let opts_a = *solver_a.options();
-        let opts_b = *solver_b.options();
         let a = service.submit(JobSpec::new(1, Arc::clone(&problem)).with_solver(solver_a));
         let b = service.submit(JobSpec::new(2, Arc::clone(&problem)).with_solver(solver_b));
         let ra = a.unwrap().wait().expect("job a");
         let rb = b.unwrap().wait().expect("job b");
         // Group size is 2 either way, so solo runs at 2 ranks are the oracle.
-        let solo_a = spmd(2, |c| distributed_solve_with(c, &problem, &opts_a));
-        let solo_b = spmd(2, |c| distributed_solve_with(c, &problem, &opts_b));
-        assert_eq!(ra.values, solo_a[0].0);
-        assert_eq!(rb.values, solo_b[0].0);
+        assert_eq!(ra.values, solo_oracle(&problem, &solver_a, 2));
+        assert_eq!(rb.values, solo_oracle(&problem, &solver_b, 2));
         service.shutdown();
+    }
+
+    #[test]
+    fn poisoned_job_is_retried_and_heals_to_bitwise_clean_values() {
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let solver = Solver::builder().n_states(2).seed(5).build();
+        let solo = solo_oracle(&problem, &solver, 2);
+
+        let service = Service::start(small_config());
+        let spec = JobSpec::new(3, Arc::clone(&problem))
+            .with_solver(solver)
+            .with_fault_plan(FaultPlan::new(17).with("par.v_tilde", 0, FaultKind::NanPoison));
+        let res = service.submit(spec).unwrap().wait().expect("retried then solved");
+        assert_eq!(res.attempts, 2, "poisoned first attempt, clean second");
+        assert_eq!(res.values, solo, "healed result is bitwise solo-identical");
+        assert!(!res.fault_events.is_empty(), "the injected fault is on the record");
+        assert!(res.values.iter().all(|v| v.is_finite()));
+        assert!(obskit::serve_counters().retries >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn exhausted_retries_fail_terminally_and_trip_the_breaker() {
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let config = ServeConfig {
+            ranks: 2,
+            groups: 1,
+            resilience: ResilienceConfig {
+                retry_max_attempts: 1, // first failure is terminal
+                breaker_threshold: 1,  // one terminal failure opens
+                breaker_cooldown: Duration::from_millis(40),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let service = Service::start(config);
+        let poisoned = JobSpec::new(8, Arc::clone(&problem))
+            .with_fault_plan(FaultPlan::new(23).with("par.v_tilde", 0, FaultKind::NanPoison));
+        let h = service.submit(poisoned).unwrap();
+        match h.outcome() {
+            JobOutcome::Failed { error, attempts } => {
+                assert_eq!(attempts, 1);
+                assert!(error.contains("non-finite"), "typed error rendering: {error}");
+            }
+            other => panic!("expected terminal failure, got {other:?}"),
+        }
+        assert_eq!(h.status(), JobStatus::Failed);
+
+        // Breaker is now open: clean submissions from tenant 8 are shed.
+        match service.submit(JobSpec::new(8, Arc::clone(&problem))) {
+            Err(AdmissionError::CircuitOpen { tenant, failures }) => {
+                assert_eq!((tenant, failures), (8, 1));
+            }
+            Err(other) => panic!("expected CircuitOpen, got {other:?}"),
+            Ok(_) => panic!("expected CircuitOpen, job was admitted"),
+        }
+        // Other tenants are unaffected.
+        assert!(service.submit(JobSpec::new(9, Arc::clone(&problem))).is_ok());
+
+        // After the cooldown one clean probe runs (degraded, solo, uncached)
+        // and closes the breaker.
+        std::thread::sleep(Duration::from_millis(50));
+        let probe = service.submit(JobSpec::new(8, Arc::clone(&problem))).unwrap();
+        let res = probe.wait().expect("probe solves");
+        assert!(!res.cache_hit, "probes bypass the cache");
+        assert!(res.values.iter().all(|v| v.is_finite()));
+        let after = service.submit(JobSpec::new(8, Arc::clone(&problem))).unwrap();
+        assert!(after.wait().is_some(), "breaker closed after the probe");
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_pressure_degrades_with_a_label_never_silently() {
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let config = ServeConfig {
+            ranks: 2,
+            groups: 1,
+            resilience: ResilienceConfig {
+                // Every deadline under 60s counts as pressure, so the job
+                // below is deterministically pressured but never expired.
+                pressure_window: Duration::from_secs(60),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let service = Service::start(config);
+        let spec = JobSpec::new(4, Arc::clone(&problem))
+            .with_solver(Solver::builder().n_states(2).eigensolver(lrtddft::Eig::Lobpcg).build())
+            .with_deadline(Duration::from_secs(30));
+        let res = service.submit(spec).unwrap().wait().expect("degraded job completes");
+        let label = res.degraded.as_deref().expect("downgrade must be labeled");
+        assert!(
+            ["mixed-precision", "rank-floor", "direct-eig"].contains(&label),
+            "ladder label, got {label}"
+        );
+        assert!(res.values.iter().all(|v| v.is_finite()));
+        assert_eq!(res.batch_size, 1, "pressured jobs run solo");
+        assert!(obskit::serve_counters().degraded >= 1);
+
+        // Degraded results never populate the cache: a repeat clean submit
+        // at the same key must be a miss (fresh full-cost solve).
+        let clean = JobSpec::new(5, Arc::clone(&problem))
+            .with_solver(Solver::builder().n_states(2).eigensolver(lrtddft::Eig::Lobpcg).build());
+        let clean_res = service.submit(clean).unwrap().wait().expect("clean job");
+        assert!(!clean_res.cache_hit, "degraded result must not have seeded the cache");
+        assert_eq!(clean_res.degraded, None);
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_yields_typed_outcome_through_the_service() {
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let service = Service::start(small_config());
+        let h = service
+            .submit(
+                JobSpec::new(6, Arc::clone(&problem))
+                    .with_solver(Solver::builder().seed(777).build())
+                    .with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        match h.outcome() {
+            JobOutcome::DeadlineExceeded { .. } => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn wedged_group_is_flagged_unhealthy_while_survivors_keep_serving() {
+        let _x = crate::testsync::stall_exclusive();
+        let problem = Arc::new(synthetic_problem([6, 6, 6], 6.0, 2, 2));
+        let config = ServeConfig {
+            ranks: 4,
+            groups: 2,
+            resilience: ResilienceConfig {
+                stall_timeout: Duration::from_millis(40),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let before = obskit::serve_counters().group_unhealthy;
+        let service = Service::start(config);
+        // One job stalls its group inside the solve (comm delay well past
+        // the stall timeout); clean jobs from other tenants keep flowing
+        // through the surviving group via the shared queue.
+        let slow = JobSpec::new(1, Arc::clone(&problem)).with_fault_plan(
+            FaultPlan::new(31)
+                .with("comm.ireduce", 0, FaultKind::CommDelay { micros: 100_000 })
+                .with("comm.iallreduce", 0, FaultKind::CommDelay { micros: 100_000 })
+                .with("comm.iallgatherv", 0, FaultKind::CommDelay { micros: 100_000 }),
+        );
+        let slow_h = service.submit(slow).unwrap();
+        let clean: Vec<_> = (0..4u64)
+            .map(|i| {
+                service
+                    .submit(
+                        JobSpec::new(10 + i, Arc::clone(&problem))
+                            .with_solver(Solver::builder().seed(i).build()),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for h in clean {
+            assert!(h.wait().is_some(), "survivor group drains the queue");
+        }
+        let slow_res = slow_h.wait().expect("stalled job still finishes");
+        assert!(slow_res.values.iter().all(|v| v.is_finite()));
+        service.shutdown();
+        assert!(
+            obskit::serve_counters().group_unhealthy > before,
+            "stall detector must have flagged the wedged group"
+        );
     }
 }

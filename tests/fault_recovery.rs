@@ -6,7 +6,7 @@
 
 use faultkit::{arm, FaultKind, FaultPlan};
 use lrtddft::problem::{synthetic_problem, CasidaProblem};
-use lrtddft::{IsdfRank, SolveOptions, Version};
+use lrtddft::{IsdfRank, SolveOptions, Solver, Version};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -36,7 +36,13 @@ fn baseline(version: Version) -> Vec<f64> {
     static KMEANS: OnceLock<Vec<f64>> = OnceLock::new();
     let solve = move || {
         let p = problem();
-        opts(p).run(p, version).expect("fault-free baseline").energies
+        Solver::builder()
+            .version(version)
+            .options(opts(p))
+            .build()
+            .solve(p)
+            .expect("fault-free baseline")
+            .energies
     };
     match version {
         Version::ImplicitKmeansIsdfLobpcg => IMPLICIT.get_or_init(solve).clone(),
@@ -51,7 +57,12 @@ fn armed_run(
 ) -> (Vec<f64>, Vec<String>, Vec<String>) {
     let p = problem();
     let campaign = arm(plan.clone());
-    let sol = opts(p).run(p, version).expect("single injected fault must heal");
+    let sol = Solver::builder()
+        .version(version)
+        .options(opts(p))
+        .build()
+        .solve(p)
+        .expect("single injected fault must heal");
     let events = campaign.events().iter().map(|e| e.render()).collect();
     (sol.energies, sol.recovery, events)
 }

@@ -7,7 +7,6 @@
 //! read them take `OBSKIT_LOCK` and drain leftover state first.
 
 use faultkit::{FaultKind, FaultPlan};
-use lrtddft::parallel::distributed_solve_with;
 use lrtddft::{synthetic_problem, Solver};
 use parcomm::spmd;
 use served::{JobSpec, ServeConfig, Service};
@@ -77,17 +76,17 @@ fn concurrent_same_shape_solves_share_fft_plan_cache() {
     }
 }
 
-/// Satellite-6 smoke: tenant A carries a NaN-poison plan against the
-/// distributed Hamiltonian build; tenant B submits the same structure clean,
-/// co-scheduled on the same service. B's eigenvalues must be bitwise
-/// identical to a fault-free solo run at the group size; A must observe its
-/// own fault (NaN results, non-empty event log) — and nothing else.
+/// Tenant A carries a NaN-poison plan against the distributed Hamiltonian
+/// build; tenant B submits the same structure clean, co-scheduled on the
+/// same service. B's eigenvalues must be bitwise identical to a fault-free
+/// solo run at the group size; A is retried-then-solved (the one-shot fault
+/// fires on attempt one, the fresh solo attempt heals) and must observe its
+/// own fault in its event log — and nothing else.
 #[test]
 fn poisoned_tenant_never_contaminates_coscheduled_victim() {
     let problem = Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2));
     let solver = Solver::builder().n_states(2).build();
-    let opts = *solver.options();
-    let solo = spmd(2, |c| distributed_solve_with(c, &problem, &opts))[0].0.clone();
+    let solo = spmd(2, |c| solver.solve_distributed(c, &problem).0)[0].clone();
 
     let service = Service::start(four_rank_config());
     let poisoned = JobSpec::new(0xa, Arc::clone(&problem))
@@ -100,9 +99,16 @@ fn poisoned_tenant_never_contaminates_coscheduled_victim() {
     let rb = hb.wait().expect("victim completes");
     service.shutdown();
 
+    // The one-shot plan fires per rank thread: a retry that lands on the
+    // *other* group's (fresh) ranks is poisoned once more before healing.
     assert!(
-        ra.values.iter().all(|v| v.is_nan()),
-        "poisoned tenant must see its own fault: {:?}",
+        (2..=3).contains(&ra.attempts),
+        "poisoned first attempt(s), healed on a retry: {} attempts",
+        ra.attempts
+    );
+    assert!(
+        ra.values.iter().zip(&solo).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "retried attacker converges to the clean result: {:?}",
         ra.values
     );
     assert!(!ra.fault_events.is_empty(), "injected fault must be logged on the attacker");
@@ -129,8 +135,7 @@ fn poisoned_tenant_never_contaminates_coscheduled_victim() {
 fn stalled_tenant_never_contaminates_coscheduled_victim() {
     let problem = Arc::new(synthetic_problem([8, 8, 8], 6.0, 2, 2));
     let solver = Solver::builder().n_states(2).build();
-    let opts = *solver.options();
-    let solo = spmd(2, |c| distributed_solve_with(c, &problem, &opts))[0].0.clone();
+    let solo = spmd(2, |c| solver.solve_distributed(c, &problem).0)[0].clone();
 
     let service = Service::start(four_rank_config());
     let stalled = JobSpec::new(0xa, Arc::clone(&problem)).with_solver(solver).with_fault_plan(

@@ -7,7 +7,6 @@
 //! `obskit`'s recorder is process-global, so every test takes `OBSKIT_LOCK`
 //! and drains leftover state before recording.
 
-use lrtddft::parallel::distributed_solve_with;
 use lrtddft::{IsdfRank, SolveOptions};
 use lrtddft::problem::silicon_like_problem;
 use lrtddft::StageTimings;
@@ -33,8 +32,10 @@ fn traced_pipeline_run(ranks: usize) -> (obskit::Trace, Vec<StageTimings>) {
     let p = silicon_like_problem(1, 10, 3);
     let n_mu = p.n_cv().min(5 * (p.n_v() + p.n_c()));
     obskit::enable();
-    let opts = SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(3).seed(0xbeef);
-    let timings = spmd(ranks, |c| distributed_solve_with(c, &p, &opts).1);
+    let solver = lrtddft::Solver::builder()
+        .options(SolveOptions::new().rank(IsdfRank::Fixed(n_mu)).n_states(3).seed(0xbeef))
+        .build();
+    let timings = spmd(ranks, |c| solver.solve_distributed(c, &p).1);
     obskit::disable();
     (obskit::take_trace(), timings)
 }
